@@ -1,0 +1,211 @@
+(** plutocc — the end-to-end source-to-source tool (the paper's Figure 5):
+    C-subset loop nests in, transformed OpenMP C out, with optional
+    dependence/transformation dumps, semantic-equivalence checking against
+    the original execution order, and performance simulation on the modelled
+    multicore. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_params spec =
+  (* "N=8000,T=64" *)
+  if String.trim spec = "" then []
+  else
+    String.split_on_char ',' spec
+    |> List.map (fun kv ->
+           match String.split_on_char '=' (String.trim kv) with
+           | [ k; v ] -> (String.trim k, int_of_string (String.trim v))
+           | _ -> failwith ("bad parameter binding: " ^ kv))
+
+let run file output show_deps show_transform no_tile tile_size no_parallel
+    wavefront no_intra_reorder no_input_deps check params_spec simulate cores
+    native =
+  try
+    let src = read_file file in
+    let program = Frontend.parse_program ~name:file src in
+    let options =
+      {
+        Driver.default_options with
+        Driver.tile = not no_tile;
+        tile_size;
+        parallelize = not no_parallel;
+        wavefront;
+        intra_reorder = not no_intra_reorder;
+        auto =
+          {
+            Pluto.Auto.default_config with
+            Pluto.Auto.input_deps = not no_input_deps;
+          };
+      }
+    in
+    let r = Driver.compile ~options program in
+    if show_deps then begin
+      Format.eprintf "/* %d dependences:@." (List.length r.Driver.deps);
+      List.iter (fun d -> Format.eprintf "   %a@." Deps.pp d) r.Driver.deps;
+      Format.eprintf "*/@."
+    end;
+    if show_transform then
+      Format.eprintf "/* transformation:@.%a*/@." Pluto.Auto.pp_transform
+        r.Driver.transform;
+    let emit fmt = Codegen.print_c fmt r.Driver.code in
+    (match output with
+    | None -> emit Format.std_formatter
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            let fmt = Format.formatter_of_out_channel oc in
+            emit fmt;
+            Format.pp_print_flush fmt ()));
+    let bindings = parse_params params_spec in
+    if check then begin
+      let assoc =
+        List.map
+          (fun p ->
+            (p, match List.assoc_opt p bindings with Some v -> v | None -> 20))
+          program.Ir.params
+      in
+      let params = Array.of_list (List.map snd assoc) in
+      let ok = Machine.equivalent program r.Driver.code ~params in
+      Format.eprintf "equivalence check (%s): %s@."
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) assoc))
+        (if ok then "PASS" else "FAIL");
+      if not ok then exit 2
+    end;
+    if native then begin
+      let assoc =
+        List.map
+          (fun p ->
+            ( p,
+              match List.assoc_opt p bindings with
+              | Some v -> v
+              | None -> failwith ("--native-run needs --params " ^ p ^ "=...") ))
+          program.Ir.params
+      in
+      match Runner.run r.Driver.code ~params:assoc with
+      | None -> Format.eprintf "native run: no C compiler found@."
+      | Some res ->
+          Format.eprintf "native run: %.6fs;%s@." res.Runner.wall_seconds
+            (String.concat ""
+               (List.map
+                  (fun (n, v) -> Printf.sprintf " checksum(%s)=%s" n v)
+                  res.Runner.checksums))
+    end;
+    if simulate then begin
+      let assoc =
+        List.map
+          (fun p ->
+            ( p,
+              match List.assoc_opt p bindings with
+              | Some v -> v
+              | None -> failwith ("--simulate needs --params " ^ p ^ "=...") ))
+          program.Ir.params
+      in
+      let params = Array.of_list (List.map snd assoc) in
+      let mc = { Machine.default_machine with Machine.ncores = cores } in
+      let res = Machine.simulate mc r.Driver.code ~params in
+      Format.eprintf "simulation (%d cores): %a@." cores Machine.pp_result res
+    end;
+    0
+  with
+  | Frontend.Parse_error msg ->
+      Format.eprintf "parse error: %s@." msg;
+      1
+  | Pluto.Auto.No_transform msg ->
+      Format.eprintf "no transformation found: %s@." msg;
+      1
+  | Sys_error msg | Failure msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+
+let file_arg =
+  Arg.(
+    required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input C-subset file.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Write generated C here (default: stdout).")
+
+let show_deps_arg =
+  Arg.(value & flag & info [ "show-deps" ] ~doc:"Print the dependence graph to stderr.")
+
+let show_transform_arg =
+  Arg.(
+    value & flag
+    & info [ "show-transform" ] ~doc:"Print the computed transformation to stderr.")
+
+let no_tile_arg =
+  Arg.(value & flag & info [ "no-tile" ] ~doc:"Disable tiling (Algorithm 1).")
+
+let tile_size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tile-size" ] ~docv:"T" ~doc:"Uniform tile size (default: rough cache model).")
+
+let no_parallel_arg =
+  Arg.(value & flag & info [ "no-parallel" ] ~doc:"Do not mark loops for OpenMP.")
+
+let wavefront_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "wavefront" ] ~docv:"M"
+        ~doc:"Degrees of pipelined parallelism to extract (Algorithm 2).")
+
+let no_intra_arg =
+  Arg.(
+    value & flag
+    & info [ "no-intra-reorder" ]
+        ~doc:"Disable the intra-tile reordering post-pass (section 5.4).")
+
+let no_input_deps_arg =
+  Arg.(
+    value & flag
+    & info [ "no-rar" ] ~doc:"Ignore read-after-read dependences in the cost function.")
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:"Verify semantic equivalence against the original order (small sizes).")
+
+let params_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "params" ] ~docv:"P" ~doc:"Parameter bindings, e.g. N=8000,T=64.")
+
+let simulate_arg =
+  Arg.(
+    value & flag
+    & info [ "simulate" ]
+        ~doc:"Run the multicore performance simulation (needs --params).")
+
+let cores_arg =
+  Arg.(value & opt int 4 & info [ "cores" ] ~docv:"K" ~doc:"Simulated core count.")
+
+let native_arg =
+  Arg.(
+    value & flag
+    & info [ "native-run" ]
+        ~doc:"Compile the generated C with the host C compiler, run it and report wall time and checksums (needs --params).")
+
+let cmd =
+  let doc = "automatic polyhedral parallelizer and locality optimizer" in
+  let info = Cmd.info "plutocc" ~version:"1.0" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ file_arg $ output_arg $ show_deps_arg $ show_transform_arg
+      $ no_tile_arg $ tile_size_arg $ no_parallel_arg $ wavefront_arg
+      $ no_intra_arg $ no_input_deps_arg $ check_arg $ params_arg
+      $ simulate_arg $ cores_arg $ native_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/explore_options.ml: Deps Driver Format Ir Kernels List Machine Pluto Printf

@@ -1,0 +1,1 @@
+examples/lu_factorization.ml: Array Codegen Deps Format Kernels List Machine Pluto Printf

@@ -1,0 +1,1 @@
+examples/mvt_fusion.ml: Baselines Driver Format Kernels List Machine Pluto Printf

@@ -1,0 +1,1 @@
+examples/mvt_fusion.mli:

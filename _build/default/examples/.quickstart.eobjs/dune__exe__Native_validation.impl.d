@@ -1,0 +1,1 @@
+examples/native_validation.ml: Driver Kernels List Printf Runner

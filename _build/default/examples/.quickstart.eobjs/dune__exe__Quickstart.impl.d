@@ -1,0 +1,1 @@
+examples/quickstart.ml: Baselines Codegen Driver Format Frontend List Machine Pluto Printf

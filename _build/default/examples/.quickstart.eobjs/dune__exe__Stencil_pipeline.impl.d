@@ -1,0 +1,1 @@
+examples/stencil_pipeline.ml: Baselines Deps Driver Format Kernels List Machine Pluto Printf

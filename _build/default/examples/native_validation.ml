@@ -1,0 +1,39 @@
+(* Native execution: compile the generated OpenMP C with the host's real C
+   compiler, run it, and cross-validate the transformed program against the
+   original on real hardware (bitwise-identical array checksums).
+
+   The build host here has a single CPU core, so native runs demonstrate
+   correctness and sequential behaviour only; parallel-scaling experiments
+   live in the simulator (see DESIGN.md and bench/main.exe).
+
+   Run with:  dune exec examples/native_validation.exe *)
+
+let () =
+  if not (Runner.available ()) then
+    print_endline "no C compiler on this host — nothing to do"
+  else begin
+    print_endline "== native (gcc) cross-validation ==";
+    List.iter
+      (fun (k, params) ->
+        let p = Kernels.program k in
+        let orig = Driver.compile_original p in
+        let pluto = Driver.compile p in
+        (match Runner.validate orig.Driver.code pluto.Driver.code ~params with
+        | Some ok ->
+            Printf.printf "%-16s checksums %s\n%!" k.Kernels.name
+              (if ok then "IDENTICAL" else "DIFFER (bug!)")
+        | None -> ());
+        match
+          ( Runner.run orig.Driver.code ~params,
+            Runner.run pluto.Driver.code ~params )
+        with
+        | Some a, Some b ->
+            Printf.printf "%-16s native wall time: orig %.4fs, pluto %.4fs\n%!"
+              "" a.Runner.wall_seconds b.Runner.wall_seconds
+        | _ -> ())
+      [
+        (Kernels.jacobi_1d, [ ("T", 100); ("N", 2000) ]);
+        (Kernels.lu, [ ("N", 200) ]);
+        (Kernels.seidel, [ ("T", 30); ("N", 200) ]);
+      ]
+  end

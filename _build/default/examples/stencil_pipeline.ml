@@ -1,0 +1,50 @@
+(* Stencil pipelines: the workloads the paper's introduction motivates.
+   Shows how time skewing makes time tiling legal on the imperfectly nested
+   1-d Jacobi, and how the tile-space wavefront (Algorithm 2) turns the
+   skewed band into coarse-grained parallelism.
+
+   Run with:  dune exec examples/stencil_pipeline.exe *)
+
+let () =
+  let k = Kernels.jacobi_1d in
+  let program = Kernels.program k in
+  print_endline "== 1-d Jacobi (imperfectly nested) ==";
+  print_endline k.Kernels.source;
+  let deps = Deps.compute program in
+  Printf.printf "dependences (%d):\n" (List.length deps);
+  List.iter (fun d -> Format.printf "  %a@." Deps.pp d) deps;
+  let tr = Pluto.Auto.transform program deps in
+  Format.printf "@.%a@." Pluto.Auto.pp_transform tr;
+  print_endline
+    "The skew c2 = 2t+i (factor two!) is what makes rectangular tiling of\n\
+     the memory-efficient imperfectly nested form legal — the perfectly\n\
+     nested version would only need a skew of one (paper, 5.2).";
+  (* compare: no tiling / tiling / tiling + wavefront, on 1 and 4 cores *)
+  let build options = Driver.compile_with_transform ~options program deps tr in
+  let cases =
+    [
+      ("original order", Baselines.original program);
+      ( "pluto untiled",
+        build { Driver.default_options with Driver.tile = false } );
+      ( "pluto tiled, sequential",
+        build { Driver.default_options with Driver.parallelize = false } );
+      ("pluto tiled + wavefront", build Driver.default_options);
+    ]
+  in
+  let params = Kernels.params_vector program [ ("T", 128); ("N", 8000) ] in
+  Printf.printf "\nsimulated GFLOPS at N=8000, T=128:\n";
+  Printf.printf "%-28s %10s %10s\n" "" "1 core" "4 cores";
+  List.iter
+    (fun (name, r) ->
+      let g c =
+        (Machine.simulate
+           { Machine.default_machine with Machine.ncores = c }
+           r.Driver.code ~params)
+          .Machine.gflops
+      in
+      Printf.printf "%-28s %10.3f %10.3f\n" name (g 1) (g 4))
+    cases;
+  print_endline
+    "\nNote how the untiled (or inner-parallel) versions barely speed up —\n\
+     the paper's point that one level of coarse-grained parallelism plus\n\
+     locality is what matters on multicores."

@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Array Codegen Deps Driver Ir List Pluto Printf String

@@ -1,0 +1,1 @@
+lib/baselines/feautrier.ml: Array Bigint Deps Driver Ir List Mat Milp Pluto Polyhedra Putil Vec

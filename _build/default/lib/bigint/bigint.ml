@@ -1,0 +1,352 @@
+(* Arbitrary-precision signed integers: sign-and-magnitude, magnitudes stored
+   little-endian in base 2^30.  Invariant: [mag] has no trailing zero limb and
+   [sign = 0] iff [mag] is empty.  Limb products fit in OCaml's 63-bit native
+   int (30 + 30 bits plus carries), so no wider arithmetic is needed. *)
+
+type t = { sign : int; mag : int array }
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+(* ---------- magnitude helpers (arrays of limbs, little-endian) ---------- *)
+
+let mag_normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let mag_cmp a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec loop i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else loop (i - 1)
+    in
+    loop (la - 1)
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + Stdlib.max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  mag_normalize r
+
+(* precondition: a >= b *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  mag_normalize r
+
+let mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        for j = 0 to lb - 1 do
+          let v = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- v land base_mask;
+          carry := v lsr base_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let v = r.(!k) + !carry in
+          r.(!k) <- v land base_mask;
+          carry := v lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    mag_normalize r
+  end
+
+(* Short division by a single positive limb; returns (quotient, remainder). *)
+let mag_divmod_limb a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (mag_normalize q, !r)
+
+(* Binary long division for multi-limb divisors: scan the dividend's bits
+   from most to least significant, maintaining remainder [r] < divisor. *)
+let mag_divmod a b =
+  let c = mag_cmp a b in
+  if c < 0 then ([||], a)
+  else if Array.length b = 1 then begin
+    let q, r = mag_divmod_limb a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end
+  else begin
+    let la = Array.length a in
+    let nbits = la * base_bits in
+    let q = Array.make la 0 in
+    (* remainder scratch: at most length of b + 1 limbs *)
+    let lr = Array.length b + 1 in
+    let r = Array.make lr 0 in
+    let rlen = ref 0 in
+    (* r := 2*r + bit, in place *)
+    let shift_in bit =
+      let carry = ref bit in
+      for i = 0 to !rlen - 1 do
+        let v = (r.(i) lsl 1) lor !carry in
+        r.(i) <- v land base_mask;
+        carry := v lsr base_bits
+      done;
+      if !carry <> 0 then begin
+        r.(!rlen) <- !carry;
+        incr rlen
+      end
+    in
+    let r_ge_b () =
+      let lb = Array.length b in
+      if !rlen <> lb then !rlen > lb
+      else
+        let rec loop i =
+          if i < 0 then true
+          else if r.(i) <> b.(i) then r.(i) > b.(i)
+          else loop (i - 1)
+        in
+        loop (lb - 1)
+    in
+    let r_sub_b () =
+      let lb = Array.length b in
+      let borrow = ref 0 in
+      for i = 0 to !rlen - 1 do
+        let d = r.(i) - (if i < lb then b.(i) else 0) - !borrow in
+        if d < 0 then begin
+          r.(i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          r.(i) <- d;
+          borrow := 0
+        end
+      done;
+      while !rlen > 0 && r.(!rlen - 1) = 0 do
+        decr rlen
+      done
+    in
+    for bit = nbits - 1 downto 0 do
+      let limb = bit / base_bits and off = bit mod base_bits in
+      shift_in ((a.(limb) lsr off) land 1);
+      if r_ge_b () then begin
+        r_sub_b ();
+        q.(limb) <- q.(limb) lor (1 lsl off)
+      end
+    done;
+    (mag_normalize q, mag_normalize (Array.sub r 0 !rlen))
+  end
+
+(* ------------------------------ public API ------------------------------ *)
+
+let zero = { sign = 0; mag = [||] }
+let one = { sign = 1; mag = [| 1 |] }
+let minus_one = { sign = -1; mag = [| 1 |] }
+
+let make sign mag = if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    (* Careful with min_int: abs min_int overflows, so peel limbs using
+       arithmetic that stays within the negative range. *)
+    if n = Stdlib.min_int then begin
+      let rec limbs v acc =
+        if v = 0 then List.rev acc
+        else limbs (-((-v) lsr base_bits)) ((-v land base_mask) :: acc)
+      in
+      make sign (Array.of_list (limbs n []))
+    end
+    else begin
+      let v = ref (abs n) in
+      let acc = ref [] in
+      while !v <> 0 do
+        acc := (!v land base_mask) :: !acc;
+        v := !v lsr base_bits
+      done;
+      make sign (Array.of_list (List.rev !acc))
+    end
+  end
+
+let to_int_opt t =
+  let n = Array.length t.mag in
+  if n = 0 then Some 0
+  else if n > 3 then None
+  else begin
+    (* max_int has 62 bits = 2 limbs + 2 bits *)
+    let rec value i acc =
+      if i < 0 then Some acc
+      else if acc > (Stdlib.max_int - t.mag.(i)) lsr base_bits then None
+      else value (i - 1) ((acc lsl base_bits) lor t.mag.(i))
+    in
+    match value (n - 1) 0 with
+    | None -> None
+    | Some v -> Some (if t.sign < 0 then -v else v)
+  end
+
+let to_int t =
+  match to_int_opt t with
+  | Some v -> v
+  | None -> failwith "Bigint.to_int: value does not fit in a native int"
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+let is_one t = t.sign = 1 && Array.length t.mag = 1 && t.mag.(0) = 1
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then mag_cmp a.mag b.mag
+  else mag_cmp b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let hash t = Hashtbl.hash (t.sign, t.mag)
+
+let neg t = make (-t.sign) t.mag
+let abs t = make (Stdlib.abs t.sign) t.mag
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (mag_add a.mag b.mag)
+  else begin
+    let c = mag_cmp a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (mag_sub a.mag b.mag)
+    else make b.sign (mag_sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mag_mul a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else begin
+    let qm, rm = mag_divmod a.mag b.mag in
+    (make (a.sign * b.sign) qm, make a.sign rm)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let fdiv a b =
+  let q, r = divmod a b in
+  if r.sign <> 0 && r.sign <> b.sign then sub q one else q
+
+let fmod a b =
+  let r = rem a b in
+  if r.sign <> 0 && r.sign <> b.sign then add r b else r
+
+let cdiv a b =
+  let q, r = divmod a b in
+  if r.sign <> 0 && r.sign = b.sign then add q one else q
+
+let rec gcd a b = if b.sign = 0 then abs a else gcd b (rem a b)
+
+let lcm a b =
+  if a.sign = 0 || b.sign = 0 then zero else abs (div (mul a b) (gcd a b))
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let mul_int t n = mul t (of_int n)
+let add_int t n = add t (of_int n)
+
+let pow t n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (mul acc b) (mul b b) (n lsr 1)
+    else go acc (mul b b) (n lsr 1)
+  in
+  go one t n
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let chunks = ref [] in
+    let m = ref t.mag in
+    while Array.length !m > 0 do
+      let q, r = mag_divmod_limb !m 1_000_000_000 in
+      chunks := r :: !chunks;
+      m := q
+    done;
+    let buf = Buffer.create 16 in
+    if t.sign < 0 then Buffer.add_char buf '-';
+    (match !chunks with
+    | [] -> assert false
+    | first :: rest ->
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty string";
+  let negative = s.[0] = '-' in
+  let start = if negative || s.[0] = '+' then 1 else 0 in
+  if start >= n then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let ten = of_int 10 in
+  for i = start to n - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit";
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if negative then neg !acc else !acc
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Ops = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( <> ) a b = not (equal a b)
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+  let ( ! ) = of_int
+end

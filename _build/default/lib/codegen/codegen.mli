@@ -1,0 +1,85 @@
+(** Polyhedra scanning under statement-wise scattering functions — the
+    repository's CLooG substitute — plus the OpenMP C emitter.
+
+    Given a {!Pluto.Types.target} (per-statement extended domains and
+    scattering rows), produces a loop AST that visits every statement instance
+    exactly once, in the lexicographic order of its scattering vector:
+
+    - each scattering level becomes a loop whose bounds come from exact
+      Fourier–Motzkin projection of the statement's extended polyhedron
+      (with LP-based redundancy pruning);
+    - scalar (static) levels separate statements into sequential groups;
+    - when several statements share a loop, the loop spans the union of their
+      ranges and per-statement affine guards select the right instances;
+    - statement instances are recovered from scattering values by inverting
+      the (full-rank) scattering; non-unimodular scatterings yield exact
+      divisions and modulo guards (CLooG's strides);
+    - loops marked parallel by the transformation carry an OpenMP annotation.
+
+    The same AST is consumed by the performance simulator ({!Machine}) and by
+    {!print_c}. *)
+
+(** Integer expressions over scattering variables and parameters.  [Affine]
+    rows have fixed width [nlevels + nparams + 1] (constant last). *)
+type iexpr =
+  | Affine of int array
+  | Floord of iexpr * int
+  | Ceild of iexpr * int
+  | Emin of iexpr list
+  | Emax of iexpr list
+
+type guard =
+  | Ge0 of int array  (** affine row >= 0, width [nlevels + nparams + 1] *)
+  | Mod0 of int array * int  (** affine row ≡ 0 (mod d) *)
+
+type ast =
+  | For of {
+      level : int;
+      parallel : bool;
+      lb : iexpr;
+      ub : iexpr;
+      body : ast list;
+    }
+  | Leaf of {
+      stmt_idx : int;  (** index into the target's statement list *)
+      guards : guard list;
+      args : (int array * int) array;
+          (** per extended iterator: (affine row, divisor) — the iterator's
+              value is row·(c, p, 1) / divisor (exact when guards hold) *)
+    }
+
+type t = {
+  target : Pluto.Types.target;
+  nlevels : int;
+  nparams : int;
+  body : ast list;
+}
+
+exception Codegen_error of string
+
+(** [generate target] scans the union of statement polyhedra under the target
+    scattering.  [context_min] (default 1) is the assumed lower bound on every
+    structure parameter (CLooG's context).
+    @raise Codegen_error on non-full-rank scatterings or unbounded loops. *)
+val generate : ?context_min:int -> Pluto.Types.target -> t
+
+(** [print_c fmt t] emits compilable C with OpenMP pragmas, [floord]/[ceild]/
+    [min]/[max] macros, array declarations and a [main] driver.  With
+    [instrument:true] the driver deterministically initializes every array,
+    times the loop nest with [clock_gettime] and prints per-array position-
+    weighted checksums — the native-execution validation/benchmark mode used
+    by {!Runner}. *)
+val print_c : ?instrument:bool -> Format.formatter -> t -> unit
+
+(** [print_loop_nest fmt t] emits only the transformed loop nest (the part a
+    source-to-source tool would splice back). *)
+val print_loop_nest : Format.formatter -> t -> unit
+
+(** Count of AST nodes, for tests and reporting. *)
+val size : t -> int
+
+(** Internal entry points exposed for the test suite; not part of the stable
+    API. *)
+module For_tests : sig
+  val pp_iexpr : string array -> Format.formatter -> iexpr -> unit
+end

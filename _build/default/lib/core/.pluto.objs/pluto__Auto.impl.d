@@ -1,0 +1,1 @@
+lib/core/auto.ml: Array Bigint Ddg Deps Farkas Format Hashtbl Ir List Mat Milp Option Polyhedra Printf Putil Types Vec

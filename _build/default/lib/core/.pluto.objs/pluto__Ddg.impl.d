@@ -1,0 +1,1 @@
+lib/core/ddg.ml: Array List

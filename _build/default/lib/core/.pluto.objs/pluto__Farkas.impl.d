@@ -1,0 +1,1 @@
+lib/core/farkas.ml: Array Bigint List Polyhedra Putil Vec

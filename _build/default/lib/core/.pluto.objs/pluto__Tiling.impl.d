@@ -1,0 +1,1 @@
+lib/core/tiling.ml: Array Bigint Float Hashtbl Ir List Polyhedra Printf Putil Types Vec

@@ -1,0 +1,1 @@
+lib/core/types.ml: Deps Hashtbl Ir Polyhedra Printf

@@ -1,0 +1,678 @@
+(** The Pluto automatic transformation algorithm (§3 of the paper).
+
+    Iteratively finds statement-wise affine hyperplanes by solving, at each
+    level, the ILP
+
+      lexmin (u, w, ..., c_S's, ...)
+
+    subject to (per dependence edge) the tiling legality constraints (2) and
+    the communication-volume bounding constraints (4), both turned into
+    constraints purely over the transformation coefficients via the affine
+    Farkas lemma, plus per-statement linear-independence constraints (eq. 6)
+    and the non-trivial-solution constraint Σ cᵢ >= 1 (§4.2).
+
+    When no hyperplane exists, the DDG restricted to unsatisfied dependences
+    is cut between strongly connected components (adding a scalar dimension:
+    loop distribution) or, failing that, satisfied dependences are dismissed
+    and a new band of permutable loops is started. *)
+
+open Types
+
+type config = {
+  coeff_bound : int;  (** upper bound for iterator coefficients (default 4) *)
+  shift_bound : int;  (** upper bound for the constant coefficient c₀ *)
+  u_bound : int;  (** upper bound for each component of [u] *)
+  w_bound : int;  (** upper bound for [w] *)
+  ctx : int;  (** parameter value for satisfaction tests *)
+  input_deps : bool;  (** include read-read dependences in the bounding *)
+  use_cost_bound : bool;
+      (** apply the communication-volume bounding objective (4); disabling it
+          leaves a legality-only search (an ablation of the paper's central
+          design choice) *)
+}
+
+let default_config =
+  {
+    coeff_bound = 4;
+    shift_bound = 10;
+    u_bound = 20;
+    w_bound = 1000;
+    ctx = 100;
+    input_deps = true;
+    use_cost_bound = true;
+  }
+
+(* ------------------------- per-dependence caches ------------------------- *)
+
+type dep_state = {
+  dep : Deps.t;
+  legality : Polyhedra.t option;  (* Farkas-eliminated, over the ILP vars *)
+  bounding : Polyhedra.t;  (* v(p) - δ >= 0 (and + for input deps) *)
+  mutable satisfied : int option;  (* level *)
+  mutable dismissed : bool;  (* dropped when a previous band completed *)
+}
+
+(* ILP variable layout: the legality bound (u, w) at columns 0..np, a second
+   bound (u', w') for input-dependence distances at columns np+1..2np+1 (a
+   locality tie-breaker minimized after (u, w); see DESIGN.md), then per
+   statement the iterator coefficients and the constant. *)
+type layout = {
+  nilp : int;
+  np : int;  (* u at 0..np-1, w at np; u' at np+1..2np, w' at 2np+1 *)
+  stmt_off : int array;  (* per statement id: first iterator coefficient *)
+  stmt_depth : int array;
+}
+
+let make_layout (p : Ir.program) =
+  let np = Ir.nparams p in
+  let n = List.length p.Ir.stmts in
+  let stmt_off = Array.make n 0 in
+  let stmt_depth = Array.make n 0 in
+  let off = ref (2 * (np + 1)) in
+  List.iter
+    (fun s ->
+      let id = s.Ir.id in
+      stmt_off.(id) <- !off;
+      stmt_depth.(id) <- Ir.depth s;
+      off := !off + Ir.depth s + 1)
+    p.Ir.stmts;
+  { nilp = !off; np; stmt_off; stmt_depth }
+
+(* The symbolic affine form δ(s,t) = φ_dst(t) - φ_src(s) over a dependence's
+   variables; coefficients are rows over the ILP variables. *)
+let delta_form lay (d : Deps.t) : Farkas.symbolic_form =
+  let ms = Ir.depth d.Deps.src and mt = Ir.depth d.Deps.dst in
+  let np = lay.np in
+  let width = ms + mt + np + 1 in
+  let form = Array.init width (fun _ -> Array.make (lay.nilp + 1) 0) in
+  let off_s = lay.stmt_off.(d.Deps.src.Ir.id) in
+  let off_t = lay.stmt_off.(d.Deps.dst.Ir.id) in
+  for j = 0 to ms - 1 do
+    form.(j).(off_s + j) <- form.(j).(off_s + j) - 1
+  done;
+  for j = 0 to mt - 1 do
+    form.(ms + j).(off_t + j) <- form.(ms + j).(off_t + j) + 1
+  done;
+  (* parameters carry no transformation coefficients (eq. 1) *)
+  form.(width - 1).(off_t + mt) <- form.(width - 1).(off_t + mt) + 1;
+  form.(width - 1).(off_s + ms) <- form.(width - 1).(off_s + ms) - 1;
+  form
+
+(* v(p) ± δ as a symbolic form: v(p) = u·p + w places u on the dependence
+   polyhedron's parameter columns and w on the constant.  [which] selects the
+   primary bound (legality dependences) or the secondary one (input
+   dependences). *)
+let bound_form lay (d : Deps.t) ~sign ~which : Farkas.symbolic_form =
+  let ms = Ir.depth d.Deps.src and mt = Ir.depth d.Deps.dst in
+  let np = lay.np in
+  let base = match which with `Primary -> 0 | `Secondary -> np + 1 in
+  let width = ms + mt + np + 1 in
+  let delta = delta_form lay d in
+  let form =
+    Array.mapi (fun _ row -> Array.map (fun c -> sign * c) row) delta
+  in
+  for j = 0 to np - 1 do
+    form.(ms + mt + j).(base + j) <- form.(ms + mt + j).(base + j) + 1
+  done;
+  form.(width - 1).(base + np) <- form.(width - 1).(base + np) + 1;
+  form
+
+let dep_state lay (d : Deps.t) =
+  let legality =
+    if Deps.is_legality d then
+      Some (Farkas.constraints ~nilp:lay.nilp ~form:(delta_form lay d) ~poly:d.Deps.poly)
+    else None
+  in
+  let bounding =
+    if Deps.is_legality d then
+      Farkas.constraints ~nilp:lay.nilp
+        ~form:(bound_form lay d ~sign:(-1) ~which:`Primary)
+        ~poly:d.Deps.poly
+    else begin
+      (* Input dependences are bounded from both sides (§4.1) by the shared
+         bound (u, w) exactly as in the paper, and additionally by the
+         secondary bound (u', w'), which is minimized after (u, w) and breaks
+         ties in favour of smaller reuse distances (the refinement that makes
+         the MVT fusion of §7 deterministic; see DESIGN.md). *)
+      let bound which sign =
+        Farkas.constraints ~nilp:lay.nilp
+          ~form:(bound_form lay d ~sign ~which)
+          ~poly:d.Deps.poly
+      in
+      Polyhedra.meet
+        (Polyhedra.meet (bound `Primary (-1)) (bound `Primary 1))
+        (Polyhedra.meet (bound `Secondary (-1)) (bound `Secondary 1))
+    end
+  in
+  { dep = d; legality; bounding; satisfied = None; dismissed = false }
+
+(* --------------------- concrete satisfaction checks ---------------------- *)
+
+(* Fix the trailing [np] parameter columns of a dependence polyhedron. *)
+let fix_params ~np ~ctx (poly : Polyhedra.t) =
+  let nv = poly.Polyhedra.nvars in
+  let fix =
+    List.map
+      (fun j ->
+        let r = Vec.zero (nv + 1) in
+        r.(nv - np + j) <- Bigint.one;
+        r.(nv) <- Bigint.of_int (-ctx);
+        Polyhedra.eq r)
+      (Putil.range np)
+  in
+  Polyhedra.meet poly (Polyhedra.of_constrs nv fix)
+
+let nonempty_int ~np ~ctx poly =
+  let sys = fix_params ~np ~ctx poly in
+  if Polyhedra.is_empty_rational sys then false
+  else Option.is_some (Milp.feasible sys)
+
+(* δ >= 1 everywhere on the dependence polyhedron (with params = ctx)? *)
+let delta_always_ge1 ~np ~ctx (d : Deps.t) (delta : Vec.t) =
+  let nv = d.Deps.poly.Polyhedra.nvars in
+  let le0 = Vec.neg delta in
+  (* δ <= 0  ==  -δ >= 0 *)
+  let bad = Polyhedra.add d.Deps.poly (Polyhedra.ge le0) in
+  ignore nv;
+  not (nonempty_int ~np ~ctx bad)
+
+(* Does δ take a non-zero value anywhere on the polyhedron? *)
+let delta_has_component ~np ~ctx (d : Deps.t) (delta : Vec.t) =
+  let width = Array.length delta in
+  let plus =
+    (* δ >= 1 *)
+    let r = Vec.copy delta in
+    r.(width - 1) <- Bigint.sub r.(width - 1) Bigint.one;
+    Polyhedra.add d.Deps.poly (Polyhedra.ge r)
+  in
+  let minus =
+    (* δ <= -1 *)
+    let r = Vec.neg delta in
+    r.(width - 1) <- Bigint.sub r.(width - 1) Bigint.one;
+    Polyhedra.add d.Deps.poly (Polyhedra.ge r)
+  in
+  nonempty_int ~np ~ctx plus || nonempty_int ~np ~ctx minus
+
+(* ------------------------------ main search ------------------------------ *)
+
+exception No_transform of string
+
+let bounds_constraints cfg lay =
+  let n = lay.nilp in
+  let ub j b =
+    let r = Vec.zero (n + 1) in
+    r.(j) <- Bigint.minus_one;
+    r.(n) <- Bigint.of_int b;
+    Polyhedra.ge r
+  in
+  let cs = ref [] in
+  for j = 0 to lay.np - 1 do
+    cs := ub j cfg.u_bound :: ub (lay.np + 1 + j) cfg.u_bound :: !cs
+  done;
+  cs := ub lay.np cfg.w_bound :: ub ((2 * lay.np) + 1) cfg.w_bound :: !cs;
+  Array.iteri
+    (fun id off ->
+      for j = 0 to lay.stmt_depth.(id) - 1 do
+        cs := ub (off + j) cfg.coeff_bound :: !cs
+      done;
+      cs := ub (off + lay.stmt_depth.(id)) cfg.shift_bound :: !cs)
+    lay.stmt_off;
+  Polyhedra.of_constrs n !cs
+
+(* Linear independence (eq. 6): for each statement with previously found
+   rows H, require every row r of the integer orthogonal complement to give
+   r·c >= 0, and their sum >= 1.  For statements with no rows yet this
+   degenerates to Σ cᵢ >= 1 over e_i, i.e. the trivial-solution avoidance.
+   Statements already at full rank get no constraint (their row may be
+   anything, including zero). *)
+let independence_constraints lay (hmats : int array list array) =
+  let n = lay.nilp in
+  let cs = ref [] in
+  Array.iteri
+    (fun id rows ->
+      let m = lay.stmt_depth.(id) in
+      if m > 0 then begin
+        let h =
+          Mat.of_int_rows
+            (Array.of_list (List.map (fun r -> Array.sub r 0 m) rows))
+        in
+        let ortho =
+          if rows = [] then
+            List.map
+              (fun i -> Vec.init m (fun j -> if i = j then Bigint.one else Bigint.zero))
+              (Putil.range m)
+          else if Mat.rank h = m then []
+          else Mat.orthogonal_complement h
+        in
+        if ortho <> [] then begin
+          let off = lay.stmt_off.(id) in
+          let sum = Vec.zero (n + 1) in
+          List.iter
+            (fun (row : Vec.t) ->
+              let r = Vec.zero (n + 1) in
+              for j = 0 to m - 1 do
+                r.(off + j) <- row.(j);
+                sum.(off + j) <- Bigint.add sum.(off + j) row.(j)
+              done;
+              cs := Polyhedra.ge r :: !cs)
+            ortho;
+          sum.(n) <- Bigint.minus_one;
+          cs := Polyhedra.ge sum :: !cs
+        end
+      end)
+    hmats;
+  Polyhedra.of_constrs n !cs
+
+let lexmin_priority lay =
+  (* u, w first; then per statement the iterator coefficients innermost-first
+     (preferring hyperplanes over outer iterators), constant last *)
+  let order = ref [] in
+  Array.iteri
+    (fun id off ->
+      let m = lay.stmt_depth.(id) in
+      let stmt_order = List.rev (List.init m (fun j -> off + j)) @ [ off + m ] in
+      order := !order @ stmt_order)
+    lay.stmt_off;
+  List.init (2 * (lay.np + 1)) (fun j -> j) @ !order
+
+(* Extract per-statement rows (iterator coefficients + constant) from an ILP
+   solution. *)
+let rows_of_solution lay (x : Bigint.t array) =
+  Array.mapi
+    (fun id off ->
+      let m = lay.stmt_depth.(id) in
+      Array.init (m + 1) (fun j -> Bigint.to_int x.(off + j)))
+    lay.stmt_off
+
+let find_hyperplane cfg lay (states : dep_state list) hmats =
+  let base = bounds_constraints cfg lay in
+  let sys =
+    List.fold_left
+      (fun sys st ->
+        if st.dismissed then sys
+        else begin
+          let sys =
+            match st.legality with
+            | Some l -> Polyhedra.meet sys l
+            | None -> sys
+          in
+          if cfg.use_cost_bound && st.satisfied = None then
+            Polyhedra.meet sys st.bounding
+          else sys
+        end)
+      base states
+  in
+  let sys = Polyhedra.meet sys (independence_constraints lay hmats) in
+  (* the per-dependence systems overlap heavily; dedup before the ILP *)
+  let sys =
+    match Polyhedra.simplify ~integer:true sys with
+    | Some s -> s
+    | None -> sys (* contradictory: let the ILP report infeasible *)
+  in
+  match Milp.lexmin_order ~nonneg:true sys (lexmin_priority lay) with
+  | None -> None
+  | Some x -> Some (rows_of_solution lay x)
+
+(* Number of linearly independent rows found so far for statement [id]. *)
+let stmt_rank lay hmats id =
+  let m = lay.stmt_depth.(id) in
+  if m = 0 then 0
+  else
+    let rows = hmats.(id) in
+    if rows = [] then 0
+    else
+      Mat.rank
+        (Mat.of_int_rows (Array.of_list (List.map (fun r -> Array.sub r 0 m) rows)))
+
+let transform ?(config = default_config) (p : Ir.program) (deps : Deps.t list) =
+  let deps =
+    if config.input_deps then deps
+    else List.filter Deps.is_legality deps
+  in
+  let lay = make_layout p in
+  let nstmts = List.length p.Ir.stmts in
+  List.iteri
+    (fun i s ->
+      if s.Ir.id <> i then invalid_arg "Auto.transform: statement ids not sequential")
+    p.Ir.stmts;
+  let states = List.map (dep_state lay) deps in
+  let hmats : int array list array = Array.make nstmts [] in
+  let all_rows : int array array list ref = ref [] in
+  let kinds = ref [] in
+  let satisfied_at = Hashtbl.create 16 in
+  let band = ref 0 in
+  let level = ref 0 in
+  let np = lay.np and ctx = config.ctx in
+  let full_rank () =
+    List.for_all (fun s -> stmt_rank lay hmats s.Ir.id >= Ir.depth s) p.Ir.stmts
+  in
+  let live_legality () =
+    List.filter
+      (fun st -> Deps.is_legality st.dep && st.satisfied = None)
+      states
+  in
+  let mark_satisfaction rows =
+    (* concrete δ per dependence; record first level at which min δ >= 1 *)
+    List.iter
+      (fun st ->
+        if Deps.is_legality st.dep && st.satisfied = None then begin
+          let d = st.dep in
+          let row_s = rows.(d.Deps.src.Ir.id) in
+          let row_t = rows.(d.Deps.dst.Ir.id) in
+          let delta = Deps.satisfaction_row p d row_s row_t in
+          if delta_always_ge1 ~np ~ctx d delta then begin
+            st.satisfied <- Some !level;
+            Hashtbl.replace satisfied_at d.Deps.id !level
+          end
+        end)
+      states
+  in
+  let level_parallel rows =
+    (* the level is parallel iff no live legality dependence has a non-zero
+       component along it *)
+    List.for_all
+      (fun st ->
+        (not (Deps.is_legality st.dep))
+        || st.dismissed
+        || (match st.satisfied with Some l when l < !level -> true | _ -> false)
+        ||
+        let d = st.dep in
+        let delta =
+          Deps.satisfaction_row p d rows.(d.Deps.src.Ir.id) rows.(d.Deps.dst.Ir.id)
+        in
+        not (delta_has_component ~np ~ctx d delta))
+      states
+  in
+  let add_scalar_cut comp =
+    let rows =
+      Array.init nstmts (fun id ->
+          let m = lay.stmt_depth.(id) in
+          Array.init (m + 1) (fun j -> if j = m then comp.(id) else 0))
+    in
+    all_rows := rows :: !all_rows;
+    kinds := Scalar :: !kinds;
+    (* mark cross-component dependences satisfied *)
+    List.iter
+      (fun st ->
+        if Deps.is_legality st.dep && st.satisfied = None then begin
+          let cs = comp.(st.dep.Deps.src.Ir.id)
+          and cd = comp.(st.dep.Deps.dst.Ir.id) in
+          if cd > cs then begin
+            st.satisfied <- Some !level;
+            Hashtbl.replace satisfied_at st.dep.Deps.id !level
+          end
+        end)
+      states;
+    incr level;
+    incr band
+    (* a scalar dimension ends the current permutable band *)
+  in
+  (* Does the dependence still have a pair at distance zero on ALL levels
+     found so far?  (If not, every pair already has a strictly positive
+     leading component: the dependence is weakly satisfied.) *)
+  let weakly_unordered st =
+    let d = st.dep in
+    let current_rows = List.rev !all_rows in
+    let zero_eqs =
+      List.map
+        (fun lv ->
+          let delta =
+            Deps.satisfaction_row p d lv.(d.Deps.src.Ir.id) lv.(d.Deps.dst.Ir.id)
+          in
+          Polyhedra.eq delta)
+        current_rows
+    in
+    let sys =
+      Polyhedra.meet d.Deps.poly
+        (Polyhedra.of_constrs d.Deps.poly.Polyhedra.nvars zero_eqs)
+    in
+    nonempty_int ~np ~ctx sys
+  in
+  let stuck_reason = ref "" in
+  let progress = ref true in
+  while
+    !progress
+    && ((not (full_rank ())) || live_legality () <> [])
+    && !level < 2 * (Putil.list_max (List.map (fun s -> Ir.depth s) p.Ir.stmts) + nstmts + 2)
+  do
+    match find_hyperplane config lay states hmats with
+    | Some rows when Array.exists (fun (r : int array) ->
+          Array.exists (fun c -> c <> 0) r) rows ->
+        (* accept; a statement at full rank may legitimately get a zero row *)
+        all_rows := rows :: !all_rows;
+        Array.iteri
+          (fun id r ->
+            if stmt_rank lay hmats id < lay.stmt_depth.(id) then
+              hmats.(id) <- hmats.(id) @ [ r ])
+          rows;
+        mark_satisfaction rows;
+        let parallel = level_parallel rows in
+        kinds := Loop { band = !band; parallel } :: !kinds;
+        incr level
+    | Some _ | None -> (
+        (* cut between SCCs of the unsatisfied-dependence graph, if useful *)
+        let live = live_legality () in
+        let edges =
+          List.map (fun st -> (st.dep.Deps.src.Ir.id, st.dep.Deps.dst.Ir.id)) live
+        in
+        let comp, ncomp = Ddg.sccs ~nstmts edges in
+        let cross =
+          List.exists
+            (fun st ->
+              comp.(st.dep.Deps.src.Ir.id) <> comp.(st.dep.Deps.dst.Ir.id))
+            live
+        in
+        if ncomp > 1 && cross then add_scalar_cut comp
+        else begin
+          (* start a new band: dismiss satisfied dependences *)
+          let dismissed_any = ref false in
+          List.iter
+            (fun st ->
+              if (not st.dismissed) && st.satisfied <> None then begin
+                st.dismissed <- true;
+                dismissed_any := true
+              end)
+            states;
+          if not !dismissed_any then begin
+            (* Weak-satisfaction fallback: a live dependence whose pairs all
+               have a strictly positive component at some previous level is
+               already correctly ordered by the prefix (δ >= 0 held at every
+               level it lived through), even though no single level
+               dominates it; such dependences can never be strongly
+               satisfied under non-negative coefficients (e.g. permuted
+               self-dependences), so dismiss them to unblock the search. *)
+            List.iter
+              (fun st ->
+                if
+                  (not st.dismissed) && st.satisfied = None
+                  && Deps.is_legality st.dep
+                  && not (weakly_unordered st)
+                then begin
+                  st.dismissed <- true;
+                  (* weakly satisfied: ordered by the whole prefix; not
+                     recorded in [satisfied_at], which lists only strong
+                     (single-level) satisfaction *)
+                  st.satisfied <- Some (max 0 (!level - 1));
+                  dismissed_any := true
+                end)
+              states
+          end;
+          if !dismissed_any then incr band
+          else begin
+            progress := false;
+            stuck_reason :=
+              Printf.sprintf
+                "no hyperplane, no useful cut, nothing to dismiss (level %d, %d live deps)"
+                !level (List.length live)
+          end
+        end)
+  done;
+  if (not (full_rank ())) && !progress = false then
+    raise (No_transform !stuck_reason);
+  (* Live dependences at this point have δ >= 0 at every level (they were
+     never dismissed).  Pairs with a strictly positive component at some
+     level are correctly ordered; only pairs with δ = 0 at ALL levels still
+     need ordering — by a trailing scalar dimension reflecting a topological
+     order of the statements they relate. *)
+  let residual = List.filter weakly_unordered (live_legality ()) in
+  if residual <> [] then begin
+    let edges =
+      List.map
+        (fun st -> (st.dep.Deps.src.Ir.id, st.dep.Deps.dst.Ir.id))
+        residual
+    in
+    let comp, ncomp = Ddg.sccs ~nstmts edges in
+    if ncomp > 1 then add_scalar_cut comp
+    else if nstmts > 1 then
+      raise (No_transform "cyclic unsatisfied dependences at full rank")
+  end;
+  let kinds = Array.of_list (List.rev !kinds) in
+  let levels = List.rev !all_rows in
+  let nlevels = List.length levels in
+  let rows =
+    Array.init nstmts (fun id ->
+        Array.of_list (List.map (fun lv -> lv.(id)) levels))
+  in
+  ignore !band;
+  { program = p; deps; nlevels; kinds; rows; satisfied_at }
+
+(* ------------------------------- printing ------------------------------- *)
+
+let pp_transform fmt (t : transform) =
+  Format.fprintf fmt "@[<v>transform: %d levels@," t.nlevels;
+  Array.iteri
+    (fun l k -> Format.fprintf fmt "  level %d: %s@," l (level_kind_name k))
+    t.kinds;
+  List.iter
+    (fun s ->
+      let names =
+        Array.of_list (s.Ir.iters @ [ "1" ])
+      in
+      ignore names;
+      Format.fprintf fmt "  %s:@," s.Ir.name;
+      Array.iteri
+        (fun l row ->
+          let iter_names = Array.of_list s.Ir.iters in
+          Format.fprintf fmt "    c%d = %a@," (l + 1)
+            (Ir.pp_affine_row iter_names) row)
+        t.rows.(s.Ir.id))
+    t.program.Ir.stmts;
+  Format.fprintf fmt "@]"
+
+(* ---------------- annotation of externally supplied transforms ----------- *)
+
+(** [annotate p deps ~rows ~scalar] rebuilds satisfaction bookkeeping and
+    parallelism flags for a transformation supplied from outside (the
+    identity transformation, or a baseline scheme such as Lim/Lam affine
+    partitioning or a Feautrier schedule).  [rows.(stmt_id)] are the
+    statement's scattering rows (width depth+1); [scalar.(l)] marks static
+    levels.  Band structure: consecutive non-scalar levels form one band per
+    maximal run (callers can re-band afterwards if they know better). *)
+let annotate ?(config = default_config) (p : Ir.program) (deps : Deps.t list)
+    ~(rows : int array array array) ~(scalar : bool array) : transform =
+  let nlevels = Array.length scalar in
+  let np = Ir.nparams p and ctx = config.ctx in
+  let legality = List.filter Deps.is_legality deps in
+  let satisfied_at = Hashtbl.create 16 in
+  let live = Hashtbl.create 16 in
+  List.iter (fun d -> Hashtbl.replace live d.Deps.id d) legality;
+  let kinds = Array.make nlevels Scalar in
+  let band = ref 0 in
+  let prev_scalar = ref false in
+  for l = 0 to nlevels - 1 do
+    if scalar.(l) then begin
+      (* scalar level: satisfies deps whose constant difference is >= 1 *)
+      Hashtbl.iter
+        (fun id d ->
+          let rs = rows.(d.Deps.src.Ir.id).(l) in
+          let rt = rows.(d.Deps.dst.Ir.id).(l) in
+          let cs = rs.(Array.length rs - 1) and ct = rt.(Array.length rt - 1) in
+          if ct > cs then begin
+            Hashtbl.replace satisfied_at id l;
+            Hashtbl.remove live id
+          end)
+        (Hashtbl.copy live);
+      kinds.(l) <- Scalar;
+      prev_scalar := true
+    end
+    else begin
+      if !prev_scalar then incr band;
+      prev_scalar := false;
+      let newly = ref [] in
+      Hashtbl.iter
+        (fun id d ->
+          let delta =
+            Deps.satisfaction_row p d
+              rows.(d.Deps.src.Ir.id).(l)
+              rows.(d.Deps.dst.Ir.id).(l)
+          in
+          if delta_always_ge1 ~np ~ctx d delta then newly := (id, d) :: !newly)
+        live;
+      List.iter
+        (fun (id, _) ->
+          Hashtbl.replace satisfied_at id l;
+          Hashtbl.remove live id)
+        !newly;
+      (* parallel iff no dependence live at entry to this level (including
+         those satisfied exactly here) has a component along it *)
+      let parallel =
+        !newly = []
+        && Hashtbl.fold
+             (fun _ d acc ->
+               acc
+               &&
+               let delta =
+                 Deps.satisfaction_row p d
+                   rows.(d.Deps.src.Ir.id).(l)
+                   rows.(d.Deps.dst.Ir.id).(l)
+               in
+               not (delta_has_component ~np ~ctx d delta))
+             live true
+      in
+      kinds.(l) <- Loop { band = !band; parallel }
+    end
+  done;
+  {
+    program = p;
+    deps;
+    nlevels;
+    kinds;
+    rows;
+    satisfied_at;
+  }
+
+(** The identity (original-order) transformation: levels alternate the static
+    position and the loop iterators, i.e. the classic 2d+1 scattering.  Used
+    as the oracle order and as the "native compiler" baseline. *)
+let identity_transform ?config (p : Ir.program) (deps : Deps.t list) : transform =
+  let maxd = List.fold_left (fun a s -> max a (Ir.depth s)) 0 p.Ir.stmts in
+  let nlevels = (2 * maxd) + 1 in
+  let scalar = Array.init nlevels (fun l -> l mod 2 = 0) in
+  let rows =
+    Array.of_list
+      (List.map
+         (fun s ->
+           let m = Ir.depth s in
+           Array.init nlevels (fun l ->
+               let row = Array.make (m + 1) 0 in
+               if l mod 2 = 0 then begin
+                 let k = l / 2 in
+                 if k <= m then row.(m) <- s.Ir.static.(k)
+               end
+               else begin
+                 let k = l / 2 in
+                 if k < m then row.(k) <- 1
+               end;
+               row))
+         p.Ir.stmts)
+  in
+  annotate ?config p deps ~rows ~scalar
+
+(** Internal entry points exposed for profiling/tests. *)
+module For_tests = struct
+  type nonrec dep_state = dep_state
+
+  let dep_states p ds =
+    let lay = make_layout p in
+    List.map (dep_state lay) ds
+end

@@ -1,0 +1,58 @@
+(** Strongly connected components of the data dependence graph, used to cut
+    the transformed space between components when no further common
+    hyperplane exists (loop distribution / partial fusion). *)
+
+(** [sccs ~nstmts edges] computes SCCs of the directed graph over statement
+    ids [0..nstmts-1] with edge list [(src, dst)].  Returns an array mapping
+    each statement id to its component index, with components numbered in
+    topological order (every edge goes from a lower or equal component to a
+    higher or equal one). *)
+let sccs ~nstmts (edges : (int * int) list) =
+  let adj = Array.make nstmts [] in
+  List.iter
+    (fun (s, d) -> if s <> d then adj.(s) <- d :: adj.(s))
+    edges;
+  (* Tarjan's algorithm *)
+  let index = Array.make nstmts (-1) in
+  let lowlink = Array.make nstmts 0 in
+  let on_stack = Array.make nstmts false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comp = Array.make nstmts (-1) in
+  let ncomp = ref 0 in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      adj.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop () =
+        match !stack with
+        | [] -> assert false
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            comp.(w) <- !ncomp;
+            if w <> v then pop ()
+      in
+      pop ();
+      incr ncomp
+    end
+  in
+  for v = 0 to nstmts - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  (* Tarjan numbers components in reverse topological order; flip, then
+     renumber in a stable topological order. *)
+  let n = !ncomp in
+  let topo = Array.map (fun c -> n - 1 - c) comp in
+  (topo, n)

@@ -1,0 +1,10 @@
+(** Strongly connected components of the data dependence graph, used to cut
+    the transformed space between components when no further common
+    hyperplane exists (loop distribution / partial fusion, §3 of the
+    paper). *)
+
+(** [sccs ~nstmts edges] computes the SCCs of the directed graph over ids
+    [0..nstmts-1].  Returns [(comp, ncomp)] where [comp.(v)] is the
+    component of [v], components numbered in topological order: every edge
+    goes from a lower-or-equal to a higher-or-equal component. *)
+val sccs : nstmts:int -> (int * int) list -> int array * int

@@ -1,0 +1,72 @@
+(** Application of the affine form of the Farkas lemma (§3.2 of the paper).
+
+    Given a dependence polyhedron [P] over variables [x] and an affine form
+    [δ(x)] whose coefficients are themselves affine expressions in the ILP
+    decision variables (the unknown transformation coefficients, plus [u], [w]),
+    the requirement  [∀ x ∈ P. δ(x) >= 0]  is equivalent (for non-empty [P]) to
+
+      δ(x) ≡ λ₀ + Σₖ λₖ·Pₖ(x),   λ₀, λₖ >= 0 (λ free for equality faces)
+
+    Equating the coefficient of every [x]-variable and the constant yields
+    equalities linking the ILP variables and the multipliers; eliminating the
+    multipliers by Gaussian/Fourier–Motzkin elimination leaves a constraint
+    system purely in the ILP variables. *)
+
+(** An affine form over a dependence polyhedron's variables whose coefficients
+    are affine in the ILP variables: entry [j] (0..nvars) is a row of width
+    [nilp + 1] giving the coefficient of dependence variable [j] (the last
+    entry is the form's constant term). *)
+type symbolic_form = int array array
+
+(** [constraints ~nilp ~form ~poly] returns the Fourier–Motzkin-eliminated
+    system over the [nilp] ILP variables equivalent to
+    [∀ x ∈ poly. form(x) >= 0].
+    @raise Failure if elimination detects an inconsistency (empty [poly]). *)
+let constraints ~nilp ~(form : symbolic_form) ~(poly : Polyhedra.t) =
+  let nx = poly.Polyhedra.nvars in
+  if Array.length form <> nx + 1 then invalid_arg "Farkas.constraints: form width";
+  let faces = Array.of_list poly.Polyhedra.cs in
+  let nfaces = Array.length faces in
+  (* variable layout: [ilp vars (nilp); lambda_0; lambda_1..lambda_nfaces] *)
+  let nlam = 1 + nfaces in
+  let nv = nilp + nlam in
+  let cs = ref [] in
+  (* coefficient of dependence variable j:  form[j]·(ilp,1) - Σ λₖ aₖⱼ = 0 *)
+  for j = 0 to nx - 1 do
+    let row = Vec.zero (nv + 1) in
+    Array.iteri (fun v c -> row.(if v = nilp then nv else v) <- Bigint.of_int c) form.(j);
+    for k = 0 to nfaces - 1 do
+      row.(nilp + 1 + k) <- Bigint.neg faces.(k).Polyhedra.coefs.(j)
+    done;
+    cs := Polyhedra.eq row :: !cs
+  done;
+  (* constant term:  form[nx]·(ilp,1) - λ₀ - Σ λₖ bₖ = 0 *)
+  let row = Vec.zero (nv + 1) in
+  Array.iteri (fun v c -> row.(if v = nilp then nv else v) <- Bigint.of_int c) form.(nx);
+  row.(nilp) <- Bigint.minus_one;
+  for k = 0 to nfaces - 1 do
+    row.(nilp + 1 + k) <- Bigint.neg faces.(k).Polyhedra.coefs.(nx)
+  done;
+  cs := Polyhedra.eq row :: !cs;
+  (* multiplier signs: λ₀ >= 0 and λₖ >= 0 for inequality faces *)
+  let lam_ge k =
+    let row = Vec.zero (nv + 1) in
+    row.(nilp + k) <- Bigint.one;
+    Polyhedra.ge row
+  in
+  cs := lam_ge 0 :: !cs;
+  for k = 0 to nfaces - 1 do
+    if faces.(k).Polyhedra.kind = Polyhedra.Ge then cs := lam_ge (1 + k) :: !cs
+  done;
+  let sys = Polyhedra.of_constrs nv !cs in
+  match Polyhedra.eliminate_many sys (List.map (fun k -> nilp + k) (Putil.range nlam)) with
+  | None -> failwith "Farkas.constraints: multiplier elimination found the system empty"
+  | Some sys ->
+      let sys = Polyhedra.drop_vars sys ~at:nilp ~count:nlam in
+      (match Polyhedra.simplify ~integer:true sys with
+      | Some s -> s
+      | None ->
+          (* contradictory constraints on the ILP variables: represent as an
+             explicitly false system *)
+          Polyhedra.of_constrs nilp
+            [ Polyhedra.ge (Vec.of_int_list (List.init (nilp + 1) (fun j -> if j = nilp then -1 else 0))) ])

@@ -1,0 +1,403 @@
+(** Tiling of permutable bands under statement-wise transformations
+    (Algorithm 1 of the paper), wavefront extraction of pipelined parallelism
+    (Algorithm 2), and construction of the code-generator-facing target.
+
+    Tiling a band of width [k] adds, per statement, [k] supernode iterators
+    [zT] with the Ancourt–Irigoin-style shape constraints
+
+      τ_j·zT_j <= φ_j(i) + c0_j <= τ_j·zT_j + τ_j - 1
+
+    and prepends the scattering rows [φT_j = zT_j] directly above the band.
+    Theorem 1 of the paper guarantees all dependences remain forward in the
+    supernode dimensions, so the tile-space band is itself permutable; the
+    wavefront transformation φT¹ ← φT¹ + ... + φT^{m+1} then exposes [m]
+    degrees of coarse-grained (pipelined) parallelism. *)
+
+open Types
+
+(** A maximal run of [Loop] levels sharing a band id: [(start, len, parallel_levels)]. *)
+type band = { b_start : int; b_len : int }
+
+let bands_of (t : transform) =
+  let bands = ref [] in
+  let cur = ref None in
+  Array.iteri
+    (fun l k ->
+      match (k, !cur) with
+      | Loop { band = b; _ }, Some (b', start) when b = b' -> ignore (start, l)
+      | Loop { band = b; _ }, Some (b', start) when b <> b' ->
+          bands := { b_start = start; b_len = l - start } :: !bands;
+          cur := Some (b, l)
+      | Loop { band = b; _ }, None -> cur := Some (b, l)
+      | Scalar, Some (_, start) ->
+          bands := { b_start = start; b_len = l - start } :: !bands;
+          cur := None
+      | Scalar, None -> ()
+      | Loop _, Some _ -> assert false)
+    t.kinds;
+  (match !cur with
+  | Some (_, start) ->
+      bands := { b_start = start; b_len = Array.length t.kinds - start } :: !bands
+  | None -> ());
+  List.rev !bands
+
+(** [level_is_parallel t l] — reads the flag recorded by the search. *)
+let level_is_parallel (t : transform) l =
+  match t.kinds.(l) with Loop { parallel; _ } -> parallel | Scalar -> false
+
+(* --------------------------- target construction ------------------------- *)
+
+let untiled_target (t : transform) : target =
+  let tstmts =
+    List.map
+      (fun s ->
+        let m = Ir.depth s in
+        {
+          stmt = s;
+          ext_iters = Array.of_list s.Ir.iters;
+          ext_domain = s.Ir.domain;
+          trows =
+            Array.map Array.copy t.rows.(s.Ir.id)
+            |> Array.map (fun r ->
+                   if Array.length r <> m + 1 then
+                     invalid_arg "Tiling.untiled_target: row width"
+                   else r);
+        })
+      t.program.Ir.stmts
+  in
+  let tpar =
+    Array.mapi
+      (fun _l k ->
+        match k with
+        | Loop { parallel = true; _ } -> Par
+        | Loop _ | Scalar -> Seq)
+      t.kinds
+  in
+  {
+    tprogram = t.program;
+    tnlevels = t.nlevels;
+    tkinds = Array.copy t.kinds;
+    tpar;
+    tvec = Array.make t.nlevels false;
+    tstmts;
+  }
+
+(** Multi-level tiling (Algorithm 1, applied once per requested level —
+    "Tiling multiple times", 5.2 of the paper): [bands_sizes] maps each band
+    to a list of per-level size vectors, outermost first (e.g. L2 tiles then
+    L1 tiles).  Every size vector must have the band's width. *)
+let tile_levels (t : transform)
+    ~(bands_sizes : (band * int array list) list) : target =
+  List.iter
+    (fun (b, size_list) ->
+      if size_list = [] then invalid_arg "Tiling.tile_levels: no sizes";
+      List.iter
+        (fun sizes ->
+          if Array.length sizes <> b.b_len then
+            invalid_arg "Tiling.tile_levels: size vector does not match band width")
+        size_list)
+    bands_sizes;
+  let tiled_at l =
+    List.find_opt (fun (b, _) -> b.b_start = l) bands_sizes
+  in
+  (* global supernode layout: for each band (in order), for each tiling
+     level q (outermost first), for each band level j: one supernode *)
+  let super_index = Hashtbl.create 16 in
+  let n_super = ref 0 in
+  List.iter
+    (fun (b, size_list) ->
+      List.iteri
+        (fun q _ ->
+          for j = 0 to b.b_len - 1 do
+            Hashtbl.replace super_index (b.b_start, q, j) !n_super;
+            incr n_super
+          done)
+        size_list)
+    bands_sizes;
+  let n_super = !n_super in
+  let np = Ir.nparams t.program in
+  let tstmts =
+    List.map
+      (fun s ->
+        let m = Ir.depth s in
+        let rows = t.rows.(s.Ir.id) in
+        let ext_n = n_super + m in
+        let ext_iters =
+          Array.append
+            (Array.init n_super (fun i -> Printf.sprintf "zT%d" i))
+            (Array.of_list s.Ir.iters)
+        in
+        (* widen original domain: insert n_super leading columns *)
+        let ext_domain = Polyhedra.insert_vars s.Ir.domain ~at:0 ~count:n_super in
+        (* tile shape constraints per band, per tiling level *)
+        let shape =
+          List.concat_map
+            (fun (b, size_list) ->
+              Putil.concat_map_i
+                (fun q sizes ->
+                  List.concat_map
+                    (fun j ->
+                      let l = b.b_start + j in
+                      let tau = sizes.(j) in
+                      let z = Hashtbl.find super_index (b.b_start, q, j) in
+                      let row = rows.(l) in
+                      (* phi(i) + c0 - tau*z >= 0 *)
+                      let lo = Vec.zero (ext_n + np + 1) in
+                      for qq = 0 to m - 1 do
+                        lo.(n_super + qq) <- Bigint.of_int row.(qq)
+                      done;
+                      lo.(ext_n + np) <- Bigint.of_int row.(m);
+                      lo.(z) <- Bigint.of_int (-tau);
+                      (* tau*z + tau - 1 - phi(i) - c0 >= 0 *)
+                      let hi = Vec.neg lo in
+                      hi.(ext_n + np) <-
+                        Bigint.add hi.(ext_n + np) (Bigint.of_int (tau - 1));
+                      [ Polyhedra.ge lo; Polyhedra.ge hi ])
+                    (Putil.range b.b_len))
+                size_list)
+            bands_sizes
+        in
+        let ext_domain =
+          Polyhedra.meet ext_domain (Polyhedra.of_constrs (ext_n + np) shape)
+        in
+        let widen_row (r : int array) =
+          Array.init (ext_n + 1) (fun q ->
+              if q < n_super then 0
+              else if q < ext_n then r.(q - n_super)
+              else r.(m))
+        in
+        let super_row z =
+          Array.init (ext_n + 1) (fun q -> if q = z then 1 else 0)
+        in
+        let trows = ref [] in
+        Array.iteri
+          (fun l _k ->
+            (match tiled_at l with
+            | Some (b, size_list) ->
+                List.iteri
+                  (fun q _ ->
+                    for j = 0 to b.b_len - 1 do
+                      trows :=
+                        super_row (Hashtbl.find super_index (b.b_start, q, j))
+                        :: !trows
+                    done)
+                  size_list
+            | None -> ());
+            trows := widen_row rows.(l) :: !trows)
+          t.kinds;
+        {
+          stmt = s;
+          ext_iters;
+          ext_domain;
+          trows = Array.of_list (List.rev !trows);
+        })
+      t.program.Ir.stmts
+  in
+  (* level kinds / parallelism in target order *)
+  let tkinds = ref [] and tpar = ref [] in
+  Array.iteri
+    (fun l k ->
+      (match tiled_at l with
+      | Some (b, size_list) ->
+          List.iteri
+            (fun q _ ->
+              for j = 0 to b.b_len - 1 do
+                let pl = level_is_parallel t (b.b_start + j) in
+                tkinds :=
+                  Loop { band = 1000 + (10 * b.b_start) + q; parallel = pl }
+                  :: !tkinds;
+                tpar := Seq :: !tpar
+              done)
+            size_list
+      | None -> ());
+      tkinds := k :: !tkinds;
+      tpar :=
+        (match k with
+        | Loop { parallel = true; _ } -> Par
+        | Loop _ | Scalar -> Seq)
+        :: !tpar)
+    t.kinds;
+  {
+    tprogram = t.program;
+    tnlevels = List.length !tkinds;
+    tkinds = Array.of_list (List.rev !tkinds);
+    tpar = Array.of_list (List.rev !tpar);
+    tvec = Array.make (List.length !tkinds) false;
+    tstmts;
+  }
+
+(** Single-level tiling (the common case). *)
+let tile (t : transform) ~(bands_sizes : (band * int array) list) : target =
+  tile_levels t
+    ~bands_sizes:(List.map (fun (b, sizes) -> (b, [ sizes ])) bands_sizes)
+
+(** Offsets of a tiled band's outermost supernode levels in the target level
+    order ([nlevels_of] gives each band's tiling-level count; defaults 1). *)
+let target_band_levels_multi (t : transform)
+    ~(bands_sizes : (band * int array list) list) (b : band) =
+  let supers_before =
+    Putil.sum_by
+      (fun ((b' : band), size_list) ->
+        if b'.b_start < b.b_start then List.length size_list * b'.b_len else 0)
+      bands_sizes
+  in
+  ignore t;
+  List.init b.b_len (fun j -> supers_before + b.b_start + j)
+
+(** Offsets of a (single-level-)tiled band's supernode levels. *)
+let target_band_levels (t : transform)
+    ~(bands_sizes : (band * int array) list) (b : band) =
+  target_band_levels_multi t
+    ~bands_sizes:(List.map (fun (b, sizes) -> (b, [ sizes ])) bands_sizes)
+    b
+
+(** Algorithm 2: wavefront the [m+1] leading supernode levels of a tiled band
+    (given by their target-level indices [levels]).  The first level becomes
+    the sum of the first [m+1]; levels 2..m+1 are marked [Par]. *)
+let wavefront (tgt : target) ~(levels : int list) ~(degrees : int) =
+  match levels with
+  | [] -> tgt
+  | first :: _ ->
+      let m = min degrees (List.length levels - 1) in
+      if m <= 0 then
+        (* nothing to pipeline: if the first level is already parallel it can
+           be marked Par directly *)
+        tgt
+      else begin
+        let summed = Putil.take (m + 1) levels in
+        let tstmts =
+          List.map
+            (fun ts ->
+              let trows = Array.map Array.copy ts.trows in
+              let width = Array.length ts.ext_iters + 1 in
+              let sum = Array.make width 0 in
+              List.iter
+                (fun l ->
+                  Array.iteri (fun q v -> sum.(q) <- sum.(q) + v) trows.(l))
+                summed;
+              trows.(first) <- sum;
+              { ts with trows })
+            tgt.tstmts
+        in
+        let tpar = Array.copy tgt.tpar in
+        List.iteri
+          (fun i l -> if i > 0 then tpar.(l) <- Par)
+          summed;
+        tpar.(first) <- Seq;
+        { tgt with tstmts; tpar }
+      end
+
+(** Mark outer-parallel loop levels [Par] for OpenMP (used when no wavefront
+    is applied): the outermost [max_degrees] parallel [Loop] levels. *)
+let mark_outer_parallel (tgt : target) ~(max_degrees : int) =
+  let tpar = Array.copy tgt.tpar in
+  let marked = ref 0 in
+  Array.iteri
+    (fun l k ->
+      match k with
+      | Loop { parallel = true; _ } when !marked < max_degrees ->
+          tpar.(l) <- Par;
+          incr marked
+      | _ -> ())
+    tgt.tkinds;
+  { tgt with tpar }
+
+(** §5.4 intra-tile reordering: within the intra-tile rows of each tiled
+    band, move a parallel level innermost (for vectorization by the native
+    compiler / the simulator's vectorization model).  [intra_levels] are the
+    target level indices of the band's point loops. *)
+let move_parallel_innermost (tgt : target) ~(intra_levels : int list) =
+  (* among parallel point loops prefer the innermost one: in the common
+     row-major kernels it is the one with unit-stride accesses, which is what
+     the vectorizer wants *)
+  match
+    List.fold_left
+      (fun acc l ->
+        match tgt.tkinds.(l) with
+        | Loop { parallel = true; _ } -> Some l
+        | _ -> acc)
+      None intra_levels
+  with
+  | None -> tgt
+  | Some lpar ->
+      let last = Putil.list_max intra_levels in
+      if lpar = last then tgt
+      else begin
+        (* rotate levels lpar..last left by one *)
+        let perm = Array.init tgt.tnlevels (fun l -> l) in
+        for l = lpar to last - 1 do
+          perm.(l) <- l + 1
+        done;
+        perm.(last) <- lpar;
+        let permute a = Array.init (Array.length a) (fun l -> a.(perm.(l))) in
+        {
+          tgt with
+          tkinds = permute tgt.tkinds;
+          tpar = permute tgt.tpar;
+          tvec = permute tgt.tvec;
+          tstmts =
+            List.map (fun ts -> { ts with trows = permute ts.trows }) tgt.tstmts;
+        }
+      end
+
+(** A rough tile-size model in the spirit of §7: equal sizes such that a
+    tile's data footprint is a fraction of the cache.  [cache_elems] is the
+    cache capacity in array elements. *)
+let default_tile_size ~band_width ~cache_elems ~narrays =
+  if band_width <= 0 then 32
+  else begin
+    let per_array = float_of_int cache_elems /. float_of_int (max 1 narrays) in
+    let tau =
+      int_of_float (Float.round (per_array ** (1.0 /. float_of_int band_width)))
+    in
+    max 4 (min 32 tau)
+  end
+
+(** §5.4, second half: when no point loop of the band is parallel, move the
+    level with the best spatial locality (the one stepping the statements'
+    fastest-varying array dimension) innermost and mark it for forced
+    vectorization — the generated C carries an ignore-dependence pragma, as
+    the paper's tool does.  Legal because the band is fully permutable. *)
+let force_vectorize_innermost (tgt : target) ~(intra_levels : int list) =
+  match intra_levels with
+  | [] -> tgt
+  | _ ->
+      (* spatial score of a level: statements whose scattering row at that
+         level uses their innermost original iterator *)
+      let score l =
+        Putil.sum_by
+          (fun ts ->
+            let m = Ir.depth ts.stmt in
+            let ext_n = Array.length ts.ext_iters in
+            if m > 0 && ts.trows.(l).(ext_n - 1) <> 0 then 1 else 0)
+          tgt.tstmts
+      in
+      let best =
+        List.fold_left
+          (fun acc l ->
+            match acc with
+            | None -> Some l
+            | Some b -> if score l >= score b then Some l else acc)
+          None intra_levels
+      in
+      (match best with
+      | None -> tgt
+      | Some lbest when score lbest = 0 -> tgt
+      | Some lbest ->
+          let last = Putil.list_max intra_levels in
+          let perm = Array.init tgt.tnlevels (fun l -> l) in
+          for l = lbest to last - 1 do
+            perm.(l) <- l + 1
+          done;
+          perm.(last) <- lbest;
+          let permute a = Array.init (Array.length a) (fun l -> a.(perm.(l))) in
+          let tvec = permute tgt.tvec in
+          tvec.(last) <- true;
+          {
+            tgt with
+            tkinds = permute tgt.tkinds;
+            tpar = permute tgt.tpar;
+            tvec;
+            tstmts =
+              List.map (fun ts -> { ts with trows = permute ts.trows }) tgt.tstmts;
+          })

@@ -1,0 +1,76 @@
+(** Tiling of permutable bands under statement-wise transformations
+    (Algorithm 1 of the paper), wavefront extraction of pipelined parallelism
+    (Algorithm 2), the §5.4 intra-tile reordering post-pass, and construction
+    of the code-generator-facing target.
+
+    Tiling a band of width [k] adds, per statement, [k] supernode iterators
+    [zT_j] constrained Ancourt–Irigoin-style,
+
+      τ_j·zT_j <= φ_j(i) + c0_j <= τ_j·zT_j + τ_j − 1,
+
+    and prepends the scattering rows [φT_j = zT_j] directly above the band.
+    By Theorem 1 of the paper the supernode dimensions inherit all forward
+    dependences, so the tile-space band is itself permutable and the
+    wavefront φT¹ ← φT¹ + ... + φT^{m+1} legally exposes [m] degrees of
+    coarse-grained pipelined parallelism. *)
+
+(** A maximal run of consecutive [Loop] levels sharing a band id. *)
+type band = { b_start : int; b_len : int }
+
+(** [bands_of t] — the permutable bands of a transformation, in level order. *)
+val bands_of : Types.transform -> band list
+
+val level_is_parallel : Types.transform -> int -> bool
+
+(** [untiled_target t] — the target with original domains and the
+    transformation rows as scattering (no supernodes). *)
+val untiled_target : Types.transform -> Types.target
+
+(** [tile t ~bands_sizes] applies Algorithm 1 to every listed band
+    ([(band, per-level tile sizes)]); other bands stay untiled.
+    @raise Invalid_argument if a size vector does not match its band width. *)
+val tile : Types.transform -> bands_sizes:(band * int array) list -> Types.target
+
+(** [target_band_levels t ~bands_sizes b] — the target-level indices of band
+    [b]'s supernode (tile-space) loops after tiling. *)
+val target_band_levels :
+  Types.transform -> bands_sizes:(band * int array) list -> band -> int list
+
+(** [wavefront tgt ~levels ~degrees] applies Algorithm 2 to the tile-space
+    levels [levels]: the first becomes the sum of the first [degrees+1]
+    (a legal schedule of tiles, unimodular in tile space), and levels
+    2..degrees+1 are marked parallel. *)
+val wavefront : Types.target -> levels:int list -> degrees:int -> Types.target
+
+(** [mark_outer_parallel tgt ~max_degrees] marks up to [max_degrees]
+    outermost synchronization-free loop levels for OpenMP. *)
+val mark_outer_parallel : Types.target -> max_degrees:int -> Types.target
+
+(** §5.4: within a band's point loops, move a parallel level innermost (the
+    innermost parallel one, which has unit strides in the common row-major
+    kernels) so the vectorizer can use it.  Tile shapes and the tile-space
+    schedule are unchanged. *)
+val move_parallel_innermost : Types.target -> intra_levels:int list -> Types.target
+
+(** The rough tile-size model of §7: equal sizes such that a tile's data
+    footprint is a fraction of the cache ([cache_elems] array elements),
+    clamped to [4, 32]. *)
+val default_tile_size : band_width:int -> cache_elems:int -> narrays:int -> int
+
+(** Multi-level tiling ("Tiling multiple times", §5.2): each band maps to a
+    list of size vectors, outermost (e.g. L2) first.  The same hyperplanes
+    tile every level; legality is guaranteed by Theorem 1 at each level. *)
+val tile_levels :
+  Types.transform -> bands_sizes:(band * int array list) list -> Types.target
+
+(** [target_band_levels_multi] — like {!target_band_levels} for multi-level
+    tiling; returns the OUTERMOST tiling group's level indices (the ones the
+    wavefront applies to). *)
+val target_band_levels_multi :
+  Types.transform -> bands_sizes:(band * int array list) list -> band -> int list
+
+(** §5.4, second half: when no point loop of a band is parallel, move the
+    band's best-spatial-locality level innermost and mark it ([tvec]) for
+    forced vectorization with an ignore-dependence pragma, as the paper's
+    tool does.  Tile shapes and the tile-space schedule are unchanged. *)
+val force_vectorize_innermost : Types.target -> intra_levels:int list -> Types.target

@@ -1,0 +1,52 @@
+(** Shared types of the transformation framework. *)
+
+(** The nature of one level (row) of the computed transformation. *)
+type level_kind =
+  | Loop of { band : int; parallel : bool }
+      (** a genuine hyperplane; [band] groups consecutive permutable levels,
+          [parallel] means the level satisfies no live dependence *)
+  | Scalar
+      (** a static dimension introduced by cutting the DDG between strongly
+          connected components (loop distribution / partial fusion) *)
+
+(** A computed statement-wise affine transformation.  Every statement has the
+    same number of rows ([nlevels]); each row of statement [S] has width
+    [depth S + 1] (iterator coefficients then the constant). *)
+type transform = {
+  program : Ir.program;
+  deps : Deps.t list;
+  nlevels : int;
+  kinds : level_kind array;
+  rows : int array array array;
+      (** indexed by position of the statement in [program.stmts], then level *)
+  satisfied_at : (int, int) Hashtbl.t;
+      (** dep id -> level at which it is (strictly) satisfied *)
+}
+
+(** A target-space program description consumed by the code generator: per
+    statement, an extended domain (tile-space supernodes prepended to the
+    original iterators) and scattering rows over the extended iterators. *)
+type tstmt = {
+  stmt : Ir.stmt;
+  ext_iters : string array;
+  ext_domain : Polyhedra.t;  (** over [ext_iters @ params] *)
+  trows : int array array;  (** [nlevels] rows, width [|ext_iters| + 1] *)
+}
+
+type parallelism = Seq | Par
+
+type target = {
+  tprogram : Ir.program;
+  tnlevels : int;
+  tkinds : level_kind array;
+  tpar : parallelism array;  (** per level, for OpenMP marking *)
+  tvec : bool array;
+      (** per level: vectorization forced with an ignore-dependence pragma
+          (the §5.4 post-pass) *)
+  tstmts : tstmt list;  (** aligned with [tprogram.stmts] *)
+}
+
+let level_kind_name = function
+  | Loop { band; parallel } ->
+      Printf.sprintf "loop(band %d%s)" band (if parallel then ", parallel" else "")
+  | Scalar -> "scalar"

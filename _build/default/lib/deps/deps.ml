@@ -1,0 +1,192 @@
+type kind = Flow | Anti | Output | Input
+
+type t = {
+  id : int;
+  src : Ir.stmt;
+  dst : Ir.stmt;
+  kind : kind;
+  level : int option;
+  poly : Polyhedra.t;
+  src_acc : Ir.access;
+  dst_acc : Ir.access;
+}
+
+let is_legality d = d.kind <> Input
+
+let kind_name = function
+  | Flow -> "flow"
+  | Anti -> "anti"
+  | Output -> "output"
+  | Input -> "input"
+
+let nvars d = d.poly.Polyhedra.nvars
+
+(* Widen a row over (m iters + np params + 1) of one statement into the
+   combined dependence space (ms + mt + np + 1), placing the iterators at
+   [offset]. *)
+let embed_row ~m ~np ~offset ~width (coefs : Vec.t) : Vec.t =
+  let r = Vec.zero width in
+  for j = 0 to m - 1 do
+    r.(offset + j) <- coefs.(j)
+  done;
+  for j = 0 to np - 1 do
+    r.(width - 1 - np + j) <- coefs.(m + j)
+  done;
+  r.(width - 1) <- coefs.(m + np);
+  r
+
+let embed_domain ~np ~offset ~width (d : Polyhedra.t) =
+  let m = d.Polyhedra.nvars - np in
+  List.map
+    (fun (c : Polyhedra.constr) ->
+      { c with Polyhedra.coefs = embed_row ~m ~np ~offset ~width c.Polyhedra.coefs })
+    d.Polyhedra.cs
+
+let embed_int_row ~m ~np ~offset ~width (row : int array) : Vec.t =
+  embed_row ~m ~np ~offset ~width (Ir.row_to_vec row)
+
+let satisfaction_row (p : Ir.program) d (row_src : int array)
+    (row_dst : int array) : Vec.t =
+  let ms = Ir.depth d.src and mt = Ir.depth d.dst in
+  let np = Ir.nparams p in
+  let width = ms + mt + np + 1 in
+  if Array.length row_src <> ms + 1 || Array.length row_dst <> mt + 1 then
+    invalid_arg "Deps.satisfaction_row: row widths";
+  let r = Vec.zero width in
+  for j = 0 to ms - 1 do
+    r.(j) <- Bigint.of_int (-row_src.(j))
+  done;
+  for j = 0 to mt - 1 do
+    r.(ms + j) <- Bigint.of_int row_dst.(j)
+  done;
+  r.(width - 1) <- Bigint.of_int (row_dst.(mt) - row_src.(ms));
+  r
+
+(* Ordering constraints "s executed before t" for a given level.
+   [level = Some l]: equality on common dims 0..l-1, strict s_l < t_l.
+   [level = None]: equality on all common dims (loop-independent); only valid
+   when src syntactically precedes dst. *)
+let order_constrs ~ms ~width ~level ~common =
+  let eq_at k =
+    let r = Vec.zero width in
+    r.(k) <- Bigint.minus_one;
+    r.(ms + k) <- Bigint.one;
+    Polyhedra.eq r
+  in
+  let lt_at k =
+    (* t_k - s_k - 1 >= 0 *)
+    let r = Vec.zero width in
+    r.(k) <- Bigint.minus_one;
+    r.(ms + k) <- Bigint.one;
+    r.(width - 1) <- Bigint.minus_one;
+    Polyhedra.ge r
+  in
+  match level with
+  | Some l ->
+      assert (l < common);
+      List.map eq_at (Putil.range l) @ [ lt_at l ]
+  | None -> List.map eq_at (Putil.range common)
+
+let build_poly (p : Ir.program) src dst ~level src_acc dst_acc =
+  let np = Ir.nparams p in
+  let ms = Ir.depth src and mt = Ir.depth dst in
+  let width = ms + mt + np + 1 in
+  let nv = width - 1 in
+  let cs_src = embed_domain ~np ~offset:0 ~width src.Ir.domain in
+  let cs_dst = embed_domain ~np ~offset:ms ~width dst.Ir.domain in
+  let access_eqs =
+    if Array.length src_acc.Ir.map <> Array.length dst_acc.Ir.map then
+      invalid_arg "Deps: access dimensionality mismatch";
+    List.map
+      (fun k ->
+        let rs = embed_int_row ~m:ms ~np ~offset:0 ~width src_acc.Ir.map.(k) in
+        let rt = embed_int_row ~m:mt ~np ~offset:ms ~width dst_acc.Ir.map.(k) in
+        Polyhedra.eq (Vec.sub rt rs))
+      (Putil.range (Array.length src_acc.Ir.map))
+  in
+  let common = Ir.common_loops src dst in
+  let order = order_constrs ~ms ~width ~level ~common in
+  Polyhedra.of_constrs nv (cs_src @ cs_dst @ access_eqs @ order)
+
+(* Integer emptiness with parameters fixed to the context value. *)
+let nonempty ~ctx ~np (poly : Polyhedra.t) =
+  let nv = poly.Polyhedra.nvars in
+  let fix =
+    List.map
+      (fun j ->
+        let r = Vec.zero (nv + 1) in
+        r.(nv - np + j) <- Bigint.one;
+        r.(nv) <- Bigint.of_int (-ctx);
+        Polyhedra.eq r)
+      (Putil.range np)
+  in
+  let sys = Polyhedra.meet poly (Polyhedra.of_constrs nv fix) in
+  if Polyhedra.is_empty_rational sys then false
+  else match Milp.feasible sys with Some _ -> true | None -> false
+
+let compute ?(input_deps = true) ?(ctx = 100) (p : Ir.program) =
+  let np = Ir.nparams p in
+  let deps = ref [] in
+  let next = ref 0 in
+  let consider src dst kind src_acc dst_acc =
+    if String.equal src_acc.Ir.arr dst_acc.Ir.arr then begin
+      let common = Ir.common_loops src dst in
+      let levels =
+        let carried = List.map (fun l -> Some l) (Putil.range common) in
+        let independent =
+          if src.Ir.id <> dst.Ir.id && Ir.precedes_at src dst common then
+            [ None ]
+          else []
+        in
+        carried @ independent
+      in
+      List.iter
+        (fun level ->
+          let poly = build_poly p src dst ~level src_acc dst_acc in
+          if nonempty ~ctx ~np poly then begin
+            let d =
+              { id = !next; src; dst; kind; level; poly; src_acc; dst_acc }
+            in
+            incr next;
+            deps := d :: !deps
+          end)
+        levels
+    end
+  in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          (* flow: write(src) -> read(dst) *)
+          List.iter
+            (fun (k_dst, a_dst) ->
+              List.iter
+                (fun (k_src, a_src) ->
+                  match (k_src, k_dst) with
+                  | Ir.Write, Ir.Read -> consider src dst Flow a_src a_dst
+                  | Ir.Read, Ir.Write -> consider src dst Anti a_src a_dst
+                  | Ir.Write, Ir.Write -> consider src dst Output a_src a_dst
+                  | Ir.Read, Ir.Read ->
+                      (* Input dependences drive fusion and reuse decisions
+                         across statements (the MVT case of §7); within one
+                         statement all-pairs RAR edges have parametrically
+                         long distances that would mask every other term of
+                         the max-bound (4), so, like the paper's tool, we
+                         keep only inter-statement read-read pairs (a
+                         last-reader approximation; see DESIGN.md). *)
+                      if input_deps && src.Ir.id <> dst.Ir.id then
+                        consider src dst Input a_src a_dst)
+                (Ir.accesses src))
+            (Ir.accesses dst))
+        p.Ir.stmts)
+    p.Ir.stmts;
+  List.rev !deps
+
+let pp fmt d =
+  let level =
+    match d.level with
+    | Some l -> Printf.sprintf "loop %d" (l + 1)
+    | None -> "loop-independent"
+  in
+  Format.fprintf fmt "dep %d: %s %s(%s) -> %s(%s) [%s]" d.id (kind_name d.kind)
+    d.src.Ir.name d.src_acc.Ir.arr d.dst.Ir.name d.dst_acc.Ir.arr level

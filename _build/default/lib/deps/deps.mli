@@ -1,0 +1,54 @@
+(** Polyhedral dependence analysis (the LooPo dependence-tester substitute).
+
+    Computes the Data Dependence Graph of §2.1 of the paper: for every pair of
+    accesses to the same array — flow (RAW), anti (WAR), output (WAW) and
+    optionally input (RAR) — and for every syntactic ordering level, a
+    candidate {e dependence polyhedron} over
+    [src_iters @ dst_iters @ params] is built from:
+
+    - both statements' iteration domains,
+    - equality of the affine access functions,
+    - the original-execution-order constraints at that level (carried at a
+      common loop, or loop-independent between syntactically ordered
+      statements).
+
+    Candidate polyhedra that contain no integer point (parameters fixed to a
+    large context value) are discarded.  This is the memory-based exact
+    dependence model the paper uses (including all of anti/output/input; no
+    conversion to single assignment). *)
+
+type kind = Flow | Anti | Output | Input
+
+type t = {
+  id : int;
+  src : Ir.stmt;
+  dst : Ir.stmt;
+  kind : kind;
+  level : int option;
+      (** [Some l]: carried by common loop [l] (0-based); [None]:
+          loop-independent *)
+  poly : Polyhedra.t;  (** over [src.iters @ dst.iters @ params] *)
+  src_acc : Ir.access;
+  dst_acc : Ir.access;
+}
+
+(** [is_legality d] — input dependences do not constrain legality (§4.1). *)
+val is_legality : t -> bool
+
+val kind_name : kind -> string
+
+(** [compute ?input_deps ?ctx program] builds the DDG edge list.
+    [ctx] (default 100) is the parameter value used for the integer emptiness
+    test of each candidate polyhedron. *)
+val compute : ?input_deps:bool -> ?ctx:int -> Ir.program -> t list
+
+(** [nvars d] is the variable count of [d.poly]. *)
+val nvars : t -> int
+
+(** [satisfaction_row program d row_src row_dst] builds the affine form
+    δ = φ_dst(t) − φ_src(s) over the dependence polyhedron's variables, given
+    per-statement transformation rows (each over own iters + const, width
+    depth+1).  The result row has width [nvars d + 1]. *)
+val satisfaction_row : Ir.program -> t -> int array -> int array -> Vec.t
+
+val pp : Format.formatter -> t -> unit

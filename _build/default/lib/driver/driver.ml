@@ -1,0 +1,155 @@
+type options = {
+  tile : bool;
+  tile_size : int option;
+  parallelize : bool;
+  wavefront : int;
+  intra_reorder : bool;
+  min_band_tile : int;
+  auto : Pluto.Auto.config;
+  context_min : int;
+}
+
+let default_options =
+  {
+    tile = true;
+    tile_size = None;
+    parallelize = true;
+    wavefront = 1;
+    intra_reorder = true;
+    min_band_tile = 2;
+    auto = Pluto.Auto.default_config;
+    context_min = 1;
+  }
+
+let paper_options = default_options
+
+type result = {
+  program : Ir.program;
+  deps : Deps.t list;
+  transform : Pluto.Types.transform;
+  target : Pluto.Types.target;
+  code : Codegen.t;
+}
+
+let narrays (p : Ir.program) = List.length p.Ir.arrays
+
+(* Tile sizes: uniform, either given or from the rough cache model (an L1 of
+   the simulated machine: 2 KB = 256 doubles). *)
+let sizes_for options (b : Pluto.Tiling.band) na =
+  let tau =
+    match options.tile_size with
+    | Some t -> t
+    | None ->
+        Pluto.Tiling.default_tile_size ~band_width:b.Pluto.Tiling.b_len
+          ~cache_elems:2048 ~narrays:na
+  in
+  Array.make b.Pluto.Tiling.b_len tau
+
+let intra_levels_of_band ~(bands_sizes : (Pluto.Tiling.band * int array) list)
+    (b : Pluto.Tiling.band) =
+  let supers_before =
+    Putil.sum_by
+      (fun ((b' : Pluto.Tiling.band), _) ->
+        if b'.Pluto.Tiling.b_start <= b.Pluto.Tiling.b_start then
+          b'.Pluto.Tiling.b_len
+        else 0)
+      bands_sizes
+  in
+  List.init b.Pluto.Tiling.b_len (fun j ->
+      supers_before + b.Pluto.Tiling.b_start + j)
+
+let build_target options (tr : Pluto.Types.transform) =
+  let bands = Pluto.Tiling.bands_of tr in
+  let na = narrays tr.Pluto.Types.program in
+  let tiled_bands =
+    List.filter
+      (fun (b : Pluto.Tiling.band) ->
+        options.tile && b.Pluto.Tiling.b_len >= options.min_band_tile)
+      bands
+  in
+  let bands_sizes = List.map (fun b -> (b, sizes_for options b na)) tiled_bands in
+  let tgt =
+    if bands_sizes = [] then Pluto.Tiling.untiled_target tr
+    else Pluto.Tiling.tile tr ~bands_sizes
+  in
+  let tgt =
+    if not options.parallelize then
+      (* strip all parallel marks *)
+      { tgt with Pluto.Types.tpar = Array.map (fun _ -> Pluto.Types.Seq) tgt.Pluto.Types.tpar }
+    else begin
+      match bands_sizes with
+      | [] ->
+          (* untiled: mark outer parallel loops *)
+          Pluto.Tiling.mark_outer_parallel
+            { tgt with Pluto.Types.tpar = Array.map (fun _ -> Pluto.Types.Seq) tgt.Pluto.Types.tpar }
+            ~max_degrees:1
+      | (b, _) :: _ ->
+          let tgt =
+            { tgt with Pluto.Types.tpar = Array.map (fun _ -> Pluto.Types.Seq) tgt.Pluto.Types.tpar }
+          in
+          let levels = Pluto.Tiling.target_band_levels tr ~bands_sizes b in
+          (* if the first tile-space loop is parallel, just mark it; else
+             wavefront (Algorithm 2) *)
+          let first = List.hd levels in
+          let first_parallel =
+            match tgt.Pluto.Types.tkinds.(first) with
+            | Pluto.Types.Loop { parallel; _ } -> parallel
+            | Pluto.Types.Scalar -> false
+          in
+          if first_parallel then begin
+            let tpar = Array.copy tgt.Pluto.Types.tpar in
+            tpar.(first) <- Pluto.Types.Par;
+            { tgt with Pluto.Types.tpar = tpar }
+          end
+          else if options.wavefront > 0 then
+            Pluto.Tiling.wavefront tgt ~levels ~degrees:options.wavefront
+          else tgt
+    end
+  in
+  let tgt =
+    if options.intra_reorder then
+      List.fold_left
+        (fun tgt (b, _) ->
+          let intra_levels = intra_levels_of_band ~bands_sizes b in
+          let has_parallel =
+            List.exists
+              (fun l ->
+                match tgt.Pluto.Types.tkinds.(l) with
+                | Pluto.Types.Loop { parallel = true; _ } -> true
+                | _ -> false)
+              intra_levels
+          in
+          if has_parallel then
+            Pluto.Tiling.move_parallel_innermost tgt ~intra_levels
+          else
+            (* §5.4: force vectorization of the best spatial-locality level
+               with an ignore-dependence pragma *)
+            Pluto.Tiling.force_vectorize_innermost tgt ~intra_levels)
+        tgt bands_sizes
+    else tgt
+  in
+  tgt
+
+let compile_with_transform ?(options = default_options) program deps transform =
+  let target = build_target options transform in
+  let code = Codegen.generate ~context_min:options.context_min target in
+  { program; deps; transform; target; code }
+
+let compile ?(options = default_options) program =
+  let deps = Deps.compute ~input_deps:options.auto.Pluto.Auto.input_deps program in
+  let transform = Pluto.Auto.transform ~config:options.auto program deps in
+  compile_with_transform ~options program deps transform
+
+let compile_source ?options ?name src =
+  compile ?options (Frontend.parse_program ?name src)
+
+let compile_original ?(options = default_options) program =
+  let deps = Deps.compute program in
+  let transform = Pluto.Auto.identity_transform ~config:options.auto program deps in
+  let target = Pluto.Tiling.untiled_target transform in
+  (* original code: no OpenMP marks (icc's auto-parallelizer fails on these) *)
+  let target =
+    { target with Pluto.Types.tpar = Array.map (fun _ -> Pluto.Types.Seq) target.Pluto.Types.tpar }
+  in
+  let code = Codegen.generate ~context_min:options.context_min target in
+  { program; deps; transform; target; code }

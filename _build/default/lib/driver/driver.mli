@@ -1,0 +1,54 @@
+(** End-to-end driver: the programmatic equivalent of running the [plutocc]
+    tool.  Wires together dependence analysis, the transformation search,
+    tiling, parallelization and code generation with the policy described in
+    the paper (§5–§6):
+
+    - find hyperplanes (Auto.transform);
+    - tile every permutable band of width >= [min_band_tile] (Algorithm 1),
+      with tile sizes from the rough cache model unless given;
+    - if the outermost tile loop is parallel, mark it for OpenMP; otherwise
+      extract [wavefront] degrees of pipelined parallelism (Algorithm 2);
+    - optionally move an intra-tile parallel loop innermost (§5.4) for
+      vectorization. *)
+
+type options = {
+  tile : bool;
+  tile_size : int option;  (** uniform tile size; [None] = rough model *)
+  parallelize : bool;
+  wavefront : int;  (** degrees of pipelined parallelism to extract *)
+  intra_reorder : bool;  (** §5.4 post-pass *)
+  min_band_tile : int;  (** minimum band width worth tiling *)
+  auto : Pluto.Auto.config;
+  context_min : int;
+}
+
+val default_options : options
+
+(** Options matching the paper's main experiments: tile + parallelize with
+    one degree of pipelined parallelism, intra-tile reordering on. *)
+val paper_options : options
+
+type result = {
+  program : Ir.program;
+  deps : Deps.t list;
+  transform : Pluto.Types.transform;
+  target : Pluto.Types.target;
+  code : Codegen.t;
+}
+
+(** [compile ?options program] runs the full pipeline.
+    @raise Pluto.Auto.No_transform if the search fails. *)
+val compile : ?options:options -> Ir.program -> result
+
+(** [compile_source ?options ?name src] parses first. *)
+val compile_source : ?options:options -> ?name:string -> string -> result
+
+(** [compile_with_transform ?options program deps transform] skips the search
+    and applies tiling/parallelization/codegen to an externally supplied
+    transformation (used by the baseline schemes). *)
+val compile_with_transform :
+  ?options:options -> Ir.program -> Deps.t list -> Pluto.Types.transform -> result
+
+(** The identity (original program order) pipeline — the "native compiler"
+    baseline; no tiling or parallelization. *)
+val compile_original : ?options:options -> Ir.program -> result

@@ -1,0 +1,694 @@
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --------------------------------- lexer --------------------------------- *)
+
+type token =
+  | Tid of string
+  | Tint of int
+  | Tfloat of float
+  | Tfor
+  | Tdouble
+  | Tfloatkw
+  | Tint_kw
+  | Tlparen
+  | Trparen
+  | Tlbrack
+  | Trbrack
+  | Tlbrace
+  | Trbrace
+  | Tsemi
+  | Tcomma
+  | Tassign
+  | Tpluseq
+  | Tminuseq
+  | Tstareq
+  | Tplus
+  | Tminus
+  | Tstar
+  | Tslash
+  | Tlt
+  | Tle
+  | Tgt
+  | Tge
+  | Tinc
+  | Teof
+
+let token_name = function
+  | Tid s -> Printf.sprintf "identifier %S" s
+  | Tint n -> Printf.sprintf "integer %d" n
+  | Tfloat f -> Printf.sprintf "float %g" f
+  | Tfor -> "'for'"
+  | Tdouble -> "'double'"
+  | Tfloatkw -> "'float'"
+  | Tint_kw -> "'int'"
+  | Tlparen -> "'('"
+  | Trparen -> "')'"
+  | Tlbrack -> "'['"
+  | Trbrack -> "']'"
+  | Tlbrace -> "'{'"
+  | Trbrace -> "'}'"
+  | Tsemi -> "';'"
+  | Tcomma -> "','"
+  | Tassign -> "'='"
+  | Tpluseq -> "'+='"
+  | Tminuseq -> "'-='"
+  | Tstareq -> "'*='"
+  | Tplus -> "'+'"
+  | Tminus -> "'-'"
+  | Tstar -> "'*'"
+  | Tslash -> "'/'"
+  | Tlt -> "'<'"
+  | Tle -> "'<='"
+  | Tgt -> "'>'"
+  | Tge -> "'>='"
+  | Tinc -> "'++'"
+  | Teof -> "end of input"
+
+type ptok = { tok : token; line : int; col : int }
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let i = ref 0 in
+  let emit tok col = toks := { tok; line = !line; col } :: !toks in
+  let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let is_id c = is_id_start c || (c >= '0' && c <= '9') in
+  let is_digit c = c >= '0' && c <= '9' in
+  while !i < n do
+    let c = src.[!i] in
+    let col = !i - !bol + 1 in
+    if c = '\n' then begin
+      incr line;
+      incr i;
+      bol := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      (* preprocessor line: skip to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let finished = ref false in
+      while not !finished do
+        if !i + 1 >= n then fail "line %d: unterminated comment" !line;
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          i := !i + 2;
+          finished := true
+        end
+        else begin
+          if src.[!i] = '\n' then begin
+            incr line;
+            bol := !i + 1
+          end;
+          incr i
+        end
+      done
+    end
+    else if is_id_start c then begin
+      let start = !i in
+      while !i < n && is_id src.[!i] do
+        incr i
+      done;
+      let s = String.sub src start (!i - start) in
+      let tok =
+        match s with
+        | "for" -> Tfor
+        | "double" -> Tdouble
+        | "float" -> Tfloatkw
+        | "int" -> Tint_kw
+        | _ -> Tid s
+      in
+      emit tok col
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if !i < n && (src.[!i] = '.' || src.[!i] = 'e' || src.[!i] = 'E') then begin
+        if src.[!i] = '.' then begin
+          incr i;
+          while !i < n && is_digit src.[!i] do
+            incr i
+          done
+        end;
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          incr i;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+          while !i < n && is_digit src.[!i] do
+            incr i
+          done
+        end;
+        emit (Tfloat (float_of_string (String.sub src start (!i - start)))) col
+      end
+      else emit (Tint (int_of_string (String.sub src start (!i - start)))) col
+    end
+    else begin
+      let two t =
+        emit t col;
+        i := !i + 2
+      in
+      let one t =
+        emit t col;
+        incr i
+      in
+      match c with
+      | '+' when !i + 1 < n && src.[!i + 1] = '+' -> two Tinc
+      | '+' when !i + 1 < n && src.[!i + 1] = '=' -> two Tpluseq
+      | '-' when !i + 1 < n && src.[!i + 1] = '=' -> two Tminuseq
+      | '*' when !i + 1 < n && src.[!i + 1] = '=' -> two Tstareq
+      | '<' when !i + 1 < n && src.[!i + 1] = '=' -> two Tle
+      | '>' when !i + 1 < n && src.[!i + 1] = '=' -> two Tge
+      | '(' -> one Tlparen
+      | ')' -> one Trparen
+      | '[' -> one Tlbrack
+      | ']' -> one Trbrack
+      | '{' -> one Tlbrace
+      | '}' -> one Trbrace
+      | ';' -> one Tsemi
+      | ',' -> one Tcomma
+      | '=' -> one Tassign
+      | '+' -> one Tplus
+      | '-' -> one Tminus
+      | '*' -> one Tstar
+      | '/' -> one Tslash
+      | '<' -> one Tlt
+      | '>' -> one Tgt
+      | _ -> fail "line %d, col %d: unexpected character %C" !line col c
+    end
+  done;
+  emit Teof (n - !bol + 1);
+  Array.of_list (List.rev !toks)
+
+(* ------------------------------ syntax tree ------------------------------ *)
+
+type sexpr =
+  | S_int of int
+  | S_float of float
+  | S_id of string
+  | S_idx of string * sexpr list
+  | S_neg of sexpr
+  | S_bin of Ir.binop * sexpr * sexpr
+
+type sitem =
+  | S_assign of (string * sexpr list) * sexpr
+  | S_for of string * sexpr * [ `Lt | `Le ] * sexpr * sitem list
+
+type decl = { dname : string; dexts : sexpr list }
+
+(* --------------------------------- parser -------------------------------- *)
+
+type parser_state = { toks : ptok array; mutable pos : int }
+
+let peek ps = ps.toks.(ps.pos).tok
+
+let advance ps = ps.pos <- ps.pos + 1
+
+let err_here ps what =
+  let p = ps.toks.(ps.pos) in
+  fail "line %d, col %d: expected %s, found %s" p.line p.col what
+    (token_name p.tok)
+
+let expect ps tok what =
+  if peek ps = tok then advance ps else err_here ps what
+
+let expect_id ps what =
+  match peek ps with
+  | Tid s ->
+      advance ps;
+      s
+  | _ -> err_here ps what
+
+let rec parse_expr ps = parse_additive ps
+
+and parse_additive ps =
+  let lhs = ref (parse_multiplicative ps) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek ps with
+    | Tplus ->
+        advance ps;
+        lhs := S_bin (Ir.Add, !lhs, parse_multiplicative ps)
+    | Tminus ->
+        advance ps;
+        lhs := S_bin (Ir.Sub, !lhs, parse_multiplicative ps)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_multiplicative ps =
+  let lhs = ref (parse_unary ps) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek ps with
+    | Tstar ->
+        advance ps;
+        lhs := S_bin (Ir.Mul, !lhs, parse_unary ps)
+    | Tslash ->
+        advance ps;
+        lhs := S_bin (Ir.Div, !lhs, parse_unary ps)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary ps =
+  match peek ps with
+  | Tminus ->
+      advance ps;
+      S_neg (parse_unary ps)
+  | Tplus ->
+      advance ps;
+      parse_unary ps
+  | _ -> parse_primary ps
+
+and parse_primary ps =
+  match peek ps with
+  | Tint n ->
+      advance ps;
+      S_int n
+  | Tfloat f ->
+      advance ps;
+      S_float f
+  | Tlparen ->
+      advance ps;
+      let e = parse_expr ps in
+      expect ps Trparen "')'";
+      e
+  | Tid name ->
+      advance ps;
+      let subs = ref [] in
+      while peek ps = Tlbrack do
+        advance ps;
+        let e = parse_expr ps in
+        expect ps Trbrack "']'";
+        subs := e :: !subs
+      done;
+      if !subs = [] then S_id name else S_idx (name, List.rev !subs)
+  | _ -> err_here ps "expression"
+
+let rec parse_item ps =
+  match peek ps with
+  | Tfor ->
+      advance ps;
+      expect ps Tlparen "'('";
+      let it = expect_id ps "loop iterator" in
+      expect ps Tassign "'='";
+      let lb = parse_expr ps in
+      expect ps Tsemi "';'";
+      let it2 = expect_id ps "loop iterator in condition" in
+      if not (String.equal it it2) then
+        fail "loop condition tests %s, expected %s" it2 it;
+      let cmp =
+        match peek ps with
+        | Tlt ->
+            advance ps;
+            `Lt
+        | Tle ->
+            advance ps;
+            `Le
+        | _ -> err_here ps "'<' or '<='"
+      in
+      let ub = parse_expr ps in
+      expect ps Tsemi "';'";
+      let it3 = expect_id ps "loop iterator in increment" in
+      if not (String.equal it it3) then
+        fail "loop increments %s, expected %s" it3 it;
+      expect ps Tinc "'++'";
+      expect ps Trparen "')'";
+      let body =
+        if peek ps = Tlbrace then begin
+          advance ps;
+          let items = ref [] in
+          while peek ps <> Trbrace do
+            items := parse_item ps :: !items
+          done;
+          advance ps;
+          List.rev !items
+        end
+        else [ parse_item ps ]
+      in
+      S_for (it, lb, cmp, ub, body)
+  | Tid _ -> (
+      let e = parse_primary ps in
+      let target =
+        match e with
+        | S_idx (name, subs) -> Some (name, subs)
+        | S_id name -> Some (name, [])
+        | _ -> None
+      in
+      let compound op =
+        match target with
+        | Some lhs ->
+            advance ps;
+            let rhs = parse_expr ps in
+            expect ps Tsemi "';'";
+            let name, subs = lhs in
+            let lhs_expr =
+              if subs = [] then S_id name else S_idx (name, subs)
+            in
+            S_assign (lhs, S_bin (op, lhs_expr, rhs))
+        | None -> err_here ps "assignment target"
+      in
+      match (target, peek ps) with
+      | Some lhs, Tassign ->
+          advance ps;
+          let rhs = parse_expr ps in
+          expect ps Tsemi "';'";
+          S_assign (lhs, rhs)
+      | _, Tpluseq -> compound Ir.Add
+      | _, Tminuseq -> compound Ir.Sub
+      | _, Tstareq -> compound Ir.Mul
+      | _ -> err_here ps "'=' (assignment)")
+  | _ -> err_here ps "statement or loop"
+
+let parse_decls ps =
+  let decls = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek ps with
+    | Tdouble | Tfloatkw | Tint_kw ->
+        advance ps;
+        let again = ref true in
+        while !again do
+          let name = expect_id ps "declared name" in
+          let exts = ref [] in
+          while peek ps = Tlbrack do
+            advance ps;
+            let e = parse_expr ps in
+            expect ps Trbrack "']'";
+            exts := e :: !exts
+          done;
+          decls := { dname = name; dexts = List.rev !exts } :: !decls;
+          match peek ps with
+          | Tcomma -> advance ps
+          | Tsemi ->
+              advance ps;
+              again := false
+          | _ -> err_here ps "',' or ';'"
+        done
+    | _ -> continue_ := false
+  done;
+  List.rev !decls
+
+let parse_toplevel ps =
+  let decls = parse_decls ps in
+  let items = ref [] in
+  while peek ps <> Teof do
+    items := parse_item ps :: !items
+  done;
+  (decls, List.rev !items)
+
+(* --------------------------- semantic analysis --------------------------- *)
+
+(* Collect loop iterator names (anywhere) so that remaining free identifiers
+   are recognized as parameters. *)
+let rec collect_iters items acc =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | S_assign _ -> acc
+      | S_for (it, _, _, _, body) ->
+          collect_iters body (if List.mem it acc then acc else it :: acc))
+    acc items
+
+let rec collect_ids_expr e acc =
+  match e with
+  | S_int _ | S_float _ -> acc
+  | S_id s -> if List.mem s acc then acc else s :: acc
+  | S_idx (_, subs) -> List.fold_left (fun acc e -> collect_ids_expr e acc) acc subs
+  | S_neg e -> collect_ids_expr e acc
+  | S_bin (_, a, b) -> collect_ids_expr b (collect_ids_expr a acc)
+
+let rec collect_param_candidates items acc =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | S_assign ((_, subs), rhs) ->
+          let acc = List.fold_left (fun acc e -> collect_ids_expr e acc) acc subs in
+          collect_ids_expr rhs acc
+      | S_for (_, lb, _, ub, body) ->
+          collect_param_candidates body
+            (collect_ids_expr ub (collect_ids_expr lb acc)))
+    acc items
+
+(* Affine linearization of a source expression over (iters @ params @ [1]).
+   Fails on products of variables, division, floats. *)
+let affine_of_expr ~iters ~params ~context e =
+  let ni = List.length iters and np = List.length params in
+  let width = ni + np + 1 in
+  let index_of name =
+    let rec find i = function
+      | [] -> None
+      | x :: _ when String.equal x name -> Some i
+      | _ :: rest -> find (i + 1) rest
+    in
+    match find 0 iters with
+    | Some i -> Some i
+    | None -> (
+        match find 0 params with Some i -> Some (ni + i) | None -> None)
+  in
+  let rec go e =
+    match e with
+    | S_int n ->
+        let r = Array.make width 0 in
+        r.(width - 1) <- n;
+        r
+    | S_float _ -> fail "%s: floating-point value in affine position" context
+    | S_id name -> (
+        match index_of name with
+        | Some i ->
+            let r = Array.make width 0 in
+            r.(i) <- 1;
+            r
+        | None -> fail "%s: unknown identifier %s" context name)
+    | S_idx (a, _) -> fail "%s: array access %s[...] is not affine" context a
+    | S_neg e -> Array.map (fun x -> -x) (go e)
+    | S_bin (Ir.Add, a, b) -> Array.map2 ( + ) (go a) (go b)
+    | S_bin (Ir.Sub, a, b) -> Array.map2 ( - ) (go a) (go b)
+    | S_bin (Ir.Mul, a, b) -> (
+        let const_of r =
+          let nonconst = Array.exists (fun x -> x <> 0) (Array.sub r 0 (width - 1)) in
+          if nonconst then None else Some r.(width - 1)
+        in
+        let ra = go a and rb = go b in
+        match (const_of ra, const_of rb) with
+        | Some k, _ -> Array.map (fun x -> k * x) rb
+        | _, Some k -> Array.map (fun x -> k * x) ra
+        | None, None -> fail "%s: product of variables is not affine" context)
+    | S_bin (Ir.Div, _, _) -> fail "%s: division is not affine" context
+  in
+  go e
+
+(* If the source carries "#pragma scop" ... "#pragma endscop" markers, only
+   the declarations (kept from anywhere before the region) and the marked
+   region are considered, like the paper's tool. *)
+let restrict_to_scop src =
+  let find sub =
+    let n = String.length src and m = String.length sub in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub src i m = sub then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  match (find "#pragma scop", find "#pragma endscop") with
+  | Some a, Some b when a < b ->
+      let decls = String.sub src 0 a in
+      (* keep only declaration-looking lines from the prefix *)
+      let decl_lines =
+        String.split_on_char '\n' decls
+        |> List.filter (fun l ->
+               let l = String.trim l in
+               String.length l > 6
+               && (String.sub l 0 6 = "double"
+                  || String.sub l 0 5 = "float"))
+      in
+      String.concat "\n" decl_lines ^ "\n"
+      ^ String.sub src a (b - a)
+  | _ -> src
+
+let parse_program ?(name = "<input>") src =
+  let src = restrict_to_scop src in
+  let ps = { toks = tokenize src; pos = 0 } in
+  let decls, items =
+    try parse_toplevel ps
+    with Parse_error msg -> fail "%s: %s" name msg
+  in
+  let arrays = List.map (fun d -> d.dname) decls in
+  let iters = List.rev (collect_iters items []) in
+  let candidates = List.rev (collect_param_candidates items []) in
+  let params =
+    List.filter
+      (fun id -> not (List.mem id arrays) && not (List.mem id iters))
+      candidates
+  in
+  (* also allow parameters appearing only in array extents *)
+  let params =
+    List.fold_left
+      (fun params d ->
+        List.fold_left
+          (fun params e ->
+            List.fold_left
+              (fun params id ->
+                if
+                  List.mem id params || List.mem id arrays || List.mem id iters
+                then params
+                else params @ [ id ])
+              params (collect_ids_expr e []))
+          params d.dexts)
+      params decls
+  in
+  let np = List.length params in
+  let array_infos =
+    List.map
+      (fun d ->
+        let extents =
+          List.map
+            (fun e ->
+              affine_of_expr ~iters:[] ~params
+                ~context:(Printf.sprintf "extent of %s" d.dname)
+                e)
+            d.dexts
+        in
+        { Ir.aname = d.dname; extents = Array.of_list extents })
+      decls
+  in
+  let dims_of a =
+    match List.find_opt (fun d -> String.equal d.Ir.aname a) array_infos with
+    | Some d -> Array.length d.Ir.extents
+    | None -> fail "use of undeclared array %s" a
+  in
+  (* widen an affine row over (k iters + params + 1) to (m iters + ...) *)
+  let widen_row ~from_iters ~to_iters row =
+    let k = from_iters and m = to_iters in
+    Array.init
+      (m + np + 1)
+      (fun j -> if j < k then row.(j) else if j < m then 0 else row.(j - m + k))
+  in
+  let stmts = ref [] in
+  let next_id = ref 0 in
+  let mk_access ~iters (a, subs) =
+    let expected = dims_of a in
+    if List.length subs <> expected then
+      fail "array %s used with %d subscripts, declared with %d" a
+        (List.length subs) expected;
+    let map =
+      List.map
+        (fun e ->
+          affine_of_expr ~iters ~params
+            ~context:(Printf.sprintf "subscript of %s" a)
+            e)
+        subs
+    in
+    { Ir.arr = a; map = Array.of_list map }
+  in
+  let rec expr_of ~iters e =
+    match e with
+    | S_int n -> Ir.Const (float_of_int n)
+    | S_float f -> Ir.Const f
+    | S_id s -> (
+        if List.mem s arrays then Ir.Load (mk_access ~iters (s, []))
+        else
+          match List.find_index (String.equal s) iters with
+          | Some i -> Ir.Iter i
+          | None ->
+              fail "identifier %s in statement body is neither an array nor an iterator" s)
+    | S_idx (a, subs) -> Ir.Load (mk_access ~iters (a, subs))
+    | S_neg e -> Ir.Unop (`Neg, expr_of ~iters e)
+    | S_bin (op, a, b) -> Ir.Binop (op, expr_of ~iters a, expr_of ~iters b)
+  in
+  (* walk the loop tree collecting constraints; [bounds] are (lb_row, ub_row)
+     pairs over (depth-so-far iters + params + 1) *)
+  let rec walk items ~iters ~constrs ~prefix =
+    List.iteri
+      (fun idx item ->
+        match item with
+        | S_assign (lhs, rhs) ->
+            let m = List.length iters in
+            let nvars = m + np in
+            let cs =
+              List.map
+                (fun (row, from_iters) ->
+                  Polyhedra.ge
+                    (Ir.row_to_vec (widen_row ~from_iters ~to_iters:m row)))
+                constrs
+            in
+            let domain = Polyhedra.of_constrs nvars cs in
+            let static = Array.of_list (List.rev (idx :: prefix)) in
+            let lhs_acc = mk_access ~iters lhs in
+            let rhs_ir = expr_of ~iters rhs in
+            let id = !next_id in
+            incr next_id;
+            let iter_names = Array.of_list iters in
+            let param_names = Array.of_list params in
+            let text =
+              Format.asprintf "%s%a = %a;" lhs_acc.Ir.arr
+                (fun fmt rows ->
+                  Array.iter
+                    (fun row ->
+                      Format.fprintf fmt "[%a]"
+                        (Ir.pp_affine_row (Array.append iter_names param_names))
+                        row)
+                    rows)
+                lhs_acc.Ir.map
+                (Ir.pp_expr iter_names param_names)
+                rhs_ir
+            in
+            let s =
+              Ir.mk_stmt ~id
+                ~name:(Printf.sprintf "S%d" (id + 1))
+                ~iters ~nparams:np ~domain ~static ~lhs:lhs_acc ~rhs:rhs_ir
+                ~text
+            in
+            stmts := s :: !stmts
+        | S_for (it, lb, cmp, ub, body) ->
+            if List.mem it iters then fail "iterator %s shadows an outer loop" it;
+            let iters' = iters @ [ it ] in
+            let k = List.length iters' in
+            let lb_row =
+              affine_of_expr ~iters ~params
+                ~context:(Printf.sprintf "lower bound of %s" it)
+                lb
+            in
+            let ub_row =
+              affine_of_expr ~iters ~params
+                ~context:(Printf.sprintf "upper bound of %s" it)
+                ub
+            in
+            let width = k + np + 1 in
+            (* it - lb >= 0 *)
+            let lo = Array.make width 0 in
+            Array.iteri
+              (fun j v ->
+                let j' = if j < k - 1 then j else j + 1 in
+                lo.(j') <- -v)
+              lb_row;
+            lo.(k - 1) <- lo.(k - 1) + 1;
+            (* ub - it >= 0 (with <: ub - 1 - it >= 0) *)
+            let hi = Array.make width 0 in
+            Array.iteri
+              (fun j v ->
+                let j' = if j < k - 1 then j else j + 1 in
+                hi.(j') <- v)
+              ub_row;
+            hi.(k - 1) <- hi.(k - 1) - 1;
+            if cmp = `Lt then hi.(width - 1) <- hi.(width - 1) - 1;
+            walk body ~iters:iters'
+              ~constrs:(constrs @ [ (lo, k); (hi, k) ])
+              ~prefix:(idx :: prefix))
+      items
+  in
+  walk items ~iters:[] ~constrs:[] ~prefix:[];
+  { Ir.params; arrays = array_infos; stmts = List.rev !stmts }

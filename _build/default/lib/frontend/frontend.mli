@@ -1,0 +1,29 @@
+(** Front-end: a lexer, recursive-descent parser and polyhedral extractor for
+    the static-control C subset Pluto accepts.
+
+    Accepted input (the LooPo-scanner substitute):
+
+    {v
+    double a[N][N], b[N];        // array declarations; extents affine in params
+    for (t = 0; t < T; t++) {    // step-1 counted loops, affine bounds
+      for (i = 2; i <= N - 2; i++)
+        b[i] = 0.333 * (a[i-1][0] + a[i][0]);
+      for (j = 2; j < N - 1; j++)
+        a[j][0] = b[j];
+    }
+    v}
+
+    - loop bounds and array subscripts must be affine in surrounding
+      iterators and parameters;
+    - any identifier that is not a declared array and not a loop iterator is
+      a program parameter;
+    - [#] preprocessor lines and comments are ignored;
+    - assignments are floating-point expressions over array accesses.
+
+    Errors are reported with line/column positions. *)
+
+exception Parse_error of string
+
+(** [parse_program ~name src] parses and extracts the polyhedral IR.
+    @raise Parse_error on syntax or non-affine constructs. *)
+val parse_program : ?name:string -> string -> Ir.program

@@ -1,0 +1,184 @@
+type access_kind = Read | Write
+
+type access = { arr : string; map : int array array }
+
+type binop = Add | Sub | Mul | Div
+
+type expr =
+  | Const of float
+  | Iter of int
+  | Load of access
+  | Unop of [ `Neg ] * expr
+  | Binop of binop * expr * expr
+
+type stmt = {
+  id : int;
+  name : string;
+  iters : string list;
+  domain : Polyhedra.t;
+  static : int array;
+  lhs : access;
+  rhs : expr;
+  text : string;
+}
+
+type array_info = { aname : string; extents : int array array }
+
+type program = {
+  params : string list;
+  arrays : array_info list;
+  stmts : stmt list;
+}
+
+let depth s = List.length s.iters
+let nparams p = List.length p.params
+let nvars p s = depth s + nparams p
+
+let find_array p name =
+  match List.find_opt (fun a -> String.equal a.aname name) p.arrays with
+  | Some a -> a
+  | None -> invalid_arg ("Ir.find_array: unknown array " ^ name)
+
+let find_stmt p id =
+  match List.find_opt (fun s -> s.id = id) p.stmts with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Ir.find_stmt: unknown id %d" id)
+
+let rec reads_of_expr = function
+  | Const _ | Iter _ -> []
+  | Load a -> [ a ]
+  | Unop (_, e) -> reads_of_expr e
+  | Binop (_, a, b) -> reads_of_expr a @ reads_of_expr b
+
+let rec flops_of_expr = function
+  | Const _ | Iter _ | Load _ -> 0
+  | Unop (_, e) -> 1 + flops_of_expr e
+  | Binop (_, a, b) -> 1 + flops_of_expr a + flops_of_expr b
+
+let accesses s =
+  (Write, s.lhs) :: List.map (fun a -> (Read, a)) (reads_of_expr s.rhs)
+
+let common_loops a b =
+  let da = depth a and db = depth b in
+  let lim = min da db in
+  let rec go k =
+    if k >= lim then k
+    else if a.static.(k) = b.static.(k) then go (k + 1)
+    else k
+  in
+  go 0
+
+let precedes_at a b k =
+  if k > common_loops a b then
+    invalid_arg "Ir.precedes_at: level beyond common loops";
+  if a.static.(k) = b.static.(k) then a.id < b.id else a.static.(k) < b.static.(k)
+
+let row_to_vec (r : int array) : Vec.t = Vec.of_int_array r
+
+let access_row_value (row : int array) (iters : int array) (params : int array) =
+  let ni = Array.length iters and np = Array.length params in
+  if Array.length row <> ni + np + 1 then invalid_arg "Ir.access_row_value";
+  let acc = ref row.(ni + np) in
+  for j = 0 to ni - 1 do
+    acc := !acc + (row.(j) * iters.(j))
+  done;
+  for j = 0 to np - 1 do
+    acc := !acc + (row.(ni + j) * params.(j))
+  done;
+  !acc
+
+let check_access ~width (a : access) =
+  Array.iter
+    (fun row ->
+      if Array.length row <> width then
+        invalid_arg
+          (Printf.sprintf "Ir: access to %s has row width %d, expected %d"
+             a.arr (Array.length row) width))
+    a.map
+
+let mk_stmt ~id ~name ~iters ~nparams ~domain ~static ~lhs ~rhs ~text =
+  let m = List.length iters in
+  let width = m + nparams + 1 in
+  if domain.Polyhedra.nvars <> m + nparams then
+    invalid_arg "Ir.mk_stmt: domain variable count mismatch";
+  if Array.length static <> m + 1 then
+    invalid_arg "Ir.mk_stmt: static vector must have depth+1 entries";
+  check_access ~width lhs;
+  List.iter (check_access ~width) (reads_of_expr rhs);
+  { id; name; iters; domain; static; lhs; rhs; text }
+
+(* ------------------------------- printing ------------------------------- *)
+
+let pp_affine_row names fmt (row : int array) =
+  let n = Array.length row - 1 in
+  if Array.length names <> n then invalid_arg "Ir.pp_affine_row";
+  let first = ref true in
+  for j = 0 to n - 1 do
+    let a = row.(j) in
+    if a <> 0 then begin
+      if !first then begin
+        if a < 0 then Format.pp_print_string fmt "-";
+        first := false
+      end
+      else Format.pp_print_string fmt (if a < 0 then " - " else " + ");
+      if abs a <> 1 then Format.fprintf fmt "%d*" (abs a);
+      Format.pp_print_string fmt names.(j)
+    end
+  done;
+  let k = row.(n) in
+  if !first then Format.fprintf fmt "%d" k
+  else if k > 0 then Format.fprintf fmt " + %d" k
+  else if k < 0 then Format.fprintf fmt " - %d" (-k)
+
+let pp_access fmt a =
+  Format.fprintf fmt "%s[%d-dim access]" a.arr (Array.length a.map)
+
+let pp_expr iter_names param_names fmt e =
+  let names = Array.append iter_names param_names in
+  let rec go prec fmt = function
+    | Const f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Format.fprintf fmt "%.1f" f
+        else Format.fprintf fmt "%g" f
+    | Iter i -> Format.pp_print_string fmt iter_names.(i)
+    | Load a ->
+        Format.fprintf fmt "%s%a" a.arr
+          (fun fmt rows ->
+            Array.iter
+              (fun row -> Format.fprintf fmt "[%a]" (pp_affine_row names) row)
+              rows)
+          a.map
+    | Unop (`Neg, e) -> Format.fprintf fmt "-%a" (go 10) e
+    | Binop (op, a, b) ->
+        let sym, p =
+          match op with
+          | Add -> ("+", 1)
+          | Sub -> ("-", 1)
+          | Mul -> ("*", 2)
+          | Div -> ("/", 2)
+        in
+        if p < prec then
+          Format.fprintf fmt "(%a %s %a)" (go p) a sym (go (p + 1)) b
+        else Format.fprintf fmt "%a %s %a" (go p) a sym (go (p + 1)) b
+  in
+  go 0 fmt e
+
+let pp_stmt p fmt s =
+  let iter_names = Array.of_list s.iters in
+  let param_names = Array.of_list p.params in
+  let names = Array.append iter_names param_names in
+  Format.fprintf fmt "@[<v>%s (depth %d, static %s):@,  domain: %a@,  body: %s%a = %a;@]"
+    s.name (depth s)
+    (String.concat "," (List.map string_of_int (Array.to_list s.static)))
+    (Polyhedra.pp ~names) s.domain s.lhs.arr
+    (fun fmt rows ->
+      Array.iter (fun row -> Format.fprintf fmt "[%a]" (pp_affine_row names) row) rows)
+    s.lhs.map
+    (pp_expr iter_names param_names)
+    s.rhs
+
+let pp_program fmt p =
+  Format.fprintf fmt "@[<v>program (params: %s)@,%a@]"
+    (String.concat ", " p.params)
+    (Putil.pp_list "@," (pp_stmt p))
+    p.stmts

@@ -1,0 +1,128 @@
+(** Polyhedral program representation.
+
+    A program is a sequence of (possibly imperfectly nested) loop nests over
+    integer iterators with affine bounds and affine array accesses — the
+    static-control-part (SCoP) fragment Pluto handles.  Each statement [S]
+    carries:
+
+    - its iteration {e domain}, a polyhedron over [iterators @ parameters];
+    - affine {e access functions} for every array reference;
+    - a {e static position} vector encoding the original syntactic nesting
+      (the classic 2d+1 representation), which defines the original execution
+      order for dependence analysis;
+    - an executable body used by the simulator for semantic-equivalence
+      checks and flop counting.
+
+    Column convention: statement-local affine functions and constraints are
+    over [iters(S) @ params @ [1]]; native-int coefficient rows are converted
+    to {!Polyhedra} big-integer rows at the boundary. *)
+
+type access_kind = Read | Write
+
+(** An affine array access: [map] has one row per array dimension, each row of
+    length [depth + nparams + 1] (constant last). *)
+type access = { arr : string; map : int array array }
+
+type binop = Add | Sub | Mul | Div
+
+(** Executable statement bodies: floating-point expressions over affine
+    accesses, iterators and constants. *)
+type expr =
+  | Const of float
+  | Iter of int  (** the value of the statement's [i]-th iterator, as a float *)
+  | Load of access
+  | Unop of [ `Neg ] * expr
+  | Binop of binop * expr * expr
+
+(** [stmt] — a program statement.  [static] has length [depth + 1]: position
+    among siblings before entering loop 1, ..., position at innermost level. *)
+type stmt = {
+  id : int;
+  name : string;
+  iters : string list;
+  domain : Polyhedra.t;  (** over [iters @ params] *)
+  static : int array;
+  lhs : access;
+  rhs : expr;
+  text : string;  (** original source text, for code printing *)
+}
+
+(** Array extents are affine in the parameters: one row per dimension over
+    [params @ [1]]. *)
+type array_info = { aname : string; extents : int array array }
+
+type program = {
+  params : string list;
+  arrays : array_info list;
+  stmts : stmt list;
+}
+
+(** {1 Accessors} *)
+
+val depth : stmt -> int
+
+(** [nvars p s] = iterators of [s] + parameters: the variable count of the
+    statement's domain. *)
+val nvars : program -> stmt -> int
+
+val nparams : program -> int
+val find_array : program -> string -> array_info
+val find_stmt : program -> int -> stmt
+
+(** [accesses s] is the write access followed by all read accesses of [s]
+    (with duplicates preserved). *)
+val accesses : stmt -> (access_kind * access) list
+
+(** {1 Original-order helpers (2d+1 encoding)} *)
+
+(** [common_loops a b] is the number of loops shared syntactically by [a] and
+    [b] (the length of the common static prefix, capped by both depths). *)
+val common_loops : stmt -> stmt -> int
+
+(** [precedes_at a b k] is true iff [a] syntactically precedes [b] at nesting
+    level [k] (0-based; [k] must be <= the number of common loops). *)
+val precedes_at : stmt -> stmt -> int -> bool
+
+(** {1 Conversions} *)
+
+(** [row_to_vec r] converts a native-int coefficient row to a big-int row. *)
+val row_to_vec : int array -> Vec.t
+
+(** [access_row_value row iters params] evaluates an affine row. *)
+val access_row_value : int array -> int array -> int array -> int
+
+(** {1 Building} *)
+
+(** [mk_stmt ~id ~name ~iters ~domain ~static ~lhs ~rhs ~text] with sanity
+    checks on dimensions.
+    @raise Invalid_argument on inconsistent widths. *)
+val mk_stmt :
+  id:int ->
+  name:string ->
+  iters:string list ->
+  nparams:int ->
+  domain:Polyhedra.t ->
+  static:int array ->
+  lhs:access ->
+  rhs:expr ->
+  text:string ->
+  stmt
+
+(** [reads_of_expr e] collects all loads in evaluation order. *)
+val reads_of_expr : expr -> access list
+
+(** [flops_of_expr e] counts arithmetic operations. *)
+val flops_of_expr : expr -> int
+
+(** {1 Printing} *)
+
+val pp_access : Format.formatter -> access -> unit
+val pp_stmt : program -> Format.formatter -> stmt -> unit
+val pp_program : Format.formatter -> program -> unit
+
+(** [pp_expr names nparams] prints an expression with iterator/param names. *)
+val pp_expr : string array -> string array -> Format.formatter -> expr -> unit
+
+(** [pp_affine_row names] prints an affine row such as [2*t + i - 1] using the
+    given variable names (row length = names + 1). *)
+val pp_affine_row : string array -> Format.formatter -> int array -> unit

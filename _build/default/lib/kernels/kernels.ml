@@ -1,0 +1,322 @@
+(** The benchmark kernels of the paper's evaluation (§7) plus additional
+    kernels used by the examples and tests.  Each kernel carries its source
+    in the C subset the front-end accepts, parameter settings for the
+    (small) semantic-equivalence checks and the (larger) simulated
+    benchmarks, and notes tying it back to the paper. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  check_params : (string * int) list;  (** small: equivalence checking *)
+  bench_params : (string * int) list;  (** larger: performance simulation *)
+  paper : string;  (** which figure of the paper it appears in, if any *)
+}
+
+(* --------------------------- paper kernels (§7) --------------------------- *)
+
+let jacobi_1d =
+  {
+    name = "jacobi-1d-imper";
+    description = "imperfectly nested 1-d Jacobi stencil (Figure 3/6)";
+    paper = "Fig. 3, 6";
+    source =
+      {|
+double a[N], b[N];
+for (t = 0; t < T; t++) {
+  for (i = 2; i < N - 1; i++)
+    b[i] = 0.333 * (a[i-1] + a[i] + a[i+1]);
+  for (j = 2; j < N - 1; j++)
+    a[j] = b[j];
+}
+|};
+    check_params = [ ("T", 7); ("N", 26) ];
+    bench_params = [ ("T", 128); ("N", 8000) ];
+  }
+
+let fdtd_2d =
+  {
+    name = "fdtd-2d";
+    description = "2-d finite difference time domain kernel (Figure 7/8)";
+    paper = "Fig. 7, 8";
+    source =
+      {|
+double ex[nx][ny], ey[nx + 1][ny], hz[nx][ny];
+for (t = 0; t < tmax; t++) {
+  for (j = 0; j < ny; j++)
+    ey[0][j] = 0.25 * t;
+  for (i = 1; i < nx; i++)
+    for (j = 0; j < ny; j++)
+      ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i-1][j]);
+  for (i = 0; i < nx; i++)
+    for (j = 1; j < ny; j++)
+      ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j-1]);
+  for (i = 0; i < nx; i++)
+    for (j = 0; j < ny; j++)
+      hz[i][j] = hz[i][j] - 0.7 * (ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j]);
+}
+|};
+    check_params = [ ("tmax", 5); ("nx", 14); ("ny", 13) ];
+    bench_params = [ ("tmax", 32); ("nx", 100); ("ny", 100) ];
+  }
+
+let lu =
+  {
+    name = "lu";
+    description = "LU decomposition without pivoting (Figure 9/10)";
+    paper = "Fig. 2, 9, 10";
+    source =
+      {|
+double a[N][N];
+for (k = 0; k < N; k++) {
+  for (j = k + 1; j < N; j++)
+    a[k][j] = a[k][j] / a[k][k];
+  for (i = k + 1; i < N; i++)
+    for (j = k + 1; j < N; j++)
+      a[i][j] = a[i][j] - a[i][k] * a[k][j];
+}
+|};
+    check_params = [ ("N", 20) ];
+    bench_params = [ ("N", 150) ];
+  }
+
+let mvt =
+  {
+    name = "mvt";
+    description = "matrix-vector transpose sequence (Figure 11/12)";
+    paper = "Fig. 11, 12";
+    source =
+      {|
+double A[N][N], x1[N], x2[N], y1[N], y2[N];
+for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    x1[i] = x1[i] + A[i][j] * y1[j];
+for (k = 0; k < N; k++)
+  for (l = 0; l < N; l++)
+    x2[k] = x2[k] + A[l][k] * y2[l];
+|};
+    check_params = [ ("N", 24) ];
+    bench_params = [ ("N", 600) ];
+  }
+
+let seidel =
+  {
+    name = "seidel";
+    description = "3-d Gauss-Seidel successive over-relaxation (Figure 13)";
+    paper = "Fig. 13";
+    source =
+      {|
+double a[N][N];
+for (t = 0; t < T; t++)
+  for (i = 1; i < N - 1; i++)
+    for (j = 1; j < N - 1; j++)
+      a[i][j] = (a[i-1][j] + a[i+1][j] + a[i][j-1] + a[i][j+1] + a[i][j]) / 5.0;
+|};
+    check_params = [ ("T", 5); ("N", 16) ];
+    bench_params = [ ("T", 32); ("N", 120) ];
+  }
+
+(* ------------------------------ extra kernels ----------------------------- *)
+
+let matmul =
+  {
+    name = "matmul";
+    description = "dense matrix-matrix multiplication (quickstart kernel)";
+    paper = "-";
+    source =
+      {|
+double A[N][N], B[N][N], C[N][N];
+for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    for (k = 0; k < N; k++)
+      C[i][j] = C[i][j] + A[i][k] * B[k][j];
+|};
+    check_params = [ ("N", 14) ];
+    bench_params = [ ("N", 140) ];
+  }
+
+let jacobi_2d =
+  {
+    name = "jacobi-2d";
+    description = "2-d Jacobi stencil with explicit copy-back";
+    paper = "-";
+    source =
+      {|
+double a[N][N], b[N][N];
+for (t = 0; t < T; t++) {
+  for (i = 1; i < N - 1; i++)
+    for (j = 1; j < N - 1; j++)
+      b[i][j] = 0.2 * (a[i][j] + a[i-1][j] + a[i+1][j] + a[i][j-1] + a[i][j+1]);
+  for (i = 1; i < N - 1; i++)
+    for (j = 1; j < N - 1; j++)
+      a[i][j] = b[i][j];
+}
+|};
+    check_params = [ ("T", 4); ("N", 12) ];
+    bench_params = [ ("T", 24); ("N", 120) ];
+  }
+
+let gemver =
+  {
+    name = "gemver";
+    description = "BLAS-like vector/matrix update sequence (fusion stress)";
+    paper = "-";
+    source =
+      {|
+double A[N][N], B[N][N], u1[N], u2[N], v1[N], v2[N], x[N], y[N], w[N], z[N];
+for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    B[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+for (k = 0; k < N; k++)
+  for (l = 0; l < N; l++)
+    x[k] = x[k] + B[l][k] * y[l];
+for (p = 0; p < N; p++)
+  x[p] = x[p] + z[p];
+for (q = 0; q < N; q++)
+  for (r = 0; r < N; r++)
+    w[q] = w[q] + B[q][r] * x[r];
+|};
+    check_params = [ ("N", 16) ];
+    bench_params = [ ("N", 300) ];
+  }
+
+let trmm =
+  {
+    name = "trmm";
+    description = "triangular matrix multiplication";
+    paper = "-";
+    source =
+      {|
+double A[N][N], B[N][N];
+for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    for (k = i + 1; k < N; k++)
+      B[i][j] = B[i][j] + A[i][k] * B[k][j];
+|};
+    check_params = [ ("N", 12) ];
+    bench_params = [ ("N", 120) ];
+  }
+
+let mm2 =
+  {
+    name = "2mm";
+    description = "two chained matrix products (distribution/fusion test)";
+    paper = "-";
+    source =
+      {|
+double A[N][N], B[N][N], C[N][N], D[N][N], E[N][N];
+for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    for (k = 0; k < N; k++)
+      C[i][j] = C[i][j] + A[i][k] * B[k][j];
+for (p = 0; p < N; p++)
+  for (q = 0; q < N; q++)
+    for (r = 0; r < N; r++)
+      E[p][q] = E[p][q] + C[p][r] * D[r][q];
+|};
+    check_params = [ ("N", 10) ];
+    bench_params = [ ("N", 90) ];
+  }
+
+let syrk =
+  {
+    name = "syrk";
+    description = "symmetric rank-k update (triangular output)";
+    paper = "-";
+    source =
+      {|
+double A[N][M], C[N][N];
+for (i = 0; i < N; i++)
+  for (j = 0; j <= i; j++)
+    for (k = 0; k < M; k++)
+      C[i][j] = C[i][j] + A[i][k] * A[j][k];
+|};
+    check_params = [ ("N", 12); ("M", 9) ];
+    bench_params = [ ("N", 120); ("M", 60) ];
+  }
+
+let doitgen =
+  {
+    name = "doitgen";
+    description = "multi-resolution analysis kernel (3-d data, 2 statements)";
+    paper = "-";
+    source =
+      {|
+double A[R][Q][P], sum[R][Q][P], C4[P][P];
+for (r = 0; r < R; r++)
+  for (q = 0; q < Q; q++) {
+    for (p = 0; p < P; p++)
+      for (s = 0; s < P; s++)
+        sum[r][q][p] = sum[r][q][p] + A[r][q][s] * C4[s][p];
+    for (w = 0; w < P; w++)
+      A[r][q][w] = sum[r][q][w];
+  }
+|};
+    check_params = [ ("R", 5); ("Q", 4); ("P", 6) ];
+    bench_params = [ ("R", 30); ("Q", 30); ("P", 30) ];
+  }
+
+let gesummv =
+  {
+    name = "gesummv";
+    description = "summed matrix-vector products (fusion of two MVs)";
+    paper = "-";
+    source =
+      {|
+double A[N][N], B[N][N], x[N], y[N], tmp[N];
+for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    tmp[i] = tmp[i] + A[i][j] * x[j];
+for (k = 0; k < N; k++)
+  for (l = 0; l < N; l++)
+    y[k] = y[k] + B[k][l] * x[l];
+for (p = 0; p < N; p++)
+  y[p] = 3.0 * tmp[p] + 2.0 * y[p];
+|};
+    check_params = [ ("N", 18) ];
+    bench_params = [ ("N", 400) ];
+  }
+
+let all =
+  [
+    jacobi_1d;
+    fdtd_2d;
+    lu;
+    mvt;
+    seidel;
+    matmul;
+    jacobi_2d;
+    gemver;
+    trmm;
+    mm2;
+    syrk;
+    doitgen;
+    gesummv;
+  ]
+
+let find name =
+  match List.find_opt (fun k -> String.equal k.name name) all with
+  | Some k -> k
+  | None -> invalid_arg ("Kernels.find: unknown kernel " ^ name)
+
+(** [program k] parses the kernel's source. *)
+let program k = Frontend.parse_program ~name:k.name k.source
+
+(** [params_vector prog assoc] orders an association list of parameter values
+    according to the program's parameter order.
+    @raise Invalid_argument if a parameter is missing. *)
+let params_vector (prog : Ir.program) assoc =
+  Array.of_list
+    (List.map
+       (fun p ->
+         match List.assoc_opt p assoc with
+         | Some v -> v
+         | None -> invalid_arg ("Kernels.params_vector: missing " ^ p))
+       prog.Ir.params)
+
+(** Parameter vector scaled by a factor applied to every "size-like"
+    parameter (those whose default exceeds [threshold]). *)
+let scale_params ?(threshold = 0) assoc factor =
+  List.map
+    (fun (p, v) -> (p, if v > threshold then max 1 (v * factor / 100) else v))
+    assoc

@@ -1,0 +1,1 @@
+lib/linalg/mat.ml: Array Bigint Format List Putil Q Vec

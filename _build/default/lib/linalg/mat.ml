@@ -1,0 +1,204 @@
+type t = Q.t array array
+
+let rows (m : t) = Array.length m
+let cols (m : t) = if Array.length m = 0 then 0 else Array.length m.(0)
+let make r c v : t = Array.init r (fun _ -> Array.make c v)
+let init r c f : t = Array.init r (fun i -> Array.init c (fun j -> f i j))
+
+let identity n : t =
+  init n n (fun i j -> if i = j then Q.one else Q.zero)
+
+let of_int_rows rws : t = Array.map (Array.map Q.of_int) rws
+let of_bigint_rows rws : t = Array.map (Array.map Q.of_bigint) rws
+let copy (m : t) : t = Array.map Array.copy m
+let transpose (m : t) : t = init (cols m) (rows m) (fun i j -> m.(j).(i))
+
+let mul (a : t) (b : t) : t =
+  let n = cols a in
+  if n <> rows b then invalid_arg "Mat.mul: dimension mismatch";
+  init (rows a) (cols b) (fun i j ->
+      let acc = ref Q.zero in
+      for k = 0 to n - 1 do
+        acc := Q.add !acc (Q.mul a.(i).(k) b.(k).(j))
+      done;
+      !acc)
+
+let mul_vec (a : t) (x : Q.t array) =
+  if cols a <> Array.length x then invalid_arg "Mat.mul_vec";
+  Array.map
+    (fun row ->
+      let acc = ref Q.zero in
+      Array.iteri (fun j v -> acc := Q.add !acc (Q.mul v x.(j))) row;
+      !acc)
+    a
+
+let equal (a : t) (b : t) =
+  rows a = rows b && cols a = cols b
+  && Putil.array_for_all2 (fun ra rb -> Putil.array_for_all2 Q.equal ra rb) a b
+
+(* In-place reduced row echelon form; returns pivot columns in order. *)
+let rref_in_place (m : t) =
+  let nr = rows m and nc = cols m in
+  let pivots = ref [] in
+  let r = ref 0 in
+  let c = ref 0 in
+  while !r < nr && !c < nc do
+    (* find a pivot row *)
+    let piv = ref (-1) in
+    (try
+       for i = !r to nr - 1 do
+         if not (Q.is_zero m.(i).(!c)) then begin
+           piv := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !piv < 0 then incr c
+    else begin
+      let tmp = m.(!r) in
+      m.(!r) <- m.(!piv);
+      m.(!piv) <- tmp;
+      let inv = Q.inv m.(!r).(!c) in
+      m.(!r) <- Array.map (Q.mul inv) m.(!r);
+      for i = 0 to nr - 1 do
+        if i <> !r && not (Q.is_zero m.(i).(!c)) then begin
+          let f = m.(i).(!c) in
+          m.(i) <- Array.mapi (fun j v -> Q.sub v (Q.mul f m.(!r).(j))) m.(i)
+        end
+      done;
+      pivots := !c :: !pivots;
+      incr r;
+      incr c
+    end
+  done;
+  List.rev !pivots
+
+let rref (m : t) =
+  let m' = copy m in
+  let pivots = rref_in_place m' in
+  (m', pivots)
+
+let rank (m : t) = List.length (snd (rref m))
+
+let inverse (m : t) =
+  let n = rows m in
+  if n <> cols m then invalid_arg "Mat.inverse: not square";
+  (* augment with identity, reduce, read off the right half *)
+  let aug = init n (2 * n) (fun i j -> if j < n then m.(i).(j) else if j - n = i then Q.one else Q.zero) in
+  let pivots = rref_in_place aug in
+  if List.length pivots <> n || List.exists (fun p -> p >= n) pivots then None
+  else Some (init n n (fun i j -> aug.(i).(j + n)))
+
+let solve (a : t) (b : Q.t array) =
+  let nr = rows a and nc = cols a in
+  if Array.length b <> nr then invalid_arg "Mat.solve";
+  let aug = init nr (nc + 1) (fun i j -> if j < nc then a.(i).(j) else b.(i)) in
+  let pivots = rref_in_place aug in
+  if List.exists (fun p -> p = nc) pivots then None (* row [0 .. 0 | 1] *)
+  else begin
+    let x = Array.make nc Q.zero in
+    List.iteri (fun r p -> x.(p) <- aug.(r).(nc)) pivots;
+    Some x
+  end
+
+let nullspace (m : t) =
+  let nc = cols m in
+  let r, pivots = rref m in
+  let is_pivot = Array.make nc false in
+  List.iter (fun p -> is_pivot.(p) <- true) pivots;
+  let pivot_rows = Array.of_list pivots in
+  let basis = ref [] in
+  for free = nc - 1 downto 0 do
+    if not is_pivot.(free) then begin
+      let v = Array.make nc Q.zero in
+      v.(free) <- Q.one;
+      Array.iteri (fun row p -> v.(p) <- Q.neg r.(row).(free)) pivot_rows;
+      basis := v :: !basis
+    end
+  done;
+  !basis
+
+let row_to_bigint (row : Q.t array) : Vec.t =
+  let l = Array.fold_left (fun acc q -> Bigint.lcm acc (Q.den q)) Bigint.one row in
+  Vec.normalize (Array.map (fun q -> Bigint.div (Bigint.mul (Q.num q) l) (Q.den q)) row)
+
+let orthogonal_complement (h : t) =
+  let n = cols h in
+  if rows h = 0 then
+    (* no rows yet: the complement is the whole space *)
+    Array.to_list (Array.init n (fun i -> Array.init n (fun j -> if i = j then Q.one else Q.zero)))
+    |> List.map row_to_bigint
+  else begin
+    let ht = transpose h in
+    let hht = mul h ht in
+    match inverse hht with
+    | None -> invalid_arg "Mat.orthogonal_complement: rows not independent"
+    | Some inv ->
+        let proj = mul (mul ht inv) h in
+        let comp = init n n (fun i j -> Q.sub (if i = j then Q.one else Q.zero) proj.(i).(j)) in
+        (* canonicalize: primitive rows with positive leading sign, deduped —
+           the projector contains r and -r pairs, which would otherwise force
+           r·c = 0 in the non-negative independence constraints of eq. (6) *)
+        let canonical (v : Vec.t) =
+          match Array.find_opt (fun x -> not (Bigint.is_zero x)) v with
+          | Some lead when Bigint.sign lead < 0 -> Vec.neg v
+          | _ -> v
+        in
+        Array.to_list comp
+        |> List.map row_to_bigint
+        |> List.filter (fun v -> not (Vec.is_zero v))
+        |> List.map canonical
+        |> List.fold_left
+             (fun acc v ->
+               if List.exists (Vec.equal v) acc then acc else acc @ [ v ])
+             []
+  end
+
+let determinant (m : t) =
+  let n = rows m in
+  if n <> cols m then invalid_arg "Mat.determinant: not square";
+  let a = copy m in
+  let det = ref Q.one in
+  (try
+     for c = 0 to n - 1 do
+       let piv = ref (-1) in
+       (try
+          for i = c to n - 1 do
+            if not (Q.is_zero a.(i).(c)) then begin
+              piv := i;
+              raise Exit
+            end
+          done
+        with Exit -> ());
+       if !piv < 0 then begin
+         det := Q.zero;
+         raise Exit
+       end;
+       if !piv <> c then begin
+         let tmp = a.(c) in
+         a.(c) <- a.(!piv);
+         a.(!piv) <- tmp;
+         det := Q.neg !det
+       end;
+       det := Q.mul !det a.(c).(c);
+       let inv = Q.inv a.(c).(c) in
+       for i = c + 1 to n - 1 do
+         if not (Q.is_zero a.(i).(c)) then begin
+           let f = Q.mul a.(i).(c) inv in
+           a.(i) <- Array.mapi (fun j v -> Q.sub v (Q.mul f a.(c).(j))) a.(i)
+         end
+       done
+     done
+   with Exit -> ());
+  !det
+
+let is_unimodular (m : t) =
+  let d = determinant m in
+  Q.equal d Q.one || Q.equal d Q.minus_one
+
+let pp fmt (m : t) =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Putil.pp_list "@,"
+       (fun fmt row ->
+         Format.fprintf fmt "[%a]" (Putil.pp_list " " Q.pp) (Array.to_list row)))
+    (Array.to_list m)

@@ -1,0 +1,60 @@
+(** Exact rational matrices with Gaussian elimination.
+
+    The workhorse of the transformation framework: rank and linear-independence
+    tests on hyperplane matrices, nullspaces, inverses, and the orthogonal
+    sub-space computation of eq. (6) of the paper,
+    H⊥ = I − Hᵀ(HHᵀ)⁻¹H. *)
+
+type t = Q.t array array
+
+val rows : t -> int
+val cols : t -> int
+val make : int -> int -> Q.t -> t
+val init : int -> int -> (int -> int -> Q.t) -> t
+val identity : int -> t
+
+(** [of_int_rows rows] builds a matrix from native-integer rows. *)
+val of_int_rows : int array array -> t
+
+(** [of_bigint_rows rows] builds a matrix from big-integer rows. *)
+val of_bigint_rows : Bigint.t array array -> t
+
+val copy : t -> t
+val transpose : t -> t
+val mul : t -> t -> t
+val mul_vec : t -> Q.t array -> Q.t array
+val equal : t -> t -> bool
+
+(** [rank m] is the rank of [m]. *)
+val rank : t -> int
+
+(** [rref m] is [(r, pivots)]: the reduced row-echelon form of [m] and the
+    pivot column of each of the first [rank] rows. *)
+val rref : t -> t * int list
+
+(** [inverse m] is the inverse of a square matrix, or [None] if singular. *)
+val inverse : t -> t option
+
+(** [solve a b] is some [x] with [a·x = b], or [None] if inconsistent. *)
+val solve : t -> Q.t array -> Q.t array option
+
+(** [nullspace m] is a basis of the right null space [{x | m·x = 0}]. *)
+val nullspace : t -> Q.t array list
+
+(** [row_to_bigint r] scales a rational row to a primitive big-integer row
+    (multiply by the lcm of denominators, divide by the gcd). *)
+val row_to_bigint : Q.t array -> Vec.t
+
+(** [orthogonal_complement h] implements eq. (6): the non-zero rows of
+    I − Hᵀ(HHᵀ)⁻¹H, scaled to primitive integer rows.  [h]'s rows must be
+    linearly independent.  The result spans the orthogonal complement of the
+    row space of [h]; an empty list means [h] already has full column rank. *)
+val orthogonal_complement : t -> Vec.t list
+
+(** [is_unimodular m] checks a square integer matrix has determinant ±1. *)
+val is_unimodular : t -> bool
+
+(** [determinant m] of a square matrix. *)
+val determinant : t -> Q.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+(* Normalized rationals: den > 0, gcd (num, den) = 1. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+let minus_one = { num = Bigint.minus_one; den = Bigint.one }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then zero
+  else begin
+    let num, den =
+      if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den)
+    in
+    let g = Bigint.gcd num den in
+    if Bigint.is_one g then { num; den }
+    else { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints num den = make (Bigint.of_int num) (Bigint.of_int den)
+let num t = t.num
+let den t = t.den
+let is_integer t = Bigint.is_one t.den
+
+let to_bigint_exn t =
+  if is_integer t then t.num else failwith "Q.to_bigint_exn: not an integer"
+
+let floor t = Bigint.fdiv t.num t.den
+let ceil t = Bigint.cdiv t.num t.den
+let sign t = Bigint.sign t.num
+let is_zero t = Bigint.is_zero t.num
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den, dens > 0 *)
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+let neg t = { t with num = Bigint.neg t.num }
+let abs t = { t with num = Bigint.abs t.num }
+
+let inv t =
+  if is_zero t then raise Division_by_zero
+  else if Bigint.sign t.num > 0 then { num = t.den; den = t.num }
+  else { num = Bigint.neg t.den; den = Bigint.neg t.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let div a b = mul a (inv b)
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_string t =
+  if is_integer t then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let to_float t =
+  (* Exact enough for reporting: fall back to string parsing for huge values. *)
+  match (Bigint.to_int_opt t.num, Bigint.to_int_opt t.den) with
+  | Some n, Some d -> float_of_int n /. float_of_int d
+  | _ -> float_of_string (Bigint.to_string t.num) /. float_of_string (Bigint.to_string t.den)
+
+module Ops = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( <> ) a b = not (equal a b)
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

@@ -1,0 +1,72 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept normalized: the denominator is positive and the numerator
+    and denominator are coprime. Used by the simplex solver and by exact
+    Gaussian elimination. *)
+
+type t = private { num : Bigint.t; den : Bigint.t }
+
+val zero : t
+val one : t
+val minus_one : t
+
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+(** [of_ints num den] is [num/den] from native integers. *)
+val of_ints : int -> int -> t
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+(** [to_bigint_exn t] converts an integral rational.
+    @raise Failure if the denominator is not 1. *)
+val to_bigint_exn : t -> Bigint.t
+
+(** [is_integer t] is true iff the denominator is 1. *)
+val is_integer : t -> bool
+
+(** [floor t] / [ceil t]: integral bounds as big integers. *)
+val floor : t -> Bigint.t
+
+val ceil : t -> Bigint.t
+
+val sign : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero on zero divisor. *)
+val div : t -> t -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** [to_float t] is an approximate float value (for reporting only). *)
+val to_float : t -> float
+
+module Ops : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( <> ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,39 @@
+(** Dense vectors of big integers. *)
+
+type t = Bigint.t array
+
+let make n v : t = Array.make n v
+let zero n : t = Array.make n Bigint.zero
+let init = Array.init
+let of_int_array a : t = Array.map Bigint.of_int a
+let of_int_list l : t = of_int_array (Array.of_list l)
+let to_int_array (t : t) = Array.map Bigint.to_int t
+let copy : t -> t = Array.copy
+let length : t -> int = Array.length
+let equal (a : t) (b : t) = Array.length a = Array.length b && Putil.array_for_all2 Bigint.equal a b
+let is_zero (t : t) = Array.for_all Bigint.is_zero t
+let neg (t : t) : t = Array.map Bigint.neg t
+let add (a : t) (b : t) : t = Array.map2 Bigint.add a b
+let sub (a : t) (b : t) : t = Array.map2 Bigint.sub a b
+let scale k (t : t) : t = Array.map (Bigint.mul k) t
+
+let dot (a : t) (b : t) =
+  if Array.length a <> Array.length b then invalid_arg "Vec.dot";
+  let acc = ref Bigint.zero in
+  Array.iteri (fun i ai -> acc := Bigint.add !acc (Bigint.mul ai b.(i))) a;
+  !acc
+
+(** Greatest common divisor of all entries (non-negative; 0 for zero vector). *)
+let content (t : t) = Array.fold_left Bigint.gcd Bigint.zero t
+
+(** Divide through by the content, making the vector primitive.  The zero
+    vector is returned unchanged. *)
+let normalize (t : t) : t =
+  let g = content t in
+  if Bigint.is_zero g || Bigint.is_one g then t
+  else Array.map (fun x -> Bigint.div x g) t
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "[%a]" (Putil.pp_list "; " Bigint.pp) (Array.to_list t)
+
+let to_string t = Putil.string_of_format pp t

@@ -1,0 +1,37 @@
+(** Dense vectors of big integers — constraint rows and transformation
+    coefficients throughout the polyhedral layers. *)
+
+type t = Bigint.t array
+
+val make : int -> Bigint.t -> t
+val zero : int -> t
+val init : int -> (int -> Bigint.t) -> t
+val of_int_array : int array -> t
+val of_int_list : int list -> t
+
+(** @raise Failure if an entry does not fit a native int. *)
+val to_int_array : t -> int array
+
+val copy : t -> t
+val length : t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Bigint.t -> t -> t
+
+(** [dot a b] — inner product.
+    @raise Invalid_argument on length mismatch. *)
+val dot : t -> t -> Bigint.t
+
+(** [content t] — the gcd of all entries (non-negative; 0 for the zero
+    vector). *)
+val content : t -> Bigint.t
+
+(** [normalize t] divides through by the content, making the vector
+    primitive; the zero vector is returned unchanged. *)
+val normalize : t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

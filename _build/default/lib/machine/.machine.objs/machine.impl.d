@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Bigint Cache Codegen Float Format Hashtbl Ir List Pluto Polyhedra Printf Vec

@@ -1,0 +1,69 @@
+(** Set-associative LRU cache simulation.
+
+    Addresses are in bytes; a cache holds [sets * assoc] lines of
+    [line_bytes].  LRU ranks are stored per way as a monotonically increasing
+    stamp; on the small associativities modelled here a linear scan is fast.
+    Used to model private L1s and (pair-)shared L2s of the simulated
+    multicore. *)
+
+type config = { size_bytes : int; line_bytes : int; assoc : int }
+
+type t = {
+  cfg : config;
+  nsets : int;
+  tags : int array;  (* nsets * assoc; -1 = invalid *)
+  stamps : int array;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create cfg =
+  let nsets = max 1 (cfg.size_bytes / (cfg.line_bytes * cfg.assoc)) in
+  {
+    cfg;
+    nsets;
+    tags = Array.make (nsets * cfg.assoc) (-1);
+    stamps = Array.make (nsets * cfg.assoc) 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.clock <- 0;
+  t.hits <- 0;
+  t.misses <- 0
+
+(** [access t addr] touches the line containing byte address [addr];
+    returns [true] on hit. *)
+let access t addr =
+  let line = addr / t.cfg.line_bytes in
+  let set = line mod t.nsets in
+  let base = set * t.cfg.assoc in
+  t.clock <- t.clock + 1;
+  let rec find w =
+    if w >= t.cfg.assoc then None
+    else if t.tags.(base + w) = line then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+      t.stamps.(base + w) <- t.clock;
+      t.hits <- t.hits + 1;
+      true
+  | None ->
+      (* evict LRU way *)
+      let victim = ref 0 in
+      for w = 1 to t.cfg.assoc - 1 do
+        if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
+      done;
+      t.tags.(base + !victim) <- line;
+      t.stamps.(base + !victim) <- t.clock;
+      t.misses <- t.misses + 1;
+      false
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,20 @@
+(** Set-associative LRU cache simulation.
+
+    Models the private L1s and pair-shared L2s of the simulated multicore
+    (see DESIGN.md: a Core 2 Quad Q6600 scaled down so cache effects appear
+    at simulable problem sizes).  Addresses are byte addresses; state is
+    [sets x assoc] lines with LRU stamps. *)
+
+type config = { size_bytes : int; line_bytes : int; assoc : int }
+
+type t
+
+val create : config -> t
+val reset : t -> unit
+
+(** [access t addr] touches the line containing byte [addr]; returns [true]
+    on hit, and updates LRU/miss state. *)
+val access : t -> int -> bool
+
+val hits : t -> int
+val misses : t -> int

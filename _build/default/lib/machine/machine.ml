@@ -1,0 +1,535 @@
+(* See machine.mli for the model description. *)
+
+(* ------------------------------ array memory ------------------------------ *)
+
+type array_layout = {
+  al_name : string;
+  al_base : int;  (* element offset into the store *)
+  al_extents : int array;  (* per dimension, margin included *)
+  al_strides : int array;  (* element strides, row-major *)
+  al_size : int;
+}
+
+type memory = {
+  layouts : (string * array_layout) list;
+  data : float array;
+  m_params : int array;
+}
+
+let margin = 2
+
+let alloc_memory (p : Ir.program) ~params =
+  let np = List.length p.Ir.params in
+  if Array.length params <> np then invalid_arg "Machine.alloc_memory: params";
+  let base = ref 0 in
+  let layouts =
+    List.map
+      (fun (a : Ir.array_info) ->
+        let extents =
+          Array.map
+            (fun row -> margin + Ir.access_row_value row [||] params)
+            a.Ir.extents
+        in
+        Array.iter
+          (fun e ->
+            if e <= 0 then
+              invalid_arg
+                (Printf.sprintf "Machine.alloc_memory: array %s has extent %d"
+                   a.Ir.aname e))
+          extents;
+        let nd = Array.length extents in
+        let strides = Array.make nd 1 in
+        for d = nd - 2 downto 0 do
+          strides.(d) <- strides.(d + 1) * extents.(d + 1)
+        done;
+        let size = if nd = 0 then 1 else extents.(0) * strides.(0) in
+        let l =
+          {
+            al_name = a.Ir.aname;
+            al_base = !base;
+            al_extents = extents;
+            al_strides = strides;
+            al_size = size;
+          }
+        in
+        base := !base + size;
+        (a.Ir.aname, l))
+      p.Ir.arrays
+  in
+  { layouts; data = Array.make (max 1 !base) 0.0; m_params = params }
+
+let init_memory mem =
+  (* deterministic pseudo-random contents: splitmix-style hash of the index *)
+  let hash i =
+    let z = (i + 0x9e3779b9) * 0x85ebca6b land 0x3FFFFFFF in
+    let z = (z lxor (z lsr 13)) * 0xc2b2ae35 land 0x3FFFFFFF in
+    float_of_int (z land 0xFFFF) /. 65536.0
+  in
+  Array.iteri (fun i _ -> mem.data.(i) <- hash i) mem.data
+
+let memory_data mem = mem.data
+
+let layout mem name =
+  match List.assoc_opt name mem.layouts with
+  | Some l -> l
+  | None -> invalid_arg ("Machine: unknown array " ^ name)
+
+(* Element offset of an access at given iterator/parameter values. *)
+let access_offset mem (a : Ir.access) iters params =
+  let l = layout mem a.Ir.arr in
+  let nd = Array.length a.Ir.map in
+  if nd <> Array.length l.al_extents then
+    invalid_arg ("Machine: dimensionality mismatch on " ^ a.Ir.arr);
+  let off = ref l.al_base in
+  for d = 0 to nd - 1 do
+    let idx = Ir.access_row_value a.Ir.map.(d) iters params in
+    if idx < 0 || idx >= l.al_extents.(d) then
+      failwith
+        (Printf.sprintf "Machine: out-of-bounds access %s dim %d index %d (extent %d)"
+           a.Ir.arr d idx l.al_extents.(d));
+    off := !off + (idx * l.al_strides.(d))
+  done;
+  !off
+
+(* ------------------------- expression evaluation ------------------------- *)
+
+let floord n d = if n >= 0 then n / d else -((-n + d - 1) / d)
+let ceild n d = if n >= 0 then (n + d - 1) / d else -(-n / d)
+
+(* env has width nlevels + nparams; affine rows have width env+1. *)
+let eval_affine (row : int array) (env : int array) =
+  let n = Array.length env in
+  let acc = ref row.(n) in
+  for j = 0 to n - 1 do
+    if row.(j) <> 0 then acc := !acc + (row.(j) * env.(j))
+  done;
+  !acc
+
+let rec eval_iexpr (e : Codegen.iexpr) env =
+  match e with
+  | Codegen.Affine row -> eval_affine row env
+  | Codegen.Floord (e, d) -> floord (eval_iexpr e env) d
+  | Codegen.Ceild (e, d) -> ceild (eval_iexpr e env) d
+  | Codegen.Emin es ->
+      List.fold_left (fun acc e -> min acc (eval_iexpr e env)) max_int es
+  | Codegen.Emax es ->
+      List.fold_left (fun acc e -> max acc (eval_iexpr e env)) min_int es
+
+let guard_holds (g : Codegen.guard) env =
+  match g with
+  | Codegen.Ge0 row -> eval_affine row env >= 0
+  | Codegen.Mod0 (row, d) ->
+      let v = eval_affine row env in
+      ((v mod d) + d) mod d = 0
+
+(* statement-body evaluation on real data *)
+let rec eval_expr mem (e : Ir.expr) iters params =
+  match e with
+  | Ir.Const f -> f
+  | Ir.Iter i -> float_of_int iters.(i)
+  | Ir.Load a -> mem.data.(access_offset mem a iters params)
+  | Ir.Unop (`Neg, e) -> -.eval_expr mem e iters params
+  | Ir.Binop (op, a, b) -> (
+      let va = eval_expr mem a iters params
+      and vb = eval_expr mem b iters params in
+      match op with
+      | Ir.Add -> va +. vb
+      | Ir.Sub -> va -. vb
+      | Ir.Mul -> va *. vb
+      | Ir.Div -> va /. vb)
+
+(* --------------------------- semantic interpreter ------------------------ *)
+
+let leaf_iters (cg : Codegen.t) (leaf_args : (int array * int) array) env m =
+  let ext_n = Array.length leaf_args in
+  ignore cg;
+  Array.init m (fun j ->
+      let row, d = leaf_args.(ext_n - m + j) in
+      let v = eval_affine row env in
+      if d = 1 then v
+      else begin
+        if v mod d <> 0 then
+          failwith "Machine: non-integral iterator value (missing stride guard?)";
+        v / d
+      end)
+
+let interpret ?(par_reverse = false) (cg : Codegen.t) ~params ~mem =
+  let np = Array.length params in
+  if np <> cg.Codegen.nparams then invalid_arg "Machine.interpret: params";
+  let env = Array.make (cg.Codegen.nlevels + np) 0 in
+  Array.blit params 0 env cg.Codegen.nlevels np;
+  let stmts = Array.of_list cg.Codegen.target.Pluto.Types.tstmts in
+  let count = ref 0 in
+  let rec exec (node : Codegen.ast) =
+    match node with
+    | Codegen.For { level; parallel; lb; ub; body } ->
+        let lo = eval_iexpr lb env and hi = eval_iexpr ub env in
+        if parallel && par_reverse then
+          for v = hi downto lo do
+            env.(level) <- v;
+            List.iter exec body
+          done
+        else
+          for v = lo to hi do
+            env.(level) <- v;
+            List.iter exec body
+          done
+    | Codegen.Leaf { stmt_idx; guards; args } ->
+        if List.for_all (fun g -> guard_holds g env) guards then begin
+          let ts = stmts.(stmt_idx) in
+          let s = ts.Pluto.Types.stmt in
+          let m = Ir.depth s in
+          let iters = leaf_iters cg args env m in
+          let v = eval_expr mem s.Ir.rhs iters params in
+          mem.data.(access_offset mem s.Ir.lhs iters params) <- v;
+          incr count
+        end
+  in
+  List.iter exec cg.Codegen.body;
+  !count
+
+(* ------------------------------ oracle order ----------------------------- *)
+
+let enumerate_domain (s : Ir.stmt) ~params =
+  (* Scan the domain loop-nest-style: the bounds of iterator [j] come from the
+     projection of the domain onto iterators 0..j (inner iterators eliminated
+     by exact Fourier-Motzkin), so triangular domains are handled. *)
+  let m = Ir.depth s in
+  let np = Array.length params in
+  if m = 0 then [ [||] ]
+  else begin
+    let empty_sys =
+      Polyhedra.of_constrs (m + np)
+        [
+          Polyhedra.ge_ints
+            (List.init (m + np + 1) (fun q -> if q = m + np then -1 else 0));
+        ]
+    in
+    let projs = Array.make m s.Ir.domain in
+    projs.(m - 1) <- s.Ir.domain;
+    for j = m - 2 downto 0 do
+      match Polyhedra.eliminate projs.(j + 1) (j + 1) with
+      | Some sys -> projs.(j) <- sys
+      | None -> projs.(j) <- empty_sys
+    done;
+    let points = ref [] in
+    let vals = Array.make m 0 in
+    let row_value (row : Vec.t) =
+      let n = m + np in
+      let acc = ref (Bigint.to_int row.(n)) in
+      for j = 0 to m - 1 do
+        let c = Bigint.to_int row.(j) in
+        if c <> 0 then acc := !acc + (c * vals.(j))
+      done;
+      for j = 0 to np - 1 do
+        acc := !acc + (Bigint.to_int row.(m + j) * params.(j))
+      done;
+      !acc
+    in
+    let rec scan j =
+      if j = m then points := Array.copy vals :: !points
+      else begin
+        let lower, upper, _ = Polyhedra.bounds_on projs.(j) j in
+        let bound_value (c : Polyhedra.constr) =
+          row_value
+            (Array.mapi
+               (fun q v -> if q = j then Bigint.zero else v)
+               c.Polyhedra.coefs)
+        in
+        let lo =
+          List.fold_left
+            (fun acc (c : Polyhedra.constr) ->
+              let a = Bigint.to_int c.Polyhedra.coefs.(j) in
+              max acc (ceild (-bound_value c) a))
+            min_int lower
+        in
+        let hi =
+          List.fold_left
+            (fun acc (c : Polyhedra.constr) ->
+              let a = Bigint.to_int c.Polyhedra.coefs.(j) in
+              min acc (floord (bound_value c) (-a)))
+            max_int upper
+        in
+        if lo <= hi && (lo = min_int || hi = max_int) then
+          failwith "Machine.enumerate_domain: unbounded iterator";
+        for v = lo to hi do
+          vals.(j) <- v;
+          scan (j + 1)
+        done
+      end
+    in
+    scan 0;
+    List.rev !points
+  end
+
+let run_original (p : Ir.program) ~params ~mem =
+  let maxd = List.fold_left (fun a s -> max a (Ir.depth s)) 0 p.Ir.stmts in
+  let keylen = (2 * maxd) + 1 in
+  let instances =
+    List.concat_map
+      (fun s ->
+        let m = Ir.depth s in
+        List.map
+          (fun (iters : int array) ->
+            let key = Array.make keylen 0 in
+            for k = 0 to m - 1 do
+              key.(2 * k) <- s.Ir.static.(k);
+              key.((2 * k) + 1) <- iters.(k)
+            done;
+            key.(2 * m) <- s.Ir.static.(m);
+            (key, s, iters))
+          (enumerate_domain s ~params))
+      p.Ir.stmts
+  in
+  let sorted =
+    List.sort
+      (fun (k1, s1, _) (k2, s2, _) ->
+        let c = compare k1 k2 in
+        if c <> 0 then c else compare s1.Ir.id s2.Ir.id)
+      instances
+  in
+  List.iter
+    (fun (_, s, iters) ->
+      let v = eval_expr mem s.Ir.rhs iters params in
+      mem.data.(access_offset mem s.Ir.lhs iters params) <- v)
+    sorted;
+  List.length sorted
+
+let equivalent ?par_reverse (p : Ir.program) (cg : Codegen.t) ~params =
+  let mem1 = alloc_memory p ~params in
+  let mem2 = alloc_memory p ~params in
+  init_memory mem1;
+  init_memory mem2;
+  let n1 = run_original p ~params ~mem:mem1 in
+  let n2 = interpret ?par_reverse cg ~params ~mem:mem2 in
+  n1 = n2 && mem1.data = mem2.data
+
+(* --------------------------- performance model --------------------------- *)
+
+type machine_config = {
+  ncores : int;
+  l1 : Cache.config;
+  l2 : Cache.config;
+  l2_group : int;
+  flop_cycles : float;
+  l1_hit_cycles : float;
+  l1_miss_cycles : float;
+  l2_miss_cycles : float;
+  mem_line_cycles : float;
+  loop_overhead_cycles : float;
+  guard_cycles : float;
+  barrier_cycles : float;
+  vector_width : int;
+  ghz : float;
+}
+
+let default_machine =
+  {
+    ncores = 4;
+    (* Q6600 scaled down ~16x so cache effects appear at simulable problem
+       sizes: 2 KB L1 per core, 16 KB L2 per core pair (paper machine: 32 KB
+       L1, 4 MB L2 per pair); latencies kept at the real machine's values *)
+    l1 = { Cache.size_bytes = 2 * 1024; line_bytes = 64; assoc = 8 };
+    l2 = { Cache.size_bytes = 16 * 1024; line_bytes = 64; assoc = 16 };
+    l2_group = 2;
+    flop_cycles = 1.0;
+    l1_hit_cycles = 1.0;
+    l1_miss_cycles = 14.0;
+    (* effective memory penalty: raw ~165 cycles, largely hidden by the
+       Core 2's hardware prefetchers on the streaming patterns here *)
+    l2_miss_cycles = 60.0;
+    (* sustained (STREAM-like) bandwidth of the platform, ~4 GB/s at
+       2.4 GHz: ~1.7 B/cycle, 64 B line -> ~38 cycles *)
+    mem_line_cycles = 38.0;
+    loop_overhead_cycles = 1.0;
+    guard_cycles = 0.25;
+    barrier_cycles = 10000.0;
+    vector_width = 4;
+    ghz = 2.4;
+  }
+
+type sim_result = {
+  cycles : float;
+  total_flops : int;
+  instances : int;
+  l1_misses : int;
+  l2_misses : int;
+  seconds : float;
+  gflops : float;
+}
+
+(* static vectorizability of a leaf w.r.t. the innermost enclosing loop:
+   the loop level must be a parallel Loop, and every access must have
+   stride 0 or 1 (elements) in that loop variable *)
+let leaf_vectorizable (cg : Codegen.t) mem (leaf_args : (int array * int) array)
+    (s : Ir.stmt) ~innermost =
+  match innermost with
+  | None -> false
+  | Some level -> (
+      match
+        if cg.Codegen.target.Pluto.Types.tvec.(level) then
+          (* vectorization forced by the §5.4 post-pass *)
+          Pluto.Types.Loop { band = -1; parallel = true }
+        else cg.Codegen.target.Pluto.Types.tkinds.(level)
+      with
+      | Pluto.Types.Loop { parallel = true; _ } ->
+          let m = Ir.depth s in
+          let ext_n = Array.length leaf_args in
+          (* d(iter_j)/d(c_level) as a float *)
+          let diter =
+            Array.init m (fun j ->
+                let row, d = leaf_args.(ext_n - m + j) in
+                float_of_int row.(level) /. float_of_int d)
+          in
+          let stride_ok (a : Ir.access) =
+            let l = layout mem a.Ir.arr in
+            let nd = Array.length a.Ir.map in
+            let stride = ref 0.0 in
+            for ddim = 0 to nd - 1 do
+              let didx = ref 0.0 in
+              for j = 0 to m - 1 do
+                didx := !didx +. (float_of_int a.Ir.map.(ddim).(j) *. diter.(j))
+              done;
+              stride := !stride +. (!didx *. float_of_int l.al_strides.(ddim))
+            done;
+            Float.abs !stride < 1e-9 || Float.abs (!stride -. 1.0) < 1e-9
+          in
+          List.for_all (fun (_, a) -> stride_ok a) (Ir.accesses s)
+      | _ -> false)
+
+let simulate (cfg : machine_config) (cg : Codegen.t) ~params =
+  let np = Array.length params in
+  if np <> cg.Codegen.nparams then invalid_arg "Machine.simulate: params";
+  let p = cg.Codegen.target.Pluto.Types.tprogram in
+  let mem = alloc_memory p ~params in
+  (* we never touch mem.data; only the layout is used for addresses *)
+  let l1s = Array.init cfg.ncores (fun _ -> Cache.create cfg.l1) in
+  let nl2 = (cfg.ncores + cfg.l2_group - 1) / cfg.l2_group in
+  let l2s = Array.init nl2 (fun _ -> Cache.create cfg.l2) in
+  let env = Array.make (cg.Codegen.nlevels + np) 0 in
+  Array.blit params 0 env cg.Codegen.nlevels np;
+  let stmts = Array.of_list cg.Codegen.target.Pluto.Types.tstmts in
+  let flops_of = Array.map (fun ts -> Ir.flops_of_expr ts.Pluto.Types.stmt.Ir.rhs) stmts in
+  let total_flops = ref 0 in
+  let instances = ref 0 in
+  (* memo: vectorizability per (stmt_idx, innermost level) *)
+  let vec_memo = Hashtbl.create 16 in
+  let region_mem_lines = ref 0 in
+  let access_cost core addr =
+    if Cache.access l1s.(core) (addr * 8) then cfg.l1_hit_cycles
+    else if Cache.access l2s.(core / cfg.l2_group) (addr * 8) then
+      cfg.l1_hit_cycles +. cfg.l1_miss_cycles
+    else begin
+      incr region_mem_lines;
+      cfg.l1_hit_cycles +. cfg.l1_miss_cycles +. cfg.l2_miss_cycles
+    end
+  in
+  let rec sim core ~innermost (node : Codegen.ast) : float =
+    match node with
+    | Codegen.For { level; parallel; lb; ub; body } ->
+        let lo = eval_iexpr lb env and hi = eval_iexpr ub env in
+        if hi < lo then 0.0
+        else if parallel && core < 0 then begin
+          (* OpenMP static (block) schedule: contiguous chunks per core —
+             preserves the spatial locality of stride-1 parallel loops; the
+             region costs the maximum over cores plus a fork/join barrier *)
+          let n = hi - lo + 1 in
+          let chunk = (n + cfg.ncores - 1) / cfg.ncores in
+          let worst = ref 0.0 in
+          let lines_before = !region_mem_lines in
+          for k = 0 to cfg.ncores - 1 do
+            let myo = lo + (k * chunk) in
+            let myhi = min hi (myo + chunk - 1) in
+            let t = ref 0.0 in
+            for v = myo to myhi do
+              env.(level) <- v;
+              t := !t +. cfg.loop_overhead_cycles;
+              List.iter
+                (fun nd -> t := !t +. sim k ~innermost:(Some level) nd)
+                body
+            done;
+            if !t > !worst then worst := !t
+          done;
+          (* shared-bus bandwidth floor over the whole region *)
+          let bw =
+            cfg.mem_line_cycles *. float_of_int (!region_mem_lines - lines_before)
+          in
+          Float.max !worst bw +. cfg.barrier_cycles
+        end
+        else begin
+          let core' = if core < 0 then 0 else core in
+          let t = ref 0.0 in
+          for v = lo to hi do
+            env.(level) <- v;
+            t := !t +. cfg.loop_overhead_cycles;
+            List.iter
+              (fun nd ->
+                t :=
+                  !t
+                  +. sim (if core < 0 then -1 else core') ~innermost:(Some level) nd)
+              body
+          done;
+          !t
+        end
+    | Codegen.Leaf { stmt_idx; guards; args } ->
+        let core = if core < 0 then 0 else core in
+        let gcost = cfg.guard_cycles *. float_of_int (List.length guards) in
+        if not (List.for_all (fun g -> guard_holds g env) guards) then gcost
+        else begin
+          let ts = stmts.(stmt_idx) in
+          let s = ts.Pluto.Types.stmt in
+          let m = Ir.depth s in
+          let iters = leaf_iters cg args env m in
+          let vec =
+            let key = (stmt_idx, innermost) in
+            match Hashtbl.find_opt vec_memo key with
+            | Some v -> v
+            | None ->
+                let v = leaf_vectorizable cg mem args s ~innermost in
+                Hashtbl.replace vec_memo key v;
+                v
+          in
+          let flops = flops_of.(stmt_idx) in
+          total_flops := !total_flops + flops;
+          incr instances;
+          let fcost =
+            cfg.flop_cycles *. float_of_int flops
+            /. if vec then float_of_int cfg.vector_width else 1.0
+          in
+          let mcost = ref 0.0 in
+          List.iter
+            (fun (_, a) -> mcost := !mcost +. access_cost core (access_offset mem a iters params))
+            (Ir.reads_of_expr s.Ir.rhs |> List.map (fun a -> (Ir.Read, a)));
+          mcost := !mcost +. access_cost core (access_offset mem s.Ir.lhs iters params);
+          gcost +. fcost +. !mcost
+        end
+  in
+  let cycles =
+    List.fold_left (fun acc nd -> acc +. sim (-1) ~innermost:None nd) 0.0 cg.Codegen.body
+  in
+  let l1_misses = Array.fold_left (fun a c -> a + Cache.misses c) 0 l1s in
+  let l2_misses = Array.fold_left (fun a c -> a + Cache.misses c) 0 l2s in
+  let seconds = cycles /. (cfg.ghz *. 1e9) in
+  {
+    cycles;
+    total_flops = !total_flops;
+    instances = !instances;
+    l1_misses;
+    l2_misses;
+    seconds;
+    gflops =
+      (if seconds > 0.0 then float_of_int !total_flops /. seconds /. 1e9 else 0.0);
+  }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "cycles=%.3e flops=%d instances=%d L1miss=%d L2miss=%d time=%.4fs GFLOPS=%.3f"
+    r.cycles r.total_flops r.instances r.l1_misses r.l2_misses r.seconds r.gflops
+
+(** Internal entry points exposed for the test suite. *)
+module For_tests = struct
+  let eval_iexpr = eval_iexpr
+  let guard_holds = guard_holds
+  let leaf_iters = leaf_iters
+  let enumerate_domain = enumerate_domain
+end

@@ -1,0 +1,99 @@
+(** Execution substrate for generated code: a semantic interpreter (used for
+    end-to-end equivalence checking of transformations) and a deterministic
+    multicore performance simulator (the experimental platform standing in
+    for the paper's Core 2 Quad + icc, see DESIGN.md).
+
+    Both walk the {!Codegen} loop AST, so they execute exactly the iteration
+    order and memory accesses of the generated program. *)
+
+(** {1 Array memory} *)
+
+type memory
+
+(** [alloc_memory program ~params] lays the program's arrays out row-major in
+    one float store, extents evaluated at the given parameter values (a small
+    safety margin is added per dimension). *)
+val alloc_memory : Ir.program -> params:int array -> memory
+
+(** [init_memory mem] fills every array with deterministic pseudo-random
+    values (a hash of the flat index). *)
+val init_memory : memory -> unit
+
+(** [memory_data mem] is the underlying store (for comparisons). *)
+val memory_data : memory -> float array
+
+(** {1 Semantic interpretation} *)
+
+(** [interpret ?par_reverse cg ~params ~mem] executes the generated program on
+    [mem].  With [par_reverse:true], loops marked parallel execute their
+    iterations in reverse — a legal schedule iff the parallel marking is
+    correct, making it an adversarial check of parallelism.
+    Returns the number of statement instances executed. *)
+val interpret : ?par_reverse:bool -> Codegen.t -> params:int array -> mem:memory -> int
+
+(** [run_original program ~params ~mem] executes the program in its original
+    order directly from the IR (domain enumeration sorted by the 2d+1
+    vector) — an oracle independent of the code generator.
+    Returns the number of statement instances executed. *)
+val run_original : Ir.program -> params:int array -> mem:memory -> int
+
+(** [equivalent program cg ~params] allocates two memories with identical
+    contents, runs the original program on one and the generated code on the
+    other, and compares bitwise. *)
+val equivalent : ?par_reverse:bool -> Ir.program -> Codegen.t -> params:int array -> bool
+
+(** {1 Performance simulation} *)
+
+type machine_config = {
+  ncores : int;
+  l1 : Cache.config;  (** private per core *)
+  l2 : Cache.config;  (** shared per pair of cores *)
+  l2_group : int;  (** cores sharing one L2 (2 on the Q6600) *)
+  flop_cycles : float;  (** cost of one FP op *)
+  l1_hit_cycles : float;  (** base cost of any memory access *)
+  l1_miss_cycles : float;  (** L1 miss, L2 hit *)
+  l2_miss_cycles : float;
+      (** effective L2-miss (memory) penalty per access, with hardware
+          prefetching/out-of-order overlap folded in *)
+  mem_line_cycles : float;
+      (** front-side-bus occupancy per memory line: a parallel region cannot
+          finish faster than [mem_line_cycles * lines_missed] (bandwidth) *)
+  loop_overhead_cycles : float;  (** per loop iteration *)
+  guard_cycles : float;  (** per guard row evaluated *)
+  barrier_cycles : float;  (** per parallel region (fork/join + barrier) *)
+  vector_width : int;  (** speedup factor for vectorizable statements *)
+  ghz : float;  (** nominal clock, for GFLOPS reporting *)
+}
+
+(** Roughly a scaled-down Core 2 Quad Q6600 (see DESIGN.md on scaling). *)
+val default_machine : machine_config
+
+type sim_result = {
+  cycles : float;  (** simulated wall-clock cycles (critical path) *)
+  total_flops : int;
+  instances : int;
+  l1_misses : int;
+  l2_misses : int;
+  seconds : float;  (** cycles / (ghz * 1e9) *)
+  gflops : float;
+}
+
+(** [simulate cfg cg ~params] runs the performance model: loops marked
+    parallel distribute their iterations block-wise over the cores (the
+    OpenMP static schedule); each core has a private L1, cores share L2s per
+    [l2_group]; a parallel region costs [max] over cores plus a barrier.
+    Nested parallel loops run sequentially within their core (one level of
+    parallelism is exploited, like the paper's main experiments).
+    Memory contents are not computed — only addresses are traced. *)
+val simulate : machine_config -> Codegen.t -> params:int array -> sim_result
+
+val pp_result : Format.formatter -> sim_result -> unit
+
+(** Internal entry points exposed for the test suite; not part of the stable
+    API. *)
+module For_tests : sig
+  val eval_iexpr : Codegen.iexpr -> int array -> int
+  val guard_holds : Codegen.guard -> int array -> bool
+  val leaf_iters : Codegen.t -> (int array * int) array -> int array -> int -> int array
+  val enumerate_domain : Ir.stmt -> params:int array -> int array list
+end

@@ -1,0 +1,370 @@
+(* Exact two-phase primal simplex over Q, plus branch-and-bound and
+   lexicographic minimization.
+
+   Internal form: minimize c·x over { x >= 0 | rows a_i·x + b_i >= 0 }.
+   Free variables are handled by the classic split x = x+ - x-.
+   Equalities are converted to opposite inequality pairs.
+
+   Dictionary representation (Chvatal): each basic variable is an affine
+   function of the nonbasic ones,
+       basic_i = tab.(i).(n) + sum_j tab.(i).(j) * nonbasic_j
+   and the objective (maximized internally) is
+       z = obj.(n) + sum_j obj.(j) * nonbasic_j.
+   Bland's rule guarantees termination. *)
+
+type lp_result =
+  | Lp_optimal of Q.t * Q.t array
+  | Lp_infeasible
+  | Lp_unbounded
+
+type ilp_result =
+  | Ilp_optimal of Bigint.t * Bigint.t array
+  | Ilp_infeasible
+  | Ilp_unbounded
+
+exception Node_limit_exceeded
+
+type dict = {
+  mutable nonbasic : int array; (* variable ids of columns *)
+  mutable basis : int array; (* variable ids of rows *)
+  mutable tab : Q.t array array; (* m rows, n+1 cols (const last) *)
+  mutable obj : Q.t array; (* n+1 cols *)
+}
+
+let pivot d r e =
+  let n = Array.length d.nonbasic in
+  let row = d.tab.(r) in
+  let a = row.(e) in
+  assert (not (Q.is_zero a));
+  let inv = Q.inv a in
+  (* Express entering variable in terms of the leaving one and the rest. *)
+  let new_row =
+    Array.init (n + 1) (fun j ->
+        if j = e then inv else Q.neg (Q.mul row.(j) inv))
+  in
+  (* note: coefficient at position e of new_row is the coefficient of the
+     *leaving* variable, which takes the entering one's column slot *)
+  let substitute target =
+    let f = target.(e) in
+    if Q.is_zero f then target
+    else
+      Array.init (n + 1) (fun j ->
+          if j = e then Q.mul f new_row.(e)
+          else Q.add target.(j) (Q.mul f new_row.(j)))
+  in
+  let new_row_const_part =
+    (* new_row currently maps: entering = inv*leaving - sum inv*row_j*nb_j -
+       inv*const; fix: we built coefficient for slot e as inv (leaving var),
+       others as -row_j*inv including const slot n. *)
+    new_row
+  in
+  for i = 0 to Array.length d.tab - 1 do
+    if i <> r then d.tab.(i) <- substitute d.tab.(i)
+  done;
+  d.obj <- substitute d.obj;
+  d.tab.(r) <- new_row_const_part;
+  let leaving = d.basis.(r) in
+  d.basis.(r) <- d.nonbasic.(e);
+  d.nonbasic.(e) <- leaving
+
+(* One phase of simplex: maximize the current objective.  Returns [`Optimal]
+   or [`Unbounded].  Assumes the dictionary is primal-feasible. *)
+let optimize d =
+  let n = Array.length d.nonbasic in
+  let m = Array.length d.basis in
+  let rec loop () =
+    (* Bland: entering = smallest var id among columns with positive obj coef *)
+    let enter = ref (-1) in
+    for j = 0 to n - 1 do
+      if Q.sign d.obj.(j) > 0
+         && (!enter < 0 || d.nonbasic.(j) < d.nonbasic.(!enter))
+      then enter := j
+    done;
+    if !enter < 0 then `Optimal
+    else begin
+      let e = !enter in
+      (* ratio test over rows with negative coefficient *)
+      let leave = ref (-1) in
+      let best = ref Q.zero in
+      for i = 0 to m - 1 do
+        let coef = d.tab.(i).(e) in
+        if Q.sign coef < 0 then begin
+          let ratio = Q.div d.tab.(i).(n) (Q.neg coef) in
+          if !leave < 0 || Q.compare ratio !best < 0
+             || (Q.equal ratio !best && d.basis.(i) < d.basis.(!leave))
+          then begin
+            leave := i;
+            best := ratio
+          end
+        end
+      done;
+      if !leave < 0 then `Unbounded
+      else begin
+        pivot d !leave e;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* Build the initial dictionary for: minimize c·x, x >= 0, rows r·x + k >= 0.
+   Slack variable ids follow decision ids.  Returns a primal-feasible
+   dictionary maximizing -c·x, or reports infeasibility. *)
+let solve_standard (nv : int) (rows : (Q.t array * Q.t) list) (c : Q.t array) =
+  let m = List.length rows in
+  let rows = Array.of_list rows in
+  let tab =
+    Array.init m (fun i ->
+        let coefs, k = rows.(i) in
+        Array.init (nv + 1) (fun j -> if j = nv then k else coefs.(j)))
+  in
+  let d =
+    {
+      nonbasic = Array.init nv (fun j -> j);
+      basis = Array.init m (fun i -> nv + i);
+      tab;
+      obj = Array.make (nv + 1) Q.zero;
+    }
+  in
+  (* Phase 1 if some constant is negative. *)
+  let min_row = ref (-1) in
+  for i = 0 to m - 1 do
+    if Q.sign d.tab.(i).(nv) < 0
+       && (!min_row < 0 || Q.compare d.tab.(i).(nv) d.tab.(!min_row).(nv) < 0)
+    then min_row := i
+  done;
+  let feasible =
+    if !min_row < 0 then true
+    else begin
+      (* add auxiliary variable with id nv+m; column appended *)
+      let aux_id = nv + m in
+      let n1 = nv + 1 in
+      d.nonbasic <- Array.append d.nonbasic [| aux_id |];
+      d.tab <- Array.map (fun row ->
+          Array.init (n1 + 1) (fun j ->
+              if j = nv then Q.one (* aux column *)
+              else if j = n1 then row.(nv) (* const moved right *)
+              else row.(j)))
+          d.tab;
+      d.obj <- Array.init (n1 + 1) (fun j -> if j = nv then Q.minus_one else Q.zero);
+      (* first pivot: aux enters, most negative row leaves -> feasible *)
+      pivot d !min_row nv;
+      (match optimize d with `Optimal -> () | `Unbounded -> assert false);
+      let opt = d.obj.(n1) in
+      if Q.sign opt < 0 then false
+      else begin
+        (* drive aux out of the basis if it lingers (at value 0) *)
+        (match Array.find_index (fun b -> b = aux_id) d.basis with
+        | None -> ()
+        | Some r ->
+            let col = ref (-1) in
+            (try
+               for j = 0 to Array.length d.nonbasic - 1 do
+                 if d.nonbasic.(j) <> aux_id && not (Q.is_zero d.tab.(r).(j))
+                 then begin
+                   col := j;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            if !col >= 0 then pivot d r !col
+            else begin
+              (* row is identically the aux variable: delete it *)
+              let keep = ref [] and kept_basis = ref [] in
+              Array.iteri
+                (fun i row ->
+                  if i <> r then begin
+                    keep := row :: !keep;
+                    kept_basis := d.basis.(i) :: !kept_basis
+                  end)
+                d.tab;
+              d.tab <- Array.of_list (List.rev !keep);
+              d.basis <- Array.of_list (List.rev !kept_basis)
+            end);
+        (* remove the aux column *)
+        (match Array.find_index (fun v -> v = aux_id) d.nonbasic with
+        | None -> ()
+        | Some jaux ->
+            let n1 = Array.length d.nonbasic in
+            let strip row =
+              Array.init n1 (fun j ->
+                  (* drop column jaux; const is at index n1 *)
+                  if j < jaux then row.(j) else row.(j + 1))
+            in
+            d.nonbasic <-
+              Array.of_list
+                (List.filteri (fun j _ -> j <> jaux) (Array.to_list d.nonbasic));
+            d.tab <- Array.map strip d.tab;
+            d.obj <- strip d.obj);
+        true
+      end
+    end
+  in
+  if not feasible then Lp_infeasible
+  else begin
+    (* install objective: maximize z = -c·x, expressing basic vars via rows *)
+    let n = Array.length d.nonbasic in
+    let obj = Array.make (n + 1) Q.zero in
+    (* start with -c over decision variables, substituting basics *)
+    let add_var vid coef =
+      if Q.is_zero coef then ()
+      else begin
+        match Array.find_index (fun v -> v = vid) d.nonbasic with
+        | Some j -> obj.(j) <- Q.add obj.(j) coef
+        | None -> (
+            match Array.find_index (fun b -> b = vid) d.basis with
+            | None -> assert false
+            | Some r ->
+                for j = 0 to n do
+                  obj.(j) <- Q.add obj.(j) (Q.mul coef d.tab.(r).(j))
+                done)
+      end
+    in
+    for v = 0 to nv - 1 do
+      add_var v (Q.neg c.(v))
+    done;
+    d.obj <- obj;
+    match optimize d with
+    | `Unbounded -> Lp_unbounded
+    | `Optimal ->
+        let n = Array.length d.nonbasic in
+        let x = Array.make nv Q.zero in
+        Array.iteri
+          (fun r b -> if b < nv then x.(b) <- d.tab.(r).(n))
+          d.basis;
+        Lp_optimal (Q.neg d.obj.(n), x)
+  end
+
+(* Translate a Polyhedra.t (+ objective over its nvars) into standard form.
+   With [nonneg:false] each variable is split into positive/negative parts. *)
+let to_standard ~nonneg (sys : Polyhedra.t) =
+  let nv0 = sys.Polyhedra.nvars in
+  let nv = if nonneg then nv0 else 2 * nv0 in
+  let widen (coefs : Vec.t) =
+    let q j = Q.of_bigint coefs.(j) in
+    if nonneg then (Array.init nv0 q, q nv0)
+    else
+      ( Array.init nv (fun j ->
+            if j < nv0 then q j else Q.neg (q (j - nv0))),
+        q nv0 )
+  in
+  let rows =
+    List.concat_map
+      (fun (c : Polyhedra.constr) ->
+        let coefs, k = widen c.Polyhedra.coefs in
+        match c.Polyhedra.kind with
+        | Polyhedra.Ge -> [ (coefs, k) ]
+        | Polyhedra.Eq ->
+            [ (coefs, k); (Array.map Q.neg coefs, Q.neg k) ])
+      sys.Polyhedra.cs
+  in
+  (nv, nv0, rows)
+
+let recover ~nonneg nv0 (x : Q.t array) =
+  if nonneg then Array.sub x 0 nv0
+  else Array.init nv0 (fun j -> Q.sub x.(j) x.(j + nv0))
+
+let lp ?(nonneg = false) (sys : Polyhedra.t) (objective : Q.t array) =
+  if Array.length objective <> sys.Polyhedra.nvars then
+    invalid_arg "Milp.lp: objective length";
+  let nv, nv0, rows = to_standard ~nonneg sys in
+  let c =
+    if nonneg then objective
+    else
+      Array.init nv (fun j ->
+          if j < nv0 then objective.(j) else Q.neg objective.(j - nv0))
+  in
+  match solve_standard nv rows c with
+  | Lp_optimal (v, x) -> Lp_optimal (v, recover ~nonneg nv0 x)
+  | (Lp_infeasible | Lp_unbounded) as r -> r
+
+(* ----------------------------- branch & bound ---------------------------- *)
+
+let row_le sys j (bound : Bigint.t) =
+  (* x_j <= bound  ==  -x_j + bound >= 0 *)
+  let n = sys.Polyhedra.nvars in
+  let coefs = Vec.zero (n + 1) in
+  coefs.(j) <- Bigint.minus_one;
+  coefs.(n) <- bound;
+  Polyhedra.ge coefs
+
+let row_ge sys j (bound : Bigint.t) =
+  let n = sys.Polyhedra.nvars in
+  let coefs = Vec.zero (n + 1) in
+  coefs.(j) <- Bigint.one;
+  coefs.(n) <- Bigint.neg bound;
+  Polyhedra.ge coefs
+
+let ilp ?(nonneg = false) ?(node_limit = 200_000) (sys : Polyhedra.t)
+    (objective : Vec.t) =
+  if Array.length objective <> sys.Polyhedra.nvars then
+    invalid_arg "Milp.ilp: objective length";
+  let obj_q = Array.map Q.of_bigint objective in
+  let best : (Bigint.t * Bigint.t array) option ref = ref None in
+  let nodes = ref 0 in
+  let unbounded = ref false in
+  let rec go sys =
+    incr nodes;
+    if !nodes > node_limit then raise Node_limit_exceeded;
+    match lp ~nonneg sys obj_q with
+    | Lp_infeasible -> ()
+    | Lp_unbounded ->
+        (* The relaxation is unbounded; if an integer point exists the ILP is
+           unbounded too (rational ray + integer point); we detect the ray
+           here and report unboundedness conservatively. *)
+        unbounded := true
+    | Lp_optimal (v, x) ->
+        let lower = Q.ceil v in
+        let prune =
+          match !best with
+          | Some (bv, _) -> Bigint.compare lower bv >= 0
+          | None -> false
+        in
+        if not prune then begin
+          match Array.find_index (fun q -> not (Q.is_integer q)) x with
+          | None ->
+              let xi = Array.map Q.to_bigint_exn x in
+              let value = Vec.dot objective xi in
+              (match !best with
+              | Some (bv, _) when Bigint.compare value bv >= 0 -> ()
+              | _ -> best := Some (value, xi))
+          | Some j ->
+              let f = Q.floor x.(j) in
+              go (Polyhedra.add sys (row_le sys j f));
+              go (Polyhedra.add sys (row_ge sys j (Bigint.add f Bigint.one)))
+        end
+  in
+  go sys;
+  if !unbounded && !best = None then Ilp_unbounded
+  else match !best with None -> Ilp_infeasible | Some (v, x) -> Ilp_optimal (v, x)
+
+let feasible ?(nonneg = false) ?node_limit (sys : Polyhedra.t) =
+  match ilp ~nonneg ?node_limit sys (Vec.zero sys.Polyhedra.nvars) with
+  | Ilp_optimal (_, x) -> Some x
+  | Ilp_infeasible -> None
+  | Ilp_unbounded -> assert false (* zero objective is never unbounded *)
+
+let lexmin_order ?(nonneg = false) ?node_limit (sys : Polyhedra.t) order =
+  let n = sys.Polyhedra.nvars in
+  let rec fix sys = function
+    | [] -> (
+        match feasible ~nonneg ?node_limit sys with
+        | None -> None
+        | Some x -> Some x)
+    | j :: rest -> (
+        if j < 0 || j >= n then invalid_arg "Milp.lexmin_order: bad index";
+        let obj = Vec.zero n in
+        obj.(j) <- Bigint.one;
+        match ilp ~nonneg ?node_limit sys obj with
+        | Ilp_infeasible -> None
+        | Ilp_unbounded -> failwith "Milp.lexmin: coordinate unbounded below"
+        | Ilp_optimal (v, _) ->
+            let coefs = Vec.zero (n + 1) in
+            coefs.(j) <- Bigint.one;
+            coefs.(n) <- Bigint.neg v;
+            fix (Polyhedra.add sys (Polyhedra.eq coefs)) rest)
+  in
+  fix sys order
+
+let lexmin ?nonneg ?node_limit sys =
+  lexmin_order ?nonneg ?node_limit sys (Putil.range sys.Polyhedra.nvars)

@@ -1,0 +1,54 @@
+(** Exact linear and integer linear programming.
+
+    This module replaces PipLib in the original Pluto tool-chain.  It provides
+    an exact rational primal simplex (two-phase, Bland's anti-cycling rule), a
+    branch-and-bound integer solver on top of it, and the lexicographic
+    minimization used to pick transformation coefficients (eq. (5) of the
+    paper).
+
+    Variables are free by default; with [~nonneg:true] they are constrained to
+    be non-negative (Pluto's coefficient search uses this, per §4.2 of the
+    paper).  Branch-and-bound terminates only on polyhedra whose integer
+    optimum is attained in a bounded region; callers are expected to supply
+    bounding constraints (the Pluto search bounds coefficients, the dependence
+    tester fixes structure parameters). *)
+
+(** Result of rational linear programming. *)
+type lp_result =
+  | Lp_optimal of Q.t * Q.t array  (** optimal value and a minimizing point *)
+  | Lp_infeasible
+  | Lp_unbounded
+
+(** [lp ?nonneg sys obj] minimizes [obj·x] over the rational points of [sys].
+    [obj] has length [sys.nvars]. *)
+val lp : ?nonneg:bool -> Polyhedra.t -> Q.t array -> lp_result
+
+(** Result of integer linear programming. *)
+type ilp_result =
+  | Ilp_optimal of Bigint.t * Bigint.t array
+  | Ilp_infeasible
+  | Ilp_unbounded
+
+exception Node_limit_exceeded
+
+(** [ilp ?nonneg ?node_limit sys obj] minimizes the integer objective [obj·x]
+    over the integer points of [sys].
+    @raise Node_limit_exceeded when the branch-and-bound tree exceeds
+    [node_limit] (default 200_000) nodes. *)
+val ilp : ?nonneg:bool -> ?node_limit:int -> Polyhedra.t -> Vec.t -> ilp_result
+
+(** [feasible ?nonneg sys] decides whether [sys] contains an integer point and
+    returns a witness. *)
+val feasible : ?nonneg:bool -> ?node_limit:int -> Polyhedra.t -> Bigint.t array option
+
+(** [lexmin ?nonneg sys] is the lexicographically smallest integer point of
+    [sys] (minimizing variable 0 first, then variable 1, ...), or [None] if
+    empty.
+    @raise Failure if some coordinate is unbounded below. *)
+val lexmin : ?nonneg:bool -> ?node_limit:int -> Polyhedra.t -> Bigint.t array option
+
+(** [lexmin_order ?nonneg sys order] generalizes {!lexmin} to an explicit
+    priority order over a subset of the variables; variables not listed are
+    left unoptimized (any feasible value). *)
+val lexmin_order :
+  ?nonneg:bool -> ?node_limit:int -> Polyhedra.t -> int list -> Bigint.t array option

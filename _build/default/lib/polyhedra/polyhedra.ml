@@ -1,0 +1,278 @@
+type kind = Eq | Ge
+
+type constr = { kind : kind; coefs : Vec.t }
+
+type t = { nvars : int; cs : constr list }
+
+let check_len nvars (v : Vec.t) =
+  if Vec.length v <> nvars + 1 then
+    invalid_arg
+      (Printf.sprintf "Polyhedra: constraint width %d, expected %d"
+         (Vec.length v) (nvars + 1))
+
+let ge coefs = { kind = Ge; coefs }
+let eq coefs = { kind = Eq; coefs }
+let ge_ints l = ge (Vec.of_int_list l)
+let eq_ints l = eq (Vec.of_int_list l)
+let universe nvars = { nvars; cs = [] }
+
+let of_constrs nvars cs =
+  List.iter (fun c -> check_len nvars c.coefs) cs;
+  { nvars; cs }
+
+let add t c =
+  check_len t.nvars c.coefs;
+  { t with cs = c :: t.cs }
+
+let meet a b =
+  if a.nvars <> b.nvars then invalid_arg "Polyhedra.meet: dimension mismatch";
+  { a with cs = a.cs @ b.cs }
+
+let insert_vars t ~at ~count =
+  if at < 0 || at > t.nvars || count < 0 then invalid_arg "Polyhedra.insert_vars";
+  let widen c =
+    let coefs =
+      Array.init
+        (t.nvars + count + 1)
+        (fun j ->
+          if j < at then c.coefs.(j)
+          else if j < at + count then Bigint.zero
+          else c.coefs.(j - count))
+    in
+    { c with coefs }
+  in
+  { nvars = t.nvars + count; cs = List.map widen t.cs }
+
+let drop_vars t ~at ~count =
+  if at < 0 || at + count > t.nvars || count < 0 then invalid_arg "Polyhedra.drop_vars";
+  let narrow c =
+    for j = at to at + count - 1 do
+      if not (Bigint.is_zero c.coefs.(j)) then
+        invalid_arg "Polyhedra.drop_vars: variable still constrained"
+    done;
+    let coefs =
+      Array.init
+        (t.nvars - count + 1)
+        (fun j -> if j < at then c.coefs.(j) else c.coefs.(j + count))
+    in
+    { c with coefs }
+  in
+  { nvars = t.nvars - count; cs = List.map narrow t.cs }
+
+let rename t perm =
+  if Array.length perm <> t.nvars then invalid_arg "Polyhedra.rename";
+  let permute c =
+    let coefs =
+      Array.init (t.nvars + 1) (fun j ->
+          if j = t.nvars then c.coefs.(t.nvars) else c.coefs.(perm.(j)))
+    in
+    { c with coefs }
+  in
+  { t with cs = List.map permute t.cs }
+
+let involves c v = not (Bigint.is_zero c.coefs.(v))
+
+let constr_value c p =
+  let n = Array.length c.coefs - 1 in
+  if Array.length p <> n then invalid_arg "Polyhedra.constr_value";
+  let acc = ref c.coefs.(n) in
+  for j = 0 to n - 1 do
+    acc := Bigint.add !acc (Bigint.mul c.coefs.(j) p.(j))
+  done;
+  !acc
+
+let sat_point t p =
+  List.for_all
+    (fun c ->
+      let v = constr_value c p in
+      match c.kind with Eq -> Bigint.is_zero v | Ge -> Bigint.sign v >= 0)
+    t.cs
+
+let equal_constr a b = a.kind = b.kind && Vec.equal a.coefs b.coefs
+
+(* A constraint whose variable part is all-zero is trivially decidable. *)
+let var_part_zero c =
+  let n = Array.length c.coefs - 1 in
+  let rec loop j = j >= n || (Bigint.is_zero c.coefs.(j) && loop (j + 1)) in
+  loop 0
+
+let normalize_constr ~integer c =
+  if var_part_zero c then begin
+    let k = c.coefs.(Array.length c.coefs - 1) in
+    let sat =
+      match c.kind with Eq -> Bigint.is_zero k | Ge -> Bigint.sign k >= 0
+    in
+    if sat then Ok None else Error ()
+  end
+  else begin
+    let n = Array.length c.coefs - 1 in
+    (* content of the variable part only *)
+    let g = ref Bigint.zero in
+    for j = 0 to n - 1 do
+      g := Bigint.gcd !g c.coefs.(j)
+    done;
+    let g = !g in
+    let c' =
+      if Bigint.is_one g then c
+      else
+        match c.kind with
+        | Eq ->
+            if not (Bigint.is_zero (Bigint.rem c.coefs.(n) g)) then
+              (* equality has no rational solution scaled this way only when
+                 the full row content differs; dividing the full row keeps
+                 rational semantics *)
+              { c with coefs = Vec.normalize c.coefs }
+            else
+              { c with coefs = Array.map (fun x -> Bigint.div x g) c.coefs }
+        | Ge ->
+            if integer then
+              { c with
+                coefs =
+                  Array.mapi
+                    (fun j x ->
+                      if j = n then Bigint.fdiv x g else Bigint.div x g)
+                    c.coefs
+              }
+            else { c with coefs = Vec.normalize c.coefs }
+    in
+    Ok (Some c')
+  end
+
+exception Empty
+
+let simplify ?(integer = false) t =
+  try
+    let cs =
+      List.filter_map
+        (fun c ->
+          match normalize_constr ~integer c with
+          | Ok r -> r
+          | Error () -> raise Empty)
+        t.cs
+    in
+    (* Dedup; for inequalities with identical variable parts keep the tightest
+       constant (largest lower bound means smallest constant ... for
+       row·x + k >= 0 the tightest is the smallest k). *)
+    let keep = ref [] in
+    let dominated c by =
+      c.kind = Ge && by.kind = Ge
+      && (let n = Array.length c.coefs - 1 in
+          let rec same j = j >= n || (Bigint.equal c.coefs.(j) by.coefs.(j) && same (j + 1)) in
+          same 0)
+      && Bigint.compare by.coefs.(Array.length by.coefs - 1)
+           c.coefs.(Array.length c.coefs - 1)
+         <= 0
+    in
+    List.iter
+      (fun c ->
+        if not (List.exists (fun k -> equal_constr k c || dominated c k) !keep)
+        then keep := c :: List.filter (fun k -> not (dominated k c)) !keep)
+      cs;
+    Some { t with cs = List.rev !keep }
+  with Empty -> None
+
+(* Substitute variable [v] away using equality [e] (with nonzero coef on v)
+   in constraint [c]: scale so the v-coefficients cancel, keeping the
+   inequality direction (multiply c by |a_e| and e by ∓a_c appropriately). *)
+let subst_eq e v c =
+  let ae = e.coefs.(v) and ac = c.coefs.(v) in
+  if Bigint.is_zero ac then c
+  else begin
+    (* c' = |ae| * c - (ac * sign(ae)/1) * e  gives coefficient
+       |ae|*ac - ac*sign(ae)*ae = ac*(|ae| - sign(ae)*ae) = 0 on v. *)
+    let s = Bigint.of_int (Bigint.sign ae) in
+    let c_scaled = Vec.scale (Bigint.abs ae) c.coefs in
+    let e_scaled = Vec.scale (Bigint.mul s ac) e.coefs in
+    { c with coefs = Vec.sub c_scaled e_scaled }
+  end
+
+let eliminate t v =
+  if v < 0 || v >= t.nvars then invalid_arg "Polyhedra.eliminate";
+  (* Prefer an equality pivot: exact and avoids the quadratic FM blowup. *)
+  match List.find_opt (fun c -> c.kind = Eq && involves c v) t.cs with
+  | Some e ->
+      let cs = List.filter (fun c -> c != e) t.cs in
+      let cs = List.map (subst_eq e v) cs in
+      simplify { t with cs }
+  | None ->
+      let pos, neg, rest =
+        List.fold_left
+          (fun (pos, neg, rest) c ->
+            let s = Bigint.sign c.coefs.(v) in
+            if s > 0 then (c :: pos, neg, rest)
+            else if s < 0 then (pos, c :: neg, rest)
+            else (pos, neg, c :: rest))
+          ([], [], []) t.cs
+      in
+      let combos =
+        List.concat_map
+          (fun p ->
+            List.map
+              (fun n ->
+                (* p: a*v + f >= 0 (a>0);  n: -b*v + g >= 0 (b>0)
+                   =>  b*f + a*g >= 0 *)
+                let a = p.coefs.(v) and b = Bigint.neg n.coefs.(v) in
+                ge (Vec.add (Vec.scale b p.coefs) (Vec.scale a n.coefs)))
+              neg)
+          pos
+      in
+      simplify { t with cs = rest @ combos }
+
+let eliminate_many t vars =
+  List.fold_left
+    (fun acc v -> match acc with None -> None | Some t -> eliminate t v)
+    (Some t) vars
+
+let is_empty_rational t =
+  match eliminate_many t (Putil.range t.nvars) with
+  | None -> true
+  | Some t' -> (
+      (* all columns zero: constraints are constant; simplify decides *)
+      match simplify t' with None -> true | Some _ -> false)
+
+let bounds_on t v =
+  List.fold_left
+    (fun (lower, upper, rest) c ->
+      let s = Bigint.sign c.coefs.(v) in
+      match (c.kind, s) with
+      | _, 0 -> (lower, upper, c :: rest)
+      | Ge, s when s > 0 -> (c :: lower, upper, rest)
+      | Ge, _ -> (lower, c :: upper, rest)
+      | Eq, _ ->
+          (* an equality bounds from both sides *)
+          let as_ge = { kind = Ge; coefs = c.coefs } in
+          let as_le = { kind = Ge; coefs = Vec.neg c.coefs } in
+          if s > 0 then (as_ge :: lower, as_le :: upper, rest)
+          else (as_le :: lower, as_ge :: upper, rest))
+    ([], [], []) t.cs
+
+let default_names n = Array.init n (fun i -> Printf.sprintf "x%d" i)
+
+let pp_constr ?names fmt c =
+  let n = Array.length c.coefs - 1 in
+  let names = match names with Some a -> a | None -> default_names n in
+  let first = ref true in
+  for j = 0 to n - 1 do
+    let a = c.coefs.(j) in
+    if not (Bigint.is_zero a) then begin
+      let s = Bigint.sign a in
+      let a_abs = Bigint.abs a in
+      if !first then begin
+        if s < 0 then Format.pp_print_string fmt "-";
+        first := false
+      end
+      else Format.pp_print_string fmt (if s < 0 then " - " else " + ");
+      if not (Bigint.is_one a_abs) then Format.fprintf fmt "%a*" Bigint.pp a_abs;
+      Format.pp_print_string fmt names.(j)
+    end
+  done;
+  let k = c.coefs.(n) in
+  if !first then Format.fprintf fmt "%a" Bigint.pp k
+  else if Bigint.sign k > 0 then Format.fprintf fmt " + %a" Bigint.pp k
+  else if Bigint.sign k < 0 then Format.fprintf fmt " - %a" Bigint.pp (Bigint.abs k);
+  Format.pp_print_string fmt (match c.kind with Eq -> " = 0" | Ge -> " >= 0")
+
+let pp ?names fmt t =
+  Format.fprintf fmt "@[<v>{ nvars = %d@," t.nvars;
+  List.iter (fun c -> Format.fprintf fmt "  %a@," (pp_constr ?names) c) t.cs;
+  Format.fprintf fmt "}@]"

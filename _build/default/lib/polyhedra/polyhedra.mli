@@ -1,0 +1,113 @@
+(** Constraint-representation polyhedra with exact arithmetic.
+
+    This is the repository's PolyLib substitute.  A system is a conjunction of
+    affine equalities and inequalities over [nvars] variables; each constraint
+    stores [nvars + 1] big-integer coefficients, the last one being the
+    constant term.  A constraint [{kind = Ge; coefs}] means
+    [coefs·(x, 1) >= 0]; [Eq] means [= 0].
+
+    Projection is Fourier–Motzkin elimination over the rationals, which is the
+    correct semantics for both of its uses here: eliminating (rational) Farkas
+    multipliers and computing loop bounds (where the [floord]/[ceild] in
+    generated code performs the integer rounding). *)
+
+type kind = Eq | Ge
+
+type constr = { kind : kind; coefs : Vec.t }
+
+type t = { nvars : int; cs : constr list }
+
+(** {1 Constructors} *)
+
+val ge : Vec.t -> constr
+val eq : Vec.t -> constr
+
+(** [ge_ints l] / [eq_ints l] build a constraint from native-int coefficients
+    (constant last). *)
+val ge_ints : int list -> constr
+
+val eq_ints : int list -> constr
+
+(** [universe n] is the unconstrained system over [n] variables. *)
+val universe : int -> t
+
+val of_constrs : int -> constr list -> t
+
+(** [add t c] conjoins one constraint. *)
+val add : t -> constr -> t
+
+(** [meet a b] conjoins two systems over the same variable count. *)
+val meet : t -> t -> t
+
+(** {1 Structural operations} *)
+
+(** [insert_vars t ~at ~count] inserts [count] fresh unconstrained variables
+    before position [at], shifting later columns. *)
+val insert_vars : t -> at:int -> count:int -> t
+
+(** [drop_vars t ~at ~count] removes columns; all removed columns must have
+    zero coefficients in every constraint.
+    @raise Invalid_argument otherwise. *)
+val drop_vars : t -> at:int -> count:int -> t
+
+(** [rename t perm] permutes columns: new column [i] takes old column
+    [perm.(i)] (the constant column is fixed). *)
+val rename : t -> int array -> t
+
+(** {1 Normalization} *)
+
+(** [normalize_constr ~integer c] divides by the content; with [integer:true],
+    inequality constants are additionally tightened by flooring (valid when
+    all variables are integral).  Returns [None] if the constraint is
+    trivially true, [Some (Error ())] if trivially false. *)
+val normalize_constr : integer:bool -> constr -> (constr option, unit) result
+
+(** [simplify ?integer t] normalizes all constraints, removes syntactic
+    duplicates and dominated inequalities.  Returns [None] if a constraint is
+    trivially false. *)
+val simplify : ?integer:bool -> t -> t option
+
+(** {1 Projection and emptiness} *)
+
+(** [eliminate t v] projects out variable [v] (rational Fourier–Motzkin for
+    inequalities, exact substitution for equalities).  The variable count is
+    unchanged; column [v] becomes all-zero.  Returns [None] if the projection
+    is discovered empty. *)
+val eliminate : t -> int -> t option
+
+(** [eliminate_many t vars] projects out several variables. *)
+val eliminate_many : t -> int list -> t option
+
+(** [is_empty_rational t] tests rational emptiness by full elimination.
+    Rational emptiness implies integer emptiness; the converse is checked by
+    the ILP layer where needed. *)
+val is_empty_rational : t -> bool
+
+(** {1 Queries} *)
+
+(** [bounds_on t v] partitions the inequalities by their sign on variable [v]:
+    [(lower, upper, rest)] where [lower] are constraints with positive
+    coefficient on [v] (giving lower bounds), [upper] negative. Equalities
+    involving [v] appear in both lists (as the two implied inequalities). *)
+val bounds_on : t -> int -> constr list * constr list * constr list
+
+(** [involves c v] is true iff constraint [c] has a non-zero coefficient on
+    variable [v]. *)
+val involves : constr -> int -> bool
+
+(** [sat_point t p] checks an integer point [p] (length [nvars]) against all
+    constraints — used heavily by property tests. *)
+val sat_point : t -> Bigint.t array -> bool
+
+(** [constr_value c p] evaluates [coefs·(p, 1)]. *)
+val constr_value : constr -> Bigint.t array -> Bigint.t
+
+val equal_constr : constr -> constr -> bool
+
+(** {1 Printing} *)
+
+(** [pp ?names] prints the system with the given variable names (defaults to
+    [x0, x1, ...]). *)
+val pp : ?names:string array -> Format.formatter -> t -> unit
+
+val pp_constr : ?names:string array -> Format.formatter -> constr -> unit

@@ -1,0 +1,77 @@
+type result = {
+  wall_seconds : float;
+  checksums : (string * string) list;
+}
+
+let cc_default = "gcc"
+
+let available () = Sys.command "which gcc > /dev/null 2> /dev/null" = 0
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "pluto_native" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let run ?(cc = cc_default) ?(cflags = [ "-O2" ]) ?(openmp = true) code ~params =
+  if not (available ()) then None
+  else
+    with_temp_dir (fun dir ->
+        let src = Filename.concat dir "gen.c" in
+        let exe = Filename.concat dir "gen" in
+        let out = Filename.concat dir "out" in
+        let oc = open_out src in
+        let fmt = Format.formatter_of_out_channel oc in
+        Codegen.print_c ~instrument:true fmt code;
+        Format.pp_print_flush fmt ();
+        close_out oc;
+        let defines =
+          String.concat " "
+            (List.map (fun (k, v) -> Printf.sprintf "-D%s=%d" k v) params)
+        in
+        let cmd =
+          Printf.sprintf "%s %s %s %s -o %s %s 2> %s/cc.err" cc
+            (String.concat " " cflags)
+            (if openmp then "-fopenmp" else "")
+            defines exe src dir
+        in
+        if Sys.command cmd <> 0 then
+          failwith
+            (Printf.sprintf "Runner: C compilation failed:\n%s"
+               (String.concat "\n" (read_lines (dir ^ "/cc.err"))));
+        if Sys.command (Printf.sprintf "%s > %s 2> %s/run.err" exe out dir) <> 0
+        then failwith "Runner: generated binary failed";
+        let lines = read_lines out in
+        let wall = ref nan and sums = ref [] in
+        List.iter
+          (fun line ->
+            match String.split_on_char ' ' (String.trim line) with
+            | [ "time"; v ] -> wall := float_of_string v
+            | [ "checksum"; name; v ] -> sums := (name, v) :: !sums
+            | _ -> ())
+          lines;
+        Some { wall_seconds = !wall; checksums = List.rev !sums })
+
+let validate a b ~params =
+  match (run a ~params, run b ~params) with
+  | Some ra, Some rb ->
+      Some
+        (List.length ra.checksums = List.length rb.checksums
+        && List.for_all2
+             (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && String.equal v1 v2)
+             ra.checksums rb.checksums)
+  | _ -> None

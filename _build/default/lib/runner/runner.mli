@@ -1,0 +1,39 @@
+(** Native execution backend: compile the generated C with a real C compiler
+    and run it on the host.
+
+    This complements the deterministic simulator ({!Machine}) with the real
+    thing where a toolchain is available: the instrumented driver emitted by
+    [Codegen.print_c ~instrument:true] initializes arrays deterministically,
+    times the nest and prints position-weighted per-array checksums, so two
+    transformed variants of the same program can be cross-validated on real
+    hardware (bitwise-equal checksums) and timed.
+
+    Note: the build container for this repository has a single CPU core, so
+    native OpenMP runs cannot demonstrate parallel speedups — that is what
+    the simulator is for (DESIGN.md §1); native runs validate correctness
+    and sequential locality. *)
+
+type result = {
+  wall_seconds : float;
+  checksums : (string * string) list;  (** array name -> printed checksum *)
+}
+
+(** [available ()] — is a C compiler usable on this host? *)
+val available : unit -> bool
+
+(** [run ?cc ?cflags ?openmp code ~params] writes the instrumented C, builds
+    and runs it with each parameter bound via [-D].  Returns [None] when no
+    compiler is available; raises [Failure] on compile or run errors. *)
+val run :
+  ?cc:string ->
+  ?cflags:string list ->
+  ?openmp:bool ->
+  Codegen.t ->
+  params:(string * int) list ->
+  result option
+
+(** [validate a b ~params] runs two variants and checks their checksums are
+    identical (same program semantics on real hardware).  [None] if no
+    compiler. *)
+val validate :
+  Codegen.t -> Codegen.t -> params:(string * int) list -> bool option

@@ -1,0 +1,39 @@
+(** Small shared helpers used across the Pluto libraries. *)
+
+(** Non-negative gcd; [gcd_int 0 0 = 0]. *)
+val gcd_int : int -> int -> int
+
+val lcm_int : int -> int -> int
+
+(** [range n] is [[0; 1; ...; n-1]]. *)
+val range : int -> int list
+
+val sum_by : ('a -> int) -> 'a list -> int
+
+(** @raise Invalid_argument on the empty list. *)
+val list_max : int list -> int
+
+val take : int -> 'a list -> 'a list
+val drop : int -> 'a list -> 'a list
+val concat_map_i : (int -> 'a -> 'b list) -> 'a list -> 'b list
+
+(** @raise Invalid_argument on length mismatch. *)
+val array_for_all2 : ('a -> 'b -> bool) -> 'a array -> 'b array -> bool
+
+(** [pp_list sep pp] formats a list with separator [sep]; [sep] is
+    interpreted as a format string, so break hints like ["@,"] work.
+    @raise Scanf.Scan_failure if [sep] contains formatting directives. *)
+val pp_list :
+  string -> (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a list -> unit
+
+val string_of_format : (Format.formatter -> 'a -> unit) -> 'a -> string
+
+(** [fixpoint step x] applies [step] until it returns [None]. *)
+val fixpoint : ('a -> 'a option) -> 'a -> 'a
+
+module Fresh : sig
+  type t
+
+  val create : string -> t
+  val next : t -> string
+end

@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Deps Driver Hashtbl Ir Kernels Pluto

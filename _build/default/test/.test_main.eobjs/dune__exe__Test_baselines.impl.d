@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Deps Driver Feautrier Fixtures Hashtbl Kernels List Machine Mat Pluto Printf Putil

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Bigint Char List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Astring Driver Filename Kernels List Printf Runner Sys Unix

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Astring Baselines Codegen Driver Filename Fixtures Frontend Ir Kernels List Machine Pluto Printf Putil Sys Unix

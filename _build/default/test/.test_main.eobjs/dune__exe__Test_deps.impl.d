@@ -1,0 +1,1 @@
+test/test_deps.ml: Alcotest Array Bigint Deps Fixtures Ir Kernels List Milp Polyhedra Printf Putil String Vec

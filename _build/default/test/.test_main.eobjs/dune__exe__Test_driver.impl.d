@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Array Codegen Driver Fixtures Ir Kernels List Machine Pluto

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Deps Driver Frontend Ir Kernels List Machine Pluto

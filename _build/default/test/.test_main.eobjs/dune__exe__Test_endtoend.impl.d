@@ -1,0 +1,1 @@
+test/test_endtoend.ml: Alcotest Baselines Driver Fixtures Kernels List Machine Printf

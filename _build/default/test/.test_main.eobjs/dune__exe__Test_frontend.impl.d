@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Astring Bigint Driver Frontend Ir Kernels List Machine Polyhedra Printf String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Driver Frontend Ir List Machine Printf Putil QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Bigint Driver Fixtures Ir Kernels List Machine Pluto Polyhedra

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Bigint List Mat Printf Putil Q QCheck QCheck_alcotest Vec

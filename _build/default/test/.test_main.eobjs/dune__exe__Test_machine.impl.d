@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Baselines Cache Driver Fixtures Frontend Kernels Machine Printf

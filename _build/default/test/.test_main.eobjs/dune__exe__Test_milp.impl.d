@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Bigint List Milp Polyhedra Putil Q QCheck QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Bigint Cache Codegen Driver Fixtures Kernels List Machine Milp Pluto Polyhedra Putil Q QCheck QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_pluto.ml: Alcotest Array Bigint Deps Fixtures Hashtbl Ir Kernels List Machine Mat Milp Pluto Polyhedra Printf Putil Vec

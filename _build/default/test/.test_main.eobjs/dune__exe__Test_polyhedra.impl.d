@@ -1,0 +1,1 @@
+test/test_polyhedra.ml: Alcotest Array Bigint List Polyhedra Printf Putil QCheck QCheck_alcotest

@@ -1,0 +1,45 @@
+(* Shared, memoized pipeline results so the expensive transform runs once per
+   kernel across test files. *)
+
+let dep_cache : (string, Ir.program * Deps.t list) Hashtbl.t = Hashtbl.create 8
+
+let program_and_deps (k : Kernels.t) =
+  match Hashtbl.find_opt dep_cache k.Kernels.name with
+  | Some r -> r
+  | None ->
+      let p = Kernels.program k in
+      let ds = Deps.compute p in
+      Hashtbl.replace dep_cache k.Kernels.name (p, ds);
+      (p, ds)
+
+let tr_cache : (string, Pluto.Types.transform) Hashtbl.t = Hashtbl.create 8
+
+let transform (k : Kernels.t) =
+  match Hashtbl.find_opt tr_cache k.Kernels.name with
+  | Some t -> t
+  | None ->
+      let p, ds = program_and_deps k in
+      let t = Pluto.Auto.transform p ds in
+      Hashtbl.replace tr_cache k.Kernels.name t;
+      (t : Pluto.Types.transform)
+
+let compiled_cache : (string, Driver.result) Hashtbl.t = Hashtbl.create 8
+
+(* full paper pipeline (tile + wavefront + intra reorder) *)
+let compiled (k : Kernels.t) =
+  match Hashtbl.find_opt compiled_cache k.Kernels.name with
+  | Some r -> r
+  | None ->
+      let p, ds = program_and_deps k in
+      let t = transform k in
+      let r = Driver.compile_with_transform p ds t in
+      Hashtbl.replace compiled_cache k.Kernels.name r;
+      r
+
+let check_params (k : Kernels.t) =
+  let p, _ = program_and_deps k in
+  Kernels.params_vector p k.Kernels.check_params
+
+(* rows of statement [i] of a transform, as int lists, for readable asserts *)
+let rows_of (t : Pluto.Types.transform) i =
+  Array.to_list (Array.map Array.to_list t.Pluto.Types.rows.(i))

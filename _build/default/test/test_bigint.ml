@@ -1,0 +1,178 @@
+(* Unit and property tests for the arbitrary-precision integers. *)
+
+let bi = Bigint.of_int
+let s = Bigint.to_string
+
+let check_str name expected actual = Alcotest.(check string) name expected actual
+let check_int name expected actual = Alcotest.(check int) name expected actual
+
+let test_of_to_int () =
+  List.iter
+    (fun n -> check_int (string_of_int n) n (Bigint.to_int (bi n)))
+    [ 0; 1; -1; 42; -42; 1 lsl 29; (1 lsl 30) + 17; -((1 lsl 45) + 3); max_int; 1 - max_int ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun str -> check_str str str (s (Bigint.of_string str)))
+    [
+      "0";
+      "1";
+      "-1";
+      "999999999";
+      "1000000000";
+      "123456789012345678901234567890";
+      "-987654321987654321987654321";
+    ]
+
+let test_add_sub () =
+  let a = Bigint.of_string "123456789012345678901234567890" in
+  let b = Bigint.of_string "-98765432109876543210" in
+  check_str "a+b" "123456788913580246791358024680" (s (Bigint.add a b));
+  check_str "a-b" "123456789111111111011111111100" (s (Bigint.sub a b));
+  check_str "b-a" "-123456789111111111011111111100" (s (Bigint.sub b a));
+  check_str "a-a" "0" (s (Bigint.sub a a))
+
+let test_mul () =
+  let a = Bigint.of_string "123456789012345678901234567890" in
+  let b = Bigint.of_string "-98765432109876543210" in
+  check_str "a*b" "-12193263113702179522496570642237463801111263526900"
+    (s (Bigint.mul a b));
+  check_str "a*0" "0" (s (Bigint.mul a Bigint.zero));
+  check_str "a*1" (s a) (s (Bigint.mul a Bigint.one))
+
+let test_divmod_matches_native () =
+  for x = -60 to 60 do
+    for y = -60 to 60 do
+      if y <> 0 then begin
+        let q, r = Bigint.divmod (bi x) (bi y) in
+        check_int (Printf.sprintf "%d/%d" x y) (x / y) (Bigint.to_int q);
+        check_int (Printf.sprintf "%d mod %d" x y) (x mod y) (Bigint.to_int r)
+      end
+    done
+  done
+
+let test_fdiv_cdiv () =
+  (* floor/ceil division across sign combinations *)
+  let cases =
+    [ (7, 2, 3, 4); (-7, 2, -4, -3); (7, -2, -4, -3); (-7, -2, 3, 4); (6, 3, 2, 2) ]
+  in
+  List.iter
+    (fun (a, b, f, c) ->
+      check_int (Printf.sprintf "fdiv %d %d" a b) f (Bigint.to_int (Bigint.fdiv (bi a) (bi b)));
+      check_int (Printf.sprintf "cdiv %d %d" a b) c (Bigint.to_int (Bigint.cdiv (bi a) (bi b))))
+    cases
+
+let test_fmod_nonneg () =
+  for a = -20 to 20 do
+    for b = 1 to 7 do
+      let r = Bigint.to_int (Bigint.fmod (bi a) (bi b)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "fmod %d %d in range" a b)
+        true
+        (r >= 0 && r < b);
+      check_int "fmod consistency" a ((Bigint.to_int (Bigint.fdiv (bi a) (bi b)) * b) + r)
+    done
+  done
+
+let test_gcd_lcm () =
+  check_int "gcd 462 1071" 21 (Bigint.to_int (Bigint.gcd (bi 462) (bi (-1071))));
+  check_int "gcd 0 5" 5 (Bigint.to_int (Bigint.gcd Bigint.zero (bi 5)));
+  check_int "gcd 0 0" 0 (Bigint.to_int (Bigint.gcd Bigint.zero Bigint.zero));
+  check_int "lcm 4 6" 12 (Bigint.to_int (Bigint.lcm (bi 4) (bi 6)));
+  check_int "lcm 0 6" 0 (Bigint.to_int (Bigint.lcm Bigint.zero (bi 6)))
+
+let test_compare () =
+  Alcotest.(check bool) "lt" true (Bigint.compare (bi (-5)) (bi 3) < 0);
+  Alcotest.(check bool) "big vs small" true
+    (Bigint.compare (Bigint.of_string "10000000000000000000000") (bi max_int) > 0);
+  Alcotest.(check bool) "neg big" true
+    (Bigint.compare (Bigint.of_string "-10000000000000000000000") (bi min_int) < 0)
+
+let test_pow () =
+  check_str "2^100" "1267650600228229401496703205376" (s (Bigint.pow (bi 2) 100));
+  check_str "x^0" "1" (s (Bigint.pow (bi 12345) 0));
+  check_str "(-3)^3" "-27" (s (Bigint.pow (bi (-3)) 3))
+
+(* ------------------------------- properties ------------------------------- *)
+
+let arb_big =
+  (* random signed decimal strings up to 40 digits *)
+  QCheck.make
+    ~print:Bigint.to_string
+    QCheck.Gen.(
+      let* ndig = int_range 1 40 in
+      let* digits =
+        list_repeat ndig (map Char.chr (int_range (Char.code '0') (Char.code '9')))
+      in
+      let* neg = bool in
+      let str = String.of_seq (List.to_seq digits) in
+      let v = Bigint.of_string str in
+      return (if neg then Bigint.neg v else v))
+
+let prop_ring =
+  QCheck.Test.make ~name:"add/mul ring laws" ~count:300
+    (QCheck.triple arb_big arb_big arb_big)
+    (fun (a, b, c) ->
+      let open Bigint in
+      equal (add a b) (add b a)
+      && equal (mul a b) (mul b a)
+      && equal (add (add a b) c) (add a (add b c))
+      && equal (mul (mul a b) c) (mul a (mul b c))
+      && equal (mul a (add b c)) (add (mul a b) (mul a c)))
+
+let prop_divmod =
+  QCheck.Test.make ~name:"divmod invariants" ~count:500
+    (QCheck.pair arb_big arb_big)
+    (fun (a, b) ->
+      QCheck.assume (not (Bigint.is_zero b));
+      let q, r = Bigint.divmod a b in
+      Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+      && Bigint.compare (Bigint.abs r) (Bigint.abs b) < 0
+      && (Bigint.is_zero r || Bigint.sign r = Bigint.sign a))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"string roundtrip" ~count:300 arb_big (fun a ->
+      Bigint.equal a (Bigint.of_string (Bigint.to_string a)))
+
+let prop_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both" ~count:300
+    (QCheck.pair arb_big arb_big)
+    (fun (a, b) ->
+      let g = Bigint.gcd a b in
+      if Bigint.is_zero g then Bigint.is_zero a && Bigint.is_zero b
+      else
+        Bigint.is_zero (Bigint.rem a g)
+        && Bigint.is_zero (Bigint.rem b g)
+        && Bigint.sign g > 0)
+
+let prop_fdiv_cdiv_bounds =
+  QCheck.Test.make ~name:"fdiv/cdiv tight" ~count:300
+    (QCheck.pair arb_big arb_big)
+    (fun (a, b) ->
+      QCheck.assume (Bigint.sign b > 0);
+      let f = Bigint.fdiv a b and c = Bigint.cdiv a b in
+      (* f*b <= a < (f+1)*b  and  (c-1)*b < a <= c*b *)
+      Bigint.compare (Bigint.mul f b) a <= 0
+      && Bigint.compare a (Bigint.mul (Bigint.add f Bigint.one) b) < 0
+      && Bigint.compare a (Bigint.mul c b) <= 0
+      && Bigint.compare (Bigint.mul (Bigint.sub c Bigint.one) b) a < 0)
+
+let suite =
+  ( "bigint",
+    [
+      Alcotest.test_case "of_int/to_int" `Quick test_of_to_int;
+      Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+      Alcotest.test_case "add/sub" `Quick test_add_sub;
+      Alcotest.test_case "mul" `Quick test_mul;
+      Alcotest.test_case "divmod vs native" `Quick test_divmod_matches_native;
+      Alcotest.test_case "fdiv/cdiv" `Quick test_fdiv_cdiv;
+      Alcotest.test_case "fmod non-negative" `Quick test_fmod_nonneg;
+      Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
+      Alcotest.test_case "compare" `Quick test_compare;
+      Alcotest.test_case "pow" `Quick test_pow;
+      QCheck_alcotest.to_alcotest prop_ring;
+      QCheck_alcotest.to_alcotest prop_divmod;
+      QCheck_alcotest.to_alcotest prop_string_roundtrip;
+      QCheck_alcotest.to_alcotest prop_gcd_divides;
+      QCheck_alcotest.to_alcotest prop_fdiv_cdiv_bounds;
+    ] )

@@ -1,0 +1,121 @@
+(* The plutocc command-line tool, driven end to end as a subprocess. *)
+
+let plutocc = "../bin/plutocc.exe"
+
+let available () = Sys.file_exists plutocc
+
+let with_source f =
+  let dir = Filename.temp_file "plutocc" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let src = Filename.concat dir "k.c" in
+  let oc = open_out src in
+  output_string oc Kernels.jacobi_1d.Kernels.source;
+  close_out oc;
+  f dir src
+
+let run cmd = Sys.command (cmd ^ " > /dev/null 2> /dev/null")
+
+let test_basic_compile () =
+  if available () then
+    with_source (fun dir src ->
+        let out = Filename.concat dir "out.c" in
+        Alcotest.(check int) "exit 0" 0
+          (run (Printf.sprintf "%s %s -o %s" plutocc src out));
+        let ic = open_in out in
+        let content = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        List.iter
+          (fun frag ->
+            Alcotest.(check bool) ("contains " ^ frag) true
+              (Astring.String.is_infix ~affix:frag content))
+          [ "#pragma omp parallel for"; "#define S1"; "floord" ])
+
+let test_check_flag () =
+  if available () then
+    with_source (fun _dir src ->
+        Alcotest.(check int) "check passes" 0
+          (run (Printf.sprintf "%s %s --check --params T=6,N=24" plutocc src)))
+
+let test_simulate_flag () =
+  if available () then
+    with_source (fun _dir src ->
+        Alcotest.(check int) "simulate runs" 0
+          (run
+             (Printf.sprintf "%s %s --simulate --params T=16,N=500 --cores 2"
+                plutocc src)))
+
+let test_option_flags () =
+  if available () then
+    with_source (fun dir src ->
+        List.iter
+          (fun flags ->
+            Alcotest.(check int) ("flags: " ^ flags) 0
+              (run
+                 (Printf.sprintf "%s %s %s -o %s/o.c --check --params T=5,N=20"
+                    plutocc src flags dir)))
+          [
+            "--no-tile";
+            "--tile-size 8";
+            "--no-parallel";
+            "--wavefront 2";
+            "--no-intra-reorder";
+            "--no-rar";
+            "--show-transform --show-deps";
+          ])
+
+let test_parse_error_exit_code () =
+  if available () then
+    with_source (fun dir _src ->
+        let bad = Filename.concat dir "bad.c" in
+        let oc = open_out bad in
+        output_string oc "double a[N];\nfor (i = 0; i < N; i++) a[i*i] = 1.0;";
+        close_out oc;
+        Alcotest.(check bool) "nonzero exit" true
+          (run (Printf.sprintf "%s %s" plutocc bad) <> 0))
+
+let cli_cases =
+  [
+    Alcotest.test_case "basic compile" `Quick test_basic_compile;
+    Alcotest.test_case "--check" `Quick test_check_flag;
+    Alcotest.test_case "--simulate" `Quick test_simulate_flag;
+    Alcotest.test_case "option flags" `Quick test_option_flags;
+    Alcotest.test_case "parse error exit" `Quick test_parse_error_exit_code;
+  ]
+
+(* ------------------------- native execution backend ----------------------- *)
+
+let native_validate (k : Kernels.t) params () =
+  if Runner.available () then begin
+    let p = Kernels.program k in
+    let orig = Driver.compile_original p in
+    let pluto = Driver.compile p in
+    match Runner.validate orig.Driver.code pluto.Driver.code ~params with
+    | Some ok ->
+        Alcotest.(check bool) (k.Kernels.name ^ " native checksums agree") true ok
+    | None -> ()
+  end
+
+let test_runner_result_fields () =
+  if Runner.available () then begin
+    let p = Kernels.program Kernels.matmul in
+    let r = Driver.compile p in
+    match Runner.run r.Driver.code ~params:[ ("N", 40) ] with
+    | None -> ()
+    | Some res ->
+        Alcotest.(check bool) "time parsed" true (res.Runner.wall_seconds >= 0.0);
+        Alcotest.(check int) "3 array checksums" 3 (List.length res.Runner.checksums)
+  end
+
+let native_suite =
+  [
+    Alcotest.test_case "native validate jacobi" `Quick
+      (native_validate Kernels.jacobi_1d [ ("T", 20); ("N", 300) ]);
+    Alcotest.test_case "native validate lu" `Quick
+      (native_validate Kernels.lu [ ("N", 80) ]);
+    Alcotest.test_case "native validate fdtd" `Quick
+      (native_validate Kernels.fdtd_2d [ ("tmax", 8); ("nx", 40); ("ny", 40) ]);
+    Alcotest.test_case "runner result fields" `Quick test_runner_result_fields;
+  ]
+
+let suite = ("plutocc-cli", cli_cases @ native_suite)

@@ -1,0 +1,141 @@
+(* Driver pipeline policy: option handling, tiling decisions, parallel
+   marking, multi-level tiling. *)
+
+open Pluto.Types
+
+let opt = Driver.default_options
+
+let test_no_tile_means_no_supernodes () =
+  let k = Kernels.matmul in
+  let p, ds = Fixtures.program_and_deps k in
+  let t = Fixtures.transform k in
+  let r =
+    Driver.compile_with_transform ~options:{ opt with Driver.tile = false } p ds t
+  in
+  List.iter
+    (fun ts ->
+      Alcotest.(check int) "ext = original iters"
+        (Ir.depth ts.stmt)
+        (Array.length ts.ext_iters))
+    r.Driver.target.tstmts
+
+let test_tile_adds_supernodes () =
+  let k = Kernels.matmul in
+  let r = Fixtures.compiled k in
+  List.iter
+    (fun ts ->
+      Alcotest.(check int) "3 supernodes + 3 iters" 6 (Array.length ts.ext_iters))
+    r.Driver.target.tstmts
+
+let test_min_band_tile () =
+  (* with min_band_tile > band width nothing is tiled *)
+  let k = Kernels.matmul in
+  let p, ds = Fixtures.program_and_deps k in
+  let t = Fixtures.transform k in
+  let r =
+    Driver.compile_with_transform
+      ~options:{ opt with Driver.min_band_tile = 10 }
+      p ds t
+  in
+  Alcotest.(check int) "no extra levels" t.nlevels r.Driver.target.tnlevels
+
+let test_parallelize_false_all_seq () =
+  let k = Kernels.jacobi_1d in
+  let p, ds = Fixtures.program_and_deps k in
+  let t = Fixtures.transform k in
+  let r =
+    Driver.compile_with_transform
+      ~options:{ opt with Driver.parallelize = false }
+      p ds t
+  in
+  Alcotest.(check bool) "no Par levels" true
+    (Array.for_all (fun x -> x = Seq) r.Driver.target.tpar)
+
+let test_wavefront_marks_par () =
+  let k = Kernels.jacobi_1d in
+  let r = Fixtures.compiled k in
+  let pars =
+    Array.to_list r.Driver.target.tpar |> List.filter (fun x -> x = Par)
+  in
+  Alcotest.(check int) "exactly 1 Par level (wavefront=1)" 1 (List.length pars)
+
+let test_outer_parallel_direct_mark () =
+  (* matmul's outer tile loop is parallel: no wavefront needed, the first
+     tile loop is marked directly *)
+  let k = Kernels.matmul in
+  let r = Fixtures.compiled k in
+  Alcotest.(check bool) "level 0 Par" true (r.Driver.target.tpar.(0) = Par);
+  (* and its scattering row is still the plain supernode (no skew) *)
+  let ts = List.hd r.Driver.target.tstmts in
+  Alcotest.(check (list int)) "row = zT0"
+    [ 1; 0; 0; 0; 0; 0; 0 ]
+    (Array.to_list ts.trows.(0))
+
+let test_wavefront_skews_tile_space () =
+  (* jacobi's outer tile loop is NOT parallel: Algorithm 2 applies, the first
+     tile row becomes zT0 + zT1 *)
+  let k = Kernels.jacobi_1d in
+  let r = Fixtures.compiled k in
+  let ts = List.hd r.Driver.target.tstmts in
+  Alcotest.(check (list int)) "row = zT0+zT1"
+    [ 1; 1; 0; 0; 0 ]
+    (Array.to_list ts.trows.(0))
+
+let test_compile_original_identity () =
+  let k = Kernels.jacobi_1d in
+  let p, _ = Fixtures.program_and_deps k in
+  let r = Driver.compile_original p in
+  Alcotest.(check bool) "sequential" true
+    (Array.for_all (fun x -> x = Seq) r.Driver.target.tpar);
+  let params = Fixtures.check_params k in
+  Alcotest.(check bool) "equivalent" true
+    (Machine.equivalent p r.Driver.code ~params)
+
+let test_two_level_tiling_equivalence () =
+  let k = Kernels.jacobi_1d in
+  let p, _ = Fixtures.program_and_deps k in
+  let t = Fixtures.transform k in
+  let b = List.hd (Pluto.Tiling.bands_of t) in
+  let bands_sizes =
+    [ (b, [ Array.make b.Pluto.Tiling.b_len 16; Array.make b.Pluto.Tiling.b_len 4 ]) ]
+  in
+  let tgt = Pluto.Tiling.tile_levels t ~bands_sizes in
+  let levels = Pluto.Tiling.target_band_levels_multi t ~bands_sizes b in
+  let tgt = Pluto.Tiling.wavefront tgt ~levels ~degrees:1 in
+  let cg = Codegen.generate tgt in
+  let params = Fixtures.check_params k in
+  Alcotest.(check bool) "2-level equivalent" true (Machine.equivalent p cg ~params);
+  Alcotest.(check bool) "2-level reverse" true
+    (Machine.equivalent ~par_reverse:true p cg ~params);
+  (* both tiling levels appear: 2 bands * 2 levels of supernodes + 2 + scalar *)
+  Alcotest.(check int) "level count" 7 tgt.tnlevels
+
+let test_no_cost_bound_still_legal () =
+  (* the legality-only ablation must still produce correct code *)
+  let k = Kernels.mvt in
+  let p, _ = Fixtures.program_and_deps k in
+  let options =
+    {
+      opt with
+      Driver.auto =
+        { Pluto.Auto.default_config with Pluto.Auto.use_cost_bound = false };
+    }
+  in
+  let r = Driver.compile ~options p in
+  let params = Fixtures.check_params k in
+  Alcotest.(check bool) "equivalent" true (Machine.equivalent p r.Driver.code ~params)
+
+let suite =
+  ( "driver",
+    [
+      Alcotest.test_case "no-tile keeps domains" `Quick test_no_tile_means_no_supernodes;
+      Alcotest.test_case "tile adds supernodes" `Quick test_tile_adds_supernodes;
+      Alcotest.test_case "min_band_tile" `Quick test_min_band_tile;
+      Alcotest.test_case "parallelize=false" `Quick test_parallelize_false_all_seq;
+      Alcotest.test_case "wavefront Par count" `Quick test_wavefront_marks_par;
+      Alcotest.test_case "outer-parallel direct mark" `Quick test_outer_parallel_direct_mark;
+      Alcotest.test_case "wavefront skews tiles" `Quick test_wavefront_skews_tile_space;
+      Alcotest.test_case "compile_original" `Quick test_compile_original_identity;
+      Alcotest.test_case "two-level tiling" `Quick test_two_level_tiling_equivalence;
+      Alcotest.test_case "no-cost-bound ablation legal" `Quick test_no_cost_bound_still_legal;
+    ] )

@@ -1,0 +1,94 @@
+(* Edge cases through the whole pipeline: scalars (0-dim arrays),
+   reductions, dependence-free programs, single statements, deep nests. *)
+
+let compile_and_check ?options src params_assoc =
+  let p = Frontend.parse_program ~name:"<edge>" src in
+  let r = Driver.compile ?options p in
+  let params = Kernels.params_vector p params_assoc in
+  Alcotest.(check bool) "equivalent" true (Machine.equivalent p r.Driver.code ~params);
+  Alcotest.(check bool) "reverse-parallel" true
+    (Machine.equivalent ~par_reverse:true p r.Driver.code ~params);
+  (p, r)
+
+let test_scalar_reduction () =
+  (* a 0-dimensional array: sequentializing flow/anti/output deps on s *)
+  let src = "double s, a[N];\nfor (i = 0; i < N; i++) s = s + a[i];" in
+  let p, r = compile_and_check src [ ("N", 30) ] in
+  ignore p;
+  (* the reduction loop must not be marked parallel *)
+  Alcotest.(check bool) "sequential" true
+    (Array.for_all (fun x -> x = Pluto.Types.Seq) r.Driver.target.Pluto.Types.tpar)
+
+let test_dependence_free () =
+  let src = "double a[N][N];\nfor (i = 0; i < N; i++) for (j = 0; j < N; j++) a[i][j] = 1.0;" in
+  let p, r = compile_and_check src [ ("N", 20) ] in
+  let ds = Deps.compute p in
+  Alcotest.(check int) "no deps" 0 (List.length ds);
+  (* fully parallel: some level is marked Par *)
+  Alcotest.(check bool) "parallelized" true
+    (Array.exists (fun x -> x = Pluto.Types.Par) r.Driver.target.Pluto.Types.tpar)
+
+let test_single_1d_statement () =
+  let src = "double a[N];\nfor (i = 1; i < N; i++) a[i] = a[i-1] + 1.0;" in
+  let _, r = compile_and_check src [ ("N", 40) ] in
+  (* recurrence: sequential, single loop level *)
+  Alcotest.(check bool) "sequential" true
+    (Array.for_all (fun x -> x = Pluto.Types.Seq) r.Driver.target.Pluto.Types.tpar)
+
+let test_deep_band () =
+  (* a 4-deep single-statement time stencil: 4-wide permutable band *)
+  let src =
+    "double a[N][N][N];\n\
+     for (t = 0; t < T; t++)\n\
+    \  for (i = 1; i < N - 1; i++)\n\
+    \    for (j = 1; j < N - 1; j++)\n\
+    \      for (k = 1; k < N - 1; k++)\n\
+    \        a[i][j][k] = 0.1 * (a[i-1][j][k] + a[i][j-1][k] + a[i][j][k-1] + a[i+1][j][k]);"
+  in
+  let p, r = compile_and_check src [ ("T", 3); ("N", 8) ] in
+  ignore p;
+  let t = r.Driver.transform in
+  Alcotest.(check int) "4 levels" 4 t.Pluto.Types.nlevels;
+  let bands = Pluto.Tiling.bands_of t in
+  Alcotest.(check int) "one band of 4" 4 (List.hd bands).Pluto.Tiling.b_len
+
+let test_negative_shift_needed_is_rejected_gracefully () =
+  (* a[i] = a[i+1]: anti dependence in the reversed direction; with only
+     non-negative coefficients the loop still works (identity is legal:
+     reads of a[i+1] happen before the write of a[i+1]) *)
+  let src = "double a[N];\nfor (i = 0; i < N - 1; i++) a[i] = a[i+1];" in
+  ignore (compile_and_check src [ ("N", 25) ])
+
+let test_two_parameter_bounds () =
+  let src =
+    "double A[M][N];\nfor (i = 0; i < M; i++) for (j = i; j < N; j++) A[i][j] = 2.0;"
+  in
+  ignore (compile_and_check src [ ("M", 9); ("N", 14) ])
+
+let test_constant_bounds_no_params () =
+  (* a program with no parameters at all *)
+  let src = "double a[32];\nfor (i = 0; i < 32; i++) a[i] = 1.0;" in
+  let p = Frontend.parse_program ~name:"<noparam>" src in
+  Alcotest.(check int) "no params" 0 (List.length p.Ir.params);
+  let r = Driver.compile p in
+  Alcotest.(check bool) "equivalent" true
+    (Machine.equivalent p r.Driver.code ~params:[||])
+
+let test_statement_outside_loops () =
+  (* depth-0 statement mixed with a loop *)
+  let src = "double s, a[N];\ns = 0.0;\nfor (i = 0; i < N; i++) a[i] = s + 1.0;" in
+  ignore (compile_and_check src [ ("N", 15) ])
+
+let suite =
+  ( "edge-cases",
+    [
+      Alcotest.test_case "scalar reduction" `Quick test_scalar_reduction;
+      Alcotest.test_case "dependence-free" `Quick test_dependence_free;
+      Alcotest.test_case "1-d recurrence" `Quick test_single_1d_statement;
+      Alcotest.test_case "4-deep band" `Quick test_deep_band;
+      Alcotest.test_case "reversed-direction anti dep" `Quick
+        test_negative_shift_needed_is_rejected_gracefully;
+      Alcotest.test_case "two parameters" `Quick test_two_parameter_bounds;
+      Alcotest.test_case "no parameters" `Quick test_constant_bounds_no_params;
+      Alcotest.test_case "depth-0 statement" `Quick test_statement_outside_loops;
+    ] )

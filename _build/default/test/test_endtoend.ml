@@ -1,0 +1,111 @@
+(* End-to-end semantic equivalence: original program vs generated code, over
+   the full option matrix — the strongest correctness check in the suite. *)
+
+let opt ~tile ~par ~wavefront ~intra =
+  {
+    Driver.default_options with
+    Driver.tile;
+    parallelize = par;
+    wavefront;
+    intra_reorder = intra;
+    tile_size = Some 8 (* small tiles exercise boundary code at test sizes *);
+  }
+
+let option_matrix =
+  [
+    ("untiled-seq", opt ~tile:false ~par:false ~wavefront:0 ~intra:false);
+    ("untiled-par", opt ~tile:false ~par:true ~wavefront:0 ~intra:false);
+    ("tiled-seq", opt ~tile:true ~par:false ~wavefront:0 ~intra:false);
+    ("tiled-wave1", opt ~tile:true ~par:true ~wavefront:1 ~intra:false);
+    ("tiled-wave2", opt ~tile:true ~par:true ~wavefront:2 ~intra:false);
+    ("paper", Driver.{ default_options with tile_size = Some 8 });
+  ]
+
+let check_kernel_options (k : Kernels.t) (oname, options) () =
+  let p, ds = Fixtures.program_and_deps k in
+  let t = Fixtures.transform k in
+  let r = Driver.compile_with_transform ~options p ds t in
+  let params = Fixtures.check_params k in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s/%s forward" k.Kernels.name oname)
+    true
+    (Machine.equivalent p r.Driver.code ~params);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s/%s reverse-parallel" k.Kernels.name oname)
+    true
+    (Machine.equivalent ~par_reverse:true p r.Driver.code ~params)
+
+(* equivalence at several parameter points, including degenerate sizes *)
+let check_kernel_sizes (k : Kernels.t) () =
+  let p, ds = Fixtures.program_and_deps k in
+  let t = Fixtures.transform k in
+  let r = Driver.compile_with_transform ~options:(opt ~tile:true ~par:true ~wavefront:1 ~intra:true) p ds t in
+  List.iter
+    (fun factor ->
+      let assoc =
+        List.map
+          (fun (name, v) -> (name, max 3 (v * factor / 100)))
+          k.Kernels.check_params
+      in
+      let params = Kernels.params_vector p assoc in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s at %d%%" k.Kernels.name factor)
+        true
+        (Machine.equivalent p r.Driver.code ~params))
+    [ 40; 70; 130 ]
+
+let check_baseline name make (k : Kernels.t) () =
+  let p, _ = Fixtures.program_and_deps k in
+  let r = make p in
+  let params = Fixtures.check_params k in
+  Alcotest.(check bool) (name ^ " forward") true
+    (Machine.equivalent p r.Driver.code ~params);
+  Alcotest.(check bool) (name ^ " reverse") true
+    (Machine.equivalent ~par_reverse:true p r.Driver.code ~params)
+
+let fast_kernels =
+  [ Kernels.jacobi_1d; Kernels.lu; Kernels.mvt; Kernels.seidel; Kernels.matmul ]
+
+let slow_kernels =
+  [ Kernels.fdtd_2d; Kernels.jacobi_2d; Kernels.gemver; Kernels.trmm; Kernels.mm2 ]
+
+let suite =
+  let opts_tests speed ks =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun (oname, _ as o) ->
+            Alcotest.test_case
+              (Printf.sprintf "%s %s" k.Kernels.name oname)
+              speed
+              (check_kernel_options k o))
+          option_matrix)
+      ks
+  in
+  ( "end-to-end",
+    opts_tests `Quick fast_kernels
+    @ opts_tests `Slow slow_kernels
+    @ List.map
+        (fun k ->
+          Alcotest.test_case ("sizes " ^ k.Kernels.name) `Quick
+            (check_kernel_sizes k))
+        fast_kernels
+    @ [
+        Alcotest.test_case "baseline jacobi affine-partition" `Quick
+          (check_baseline "affine-partition" Baselines.jacobi_affine_partition
+             Kernels.jacobi_1d);
+        Alcotest.test_case "baseline jacobi scheduling-fco" `Quick
+          (check_baseline "scheduling-fco" Baselines.jacobi_scheduling_fco
+             Kernels.jacobi_1d);
+        Alcotest.test_case "baseline lu scheduling" `Quick
+          (check_baseline "lu-scheduling" Baselines.lu_scheduling Kernels.lu);
+        Alcotest.test_case "baseline mvt fuse-ij-ij" `Quick
+          (check_baseline "mvt-ij-ij" Baselines.mvt_fuse_ij_ij Kernels.mvt);
+        Alcotest.test_case "baseline mvt unfused-parallel" `Quick
+          (check_baseline "mvt-unfused" Baselines.mvt_unfused_parallel
+             Kernels.mvt);
+        Alcotest.test_case "baseline inner-parallel jacobi" `Quick
+          (check_baseline "inner-par" Baselines.inner_parallel Kernels.jacobi_1d);
+        Alcotest.test_case "baseline inner-parallel lu" `Quick
+          (check_baseline "inner-par" Baselines.inner_parallel Kernels.lu);
+      ] )

@@ -1,0 +1,163 @@
+(* Lexer/parser/polyhedral extraction. *)
+
+let parse = Frontend.parse_program ~name:"<test>"
+
+let test_jacobi_shape () =
+  let p = parse Kernels.jacobi_1d.Kernels.source in
+  Alcotest.(check int) "2 statements" 2 (List.length p.Ir.stmts);
+  Alcotest.(check (list string)) "params" [ "T"; "N" ] p.Ir.params;
+  let s1 = List.nth p.Ir.stmts 0 and s2 = List.nth p.Ir.stmts 1 in
+  Alcotest.(check int) "depth S1" 2 (Ir.depth s1);
+  Alcotest.(check (list string)) "iters S1" [ "t"; "i" ] s1.Ir.iters;
+  Alcotest.(check int) "common loops" 1 (Ir.common_loops s1 s2);
+  Alcotest.(check bool) "S1 before S2" true (Ir.precedes_at s1 s2 1);
+  Alcotest.(check int) "S1 reads" 3 (List.length (Ir.reads_of_expr s1.Ir.rhs));
+  Alcotest.(check int) "S1 flops" 3 (Ir.flops_of_expr s1.Ir.rhs)
+
+let test_domain_constraints () =
+  let p = parse "double a[N];\nfor (i = 2; i < N - 1; i++) a[i] = 1.0;" in
+  let s = List.hd p.Ir.stmts in
+  (* i >= 2 and i <= N-2 *)
+  Alcotest.(check int) "2 constraints" 2 (List.length s.Ir.domain.Polyhedra.cs);
+  let sat i n =
+    Polyhedra.sat_point s.Ir.domain (Array.map Bigint.of_int [| i; n |])
+  in
+  Alcotest.(check bool) "i=2,N=10" true (sat 2 10);
+  Alcotest.(check bool) "i=8,N=10" true (sat 8 10);
+  Alcotest.(check bool) "i=9,N=10" false (sat 9 10);
+  Alcotest.(check bool) "i=1,N=10" false (sat 1 10)
+
+let test_le_bound () =
+  let p = parse "double a[N];\nfor (i = 0; i <= N; i++) a[i] = 1.0;" in
+  let s = List.hd p.Ir.stmts in
+  let sat i n = Polyhedra.sat_point s.Ir.domain (Array.map Bigint.of_int [| i; n |]) in
+  Alcotest.(check bool) "i=N" true (sat 10 10);
+  Alcotest.(check bool) "i=N+1" false (sat 11 10)
+
+let test_access_matrix () =
+  let p = parse "double A[N][N];\nfor (i = 0; i < N; i++) for (j = 0; j < N; j++) A[2*i + j - 1][j] = 1.0;" in
+  let s = List.hd p.Ir.stmts in
+  Alcotest.(check (list (list int))) "lhs map"
+    [ [ 2; 1; 0; -1 ]; [ 0; 1; 0; 0 ] ]
+    (Array.to_list (Array.map Array.to_list s.Ir.lhs.Ir.map))
+
+let test_statics () =
+  let p =
+    parse
+      {|
+double a[N], b[N], c[N];
+for (i = 0; i < N; i++) a[i] = 1.0;
+for (i = 0; i < N; i++) {
+  b[i] = a[i];
+  c[i] = a[i];
+}
+|}
+  in
+  let statics =
+    List.map (fun s -> Array.to_list s.Ir.static) p.Ir.stmts
+  in
+  Alcotest.(check (list (list int))) "2d+1 statics"
+    [ [ 0; 0 ]; [ 1; 0 ]; [ 1; 1 ] ]
+    statics
+
+let test_iter_in_body () =
+  let p = parse "double a[N];\nfor (i = 0; i < N; i++) a[i] = 0.5 * i;" in
+  let s = List.hd p.Ir.stmts in
+  match s.Ir.rhs with
+  | Ir.Binop (Ir.Mul, Ir.Const _, Ir.Iter 0) -> ()
+  | _ -> Alcotest.fail "expected 0.5 * i body"
+
+let expect_error src frag =
+  match parse src with
+  | exception Frontend.Parse_error msg ->
+      if
+        not
+          (Astring.String.is_infix ~affix:frag msg
+           || String.length frag = 0)
+      then
+        Alcotest.fail (Printf.sprintf "error %S does not mention %S" msg frag)
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_errors () =
+  expect_error "double a[N];\nfor (i = 0; i < N; i++) a[i*i] = 1.0;" "not affine";
+  expect_error "double a[N];\nfor (i = 0; i < N; i++) b[i] = 1.0;" "undeclared";
+  expect_error "double a[N];\nfor (i = 0; i < N; j++) a[i] = 1.0;" "";
+  expect_error "double a[N];\nfor (i = 0; i < N; i++) a[i] = q;" "";
+  expect_error "double a[N][N];\nfor (i = 0; i < N; i++) a[i] = 1.0;" "subscripts";
+  expect_error "double a[N];\nfor (i = 0; i < N; i++) for (i = 0; i < N; i++) a[i] = 1.0;" "shadows"
+
+let test_comments_and_pragmas () =
+  let p =
+    parse
+      "// line comment\n#pragma scop\ndouble a[N]; /* block\ncomment */\nfor (i = 0; i < N; i++) a[i] = 1.0; // done\n#pragma endscop\n"
+  in
+  Alcotest.(check int) "1 statement" 1 (List.length p.Ir.stmts)
+
+let test_all_kernels_parse () =
+  List.iter
+    (fun k ->
+      let p = Kernels.program k in
+      Alcotest.(check bool)
+        (k.Kernels.name ^ " nonempty")
+        true
+        (List.length p.Ir.stmts > 0))
+    Kernels.all
+
+let test_param_collection_extents_only () =
+  (* a parameter used only in an extent still becomes a parameter *)
+  let p = parse "double a[M][N];\nfor (i = 0; i < N; i++) a[0][i] = 1.0;" in
+  Alcotest.(check bool) "M collected" true (List.mem "M" p.Ir.params)
+
+let test_compound_assignment () =
+  let p =
+    parse "double a[N], b[N];\nfor (i = 0; i < N; i++) { a[i] += b[i]; b[i] *= 2.0; a[i] -= 1.0; }"
+  in
+  Alcotest.(check int) "3 statements" 3 (List.length p.Ir.stmts);
+  let s1 = List.nth p.Ir.stmts 0 in
+  (* a[i] += b[i]  ==  a[i] = a[i] + b[i]: two reads (a and b) *)
+  Alcotest.(check int) "reads" 2 (List.length (Ir.reads_of_expr s1.Ir.rhs));
+  (match s1.Ir.rhs with
+  | Ir.Binop (Ir.Add, Ir.Load l, Ir.Load r) ->
+      Alcotest.(check string) "lhs reload" "a" l.Ir.arr;
+      Alcotest.(check string) "rhs" "b" r.Ir.arr
+  | _ -> Alcotest.fail "expected a + b body");
+  let s2 = List.nth p.Ir.stmts 1 in
+  match s2.Ir.rhs with
+  | Ir.Binop (Ir.Mul, Ir.Load _, Ir.Const _) -> ()
+  | _ -> Alcotest.fail "expected b * 2 body"
+
+let test_scop_region () =
+  let p =
+    parse
+      "double junk;\ndouble a[N];\nint unrelated_stuff_that_would_not_parse ???;\n#pragma scop\nfor (i = 0; i < N; i++) a[i] = 1.0;\n#pragma endscop\nmore junk here ???"
+  in
+  Alcotest.(check int) "1 statement" 1 (List.length p.Ir.stmts)
+
+let test_compound_pipeline () =
+  (* polybench-style += goes through the whole pipeline *)
+  let src =
+    "double A[N][N], x[N], y[N];\nfor (i = 0; i < N; i++)\n  for (j = 0; j < N; j++)\n    y[i] += A[i][j] * x[j];"
+  in
+  let p = parse src in
+  let r = Driver.compile p in
+  Alcotest.(check bool) "equivalent" true
+    (Machine.equivalent p r.Driver.code ~params:[| 18 |])
+
+let suite =
+  ( "frontend",
+    [
+      Alcotest.test_case "jacobi shape" `Quick test_jacobi_shape;
+      Alcotest.test_case "domain constraints" `Quick test_domain_constraints;
+      Alcotest.test_case "<= bound" `Quick test_le_bound;
+      Alcotest.test_case "access matrices" `Quick test_access_matrix;
+      Alcotest.test_case "2d+1 statics" `Quick test_statics;
+      Alcotest.test_case "iterator in body" `Quick test_iter_in_body;
+      Alcotest.test_case "error reporting" `Quick test_errors;
+      Alcotest.test_case "comments/pragmas" `Quick test_comments_and_pragmas;
+      Alcotest.test_case "all kernels parse" `Quick test_all_kernels_parse;
+      Alcotest.test_case "params from extents" `Quick test_param_collection_extents_only;
+      Alcotest.test_case "compound assignment" `Quick test_compound_assignment;
+      Alcotest.test_case "#pragma scop region" `Quick test_scop_region;
+      Alcotest.test_case "compound through pipeline" `Quick test_compound_pipeline;
+    ] )
+

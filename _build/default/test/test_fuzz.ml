@@ -1,0 +1,120 @@
+(* Pipeline fuzzing: random affine programs (generated as source text, so
+   the front-end is fuzzed too) are pushed through dependence analysis, the
+   hyperplane search, tiling, wavefronting and code generation, and the
+   result is checked for semantic equivalence against the original execution
+   order — forwards and with parallel loops reversed.
+
+   Identity is always a legal transformation for these programs, so the
+   search must always succeed. *)
+
+let gen_program : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  (* iterators come from a fixed pool so sibling loops get distinct names *)
+  let idx_expr ~iters =
+    (* affine index built from one iterator (or a constant) plus ±1 *)
+    let* kind = int_range 0 5 in
+    let* off = int_range (-1) 1 in
+    match (kind, iters) with
+    | 0, _ | _, [] ->
+        let* k = int_range 1 3 in
+        return (string_of_int k)
+    | _, _ ->
+        let* it = oneofl iters in
+        return
+          (if off = 0 then it
+           else if off > 0 then Printf.sprintf "%s + %d" it off
+           else Printf.sprintf "%s - %d" it (-off))
+  in
+  let access ~iters =
+    let* arr = oneofl [ `A; `B ] in
+    match arr with
+    | `A ->
+        let* i1 = idx_expr ~iters in
+        let* i2 = idx_expr ~iters in
+        return (Printf.sprintf "A[%s][%s]" i1 i2)
+    | `B ->
+        let* i = idx_expr ~iters in
+        return (Printf.sprintf "b[%s]" i)
+  in
+  let stmt ~iters =
+    let* lhs = access ~iters in
+    let* n = int_range 1 2 in
+    let* loads = list_repeat n (access ~iters) in
+    let* c = int_range 1 9 in
+    return
+      (Printf.sprintf "%s = %s + 0.%d;" lhs
+         (String.concat " + " loads)
+         c)
+  in
+  let loop name body =
+    Printf.sprintf "for (%s = 1; %s < N - 1; %s++) {\n%s\n}" name name name
+      (String.concat "\n" body)
+  in
+  let nest names =
+    match names with
+    | [ i ] ->
+        let* s1 = stmt ~iters:[ i ] in
+        let* two = bool in
+        if two then
+          let* s2 = stmt ~iters:[ i ] in
+          return (loop i [ s1; s2 ])
+        else return (loop i [ s1 ])
+    | [ i; j ] ->
+        let* s1 = stmt ~iters:[ i; j ] in
+        let* two = bool in
+        let* inner =
+          if two then
+            let* s2 = stmt ~iters:[ i; j ] in
+            return [ s1; s2 ]
+          else return [ s1 ]
+        in
+        return (loop i [ loop j inner ])
+    | _ -> assert false
+  in
+  let* n_items = int_range 1 2 in
+  let pools = [ [ "i"; "j" ]; [ "p"; "q" ] ] in
+  let* items =
+    flatten_l
+      (List.init n_items (fun k ->
+           let pool = List.nth pools k in
+           let* depth2 = bool in
+           nest (if depth2 then pool else [ List.hd pool ])))
+  in
+  return ("double A[N][N], b[N];\n" ^ String.concat "\n" items)
+
+let arb_program = QCheck.make ~print:(fun s -> s) gen_program
+
+let options =
+  { Driver.default_options with Driver.tile_size = Some 4 }
+
+let prop_pipeline_equivalence =
+  QCheck.Test.make ~name:"random program: full pipeline is semantics-preserving"
+    ~count:15 arb_program (fun src ->
+      let p = Frontend.parse_program ~name:"<fuzz>" src in
+      let r = Driver.compile ~options p in
+      let params = [| 10 |] in
+      Machine.equivalent p r.Driver.code ~params
+      && Machine.equivalent ~par_reverse:true p r.Driver.code ~params)
+
+let prop_coverage =
+  QCheck.Test.make ~name:"random program: codegen visits the exact domain"
+    ~count:8 arb_program (fun src ->
+      let p = Frontend.parse_program ~name:"<fuzz>" src in
+      let r = Driver.compile ~options p in
+      let params = [| 9 |] in
+      let mem = Machine.alloc_memory p ~params in
+      Machine.init_memory mem;
+      let executed = Machine.interpret r.Driver.code ~params ~mem in
+      let expected =
+        Putil.sum_by
+          (fun s -> List.length (Machine.For_tests.enumerate_domain s ~params))
+          p.Ir.stmts
+      in
+      executed = expected)
+
+let suite =
+  ( "fuzz",
+    [
+      QCheck_alcotest.to_alcotest prop_pipeline_equivalence;
+      QCheck_alcotest.to_alcotest prop_coverage;
+    ] )

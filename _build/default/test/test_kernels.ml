@@ -1,0 +1,76 @@
+(* The kernel collection: all must parse, transform and keep their documented
+   shapes; params_vector handles orders and errors. *)
+
+let test_catalog () =
+  Alcotest.(check bool) "13+ kernels" true (List.length Kernels.all >= 13);
+  (* names unique *)
+  let names = List.map (fun k -> k.Kernels.name) Kernels.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_find () =
+  Alcotest.(check string) "find lu" "lu" (Kernels.find "lu").Kernels.name;
+  Alcotest.(check bool) "unknown raises" true
+    (try
+       ignore (Kernels.find "nope");
+       false
+     with Invalid_argument _ -> true)
+
+let test_params_vector () =
+  let p = Kernels.program Kernels.jacobi_1d in
+  Alcotest.(check (list int)) "ordered T,N" [ 3; 9 ]
+    (Array.to_list (Kernels.params_vector p [ ("N", 9); ("T", 3) ]));
+  Alcotest.(check bool) "missing raises" true
+    (try
+       ignore (Kernels.params_vector p [ ("N", 9) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_every_kernel_transforms () =
+  (* the three new kernels go through the full pipeline too (the paper
+     kernels are covered by test_endtoend) *)
+  List.iter
+    (fun k ->
+      let p, ds = Fixtures.program_and_deps k in
+      let t = Fixtures.transform k in
+      Alcotest.(check bool)
+        (k.Kernels.name ^ " has levels")
+        true (t.Pluto.Types.nlevels > 0);
+      let r = Driver.compile_with_transform p ds t in
+      let params = Fixtures.check_params k in
+      Alcotest.(check bool)
+        (k.Kernels.name ^ " equivalent")
+        true
+        (Machine.equivalent p r.Driver.code ~params);
+      Alcotest.(check bool)
+        (k.Kernels.name ^ " reverse-parallel")
+        true
+        (Machine.equivalent ~par_reverse:true p r.Driver.code ~params))
+    [ Kernels.syrk; Kernels.doitgen; Kernels.gesummv ]
+
+let test_doitgen_structure () =
+  (* two statements of depth 4 and 3 under shared r,q loops *)
+  let p = Kernels.program Kernels.doitgen in
+  let depths = List.map Ir.depth p.Ir.stmts in
+  Alcotest.(check (list int)) "depths" [ 4; 3 ] depths;
+  let s1 = List.nth p.Ir.stmts 0 and s2 = List.nth p.Ir.stmts 1 in
+  Alcotest.(check int) "share r,q" 2 (Ir.common_loops s1 s2)
+
+let test_syrk_triangular_domain () =
+  let p = Kernels.program Kernels.syrk in
+  let s = List.hd p.Ir.stmts in
+  (* j <= i is part of the domain *)
+  let sat i j = Polyhedra.sat_point s.Ir.domain (Array.map Bigint.of_int [| i; j; 0; 8; 5 |]) in
+  Alcotest.(check bool) "j = i ok" true (sat 3 3);
+  Alcotest.(check bool) "j > i out" false (sat 3 4)
+
+let suite =
+  ( "kernels",
+    [
+      Alcotest.test_case "catalog" `Quick test_catalog;
+      Alcotest.test_case "find" `Quick test_find;
+      Alcotest.test_case "params_vector" `Quick test_params_vector;
+      Alcotest.test_case "new kernels end-to-end" `Quick test_every_kernel_transforms;
+      Alcotest.test_case "doitgen structure" `Quick test_doitgen_structure;
+      Alcotest.test_case "syrk triangular domain" `Quick test_syrk_triangular_domain;
+    ] )

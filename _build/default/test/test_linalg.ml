@@ -1,0 +1,152 @@
+(* Rationals and exact matrix algebra. *)
+
+let q = Q.of_ints
+
+let test_q_normalization () =
+  Alcotest.(check string) "6/4" "3/2" (Q.to_string (q 6 4));
+  Alcotest.(check string) "-6/4" "-3/2" (Q.to_string (q (-6) 4));
+  Alcotest.(check string) "6/-4" "-3/2" (Q.to_string (q 6 (-4)));
+  Alcotest.(check string) "0/7" "0" (Q.to_string (q 0 7));
+  Alcotest.(check bool) "int" true (Q.is_integer (q 8 4))
+
+let test_q_arith () =
+  Alcotest.(check bool) "1/2+1/3" true (Q.equal (Q.add (q 1 2) (q 1 3)) (q 5 6));
+  Alcotest.(check bool) "1/2*2/3" true (Q.equal (Q.mul (q 1 2) (q 2 3)) (q 1 3));
+  Alcotest.(check bool) "div" true (Q.equal (Q.div (q 1 2) (q 3 4)) (q 2 3));
+  Alcotest.(check bool) "inv" true (Q.equal (Q.inv (q (-2) 3)) (q (-3) 2));
+  Alcotest.(check int) "floor -7/2" (-4) (Bigint.to_int (Q.floor (q (-7) 2)));
+  Alcotest.(check int) "ceil -7/2" (-3) (Bigint.to_int (Q.ceil (q (-7) 2)))
+
+let test_q_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true (Q.compare (q 1 3) (q 1 2) < 0);
+  Alcotest.(check bool) "-1/3 > -1/2" true (Q.compare (q (-1) 3) (q (-1) 2) > 0)
+
+let mat rows = Mat.of_int_rows (Array.of_list (List.map Array.of_list rows))
+
+let test_rank () =
+  Alcotest.(check int) "identity" 3 (Mat.rank (Mat.identity 3));
+  Alcotest.(check int) "dependent rows" 2
+    (Mat.rank (mat [ [ 1; 2; 3 ]; [ 2; 4; 6 ]; [ 0; 1; 1 ] ]));
+  Alcotest.(check int) "zero" 0 (Mat.rank (mat [ [ 0; 0 ]; [ 0; 0 ] ]))
+
+let test_inverse () =
+  let m = mat [ [ 2; 1 ]; [ 1; 1 ] ] in
+  (match Mat.inverse m with
+  | None -> Alcotest.fail "invertible matrix reported singular"
+  | Some inv ->
+      Alcotest.(check bool) "m * m^-1 = I" true (Mat.equal (Mat.mul m inv) (Mat.identity 2)));
+  match Mat.inverse (mat [ [ 1; 2 ]; [ 2; 4 ] ]) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "singular matrix inverted"
+
+let test_solve () =
+  let a = mat [ [ 2; 1 ]; [ 1; -1 ] ] in
+  (match Mat.solve a [| Q.of_int 5; Q.of_int 1 |] with
+  | None -> Alcotest.fail "solvable system reported inconsistent"
+  | Some x ->
+      Alcotest.(check bool) "x = (2,1)" true
+        (Q.equal x.(0) (Q.of_int 2) && Q.equal x.(1) (Q.of_int 1)));
+  (* inconsistent *)
+  match Mat.solve (mat [ [ 1; 1 ]; [ 1; 1 ] ]) [| Q.of_int 1; Q.of_int 2 |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "inconsistent system solved"
+
+let test_nullspace () =
+  let m = mat [ [ 1; 2; 3 ] ] in
+  let basis = Mat.nullspace m in
+  Alcotest.(check int) "dim" 2 (List.length basis);
+  List.iter
+    (fun v ->
+      let prod = Mat.mul_vec m v in
+      Alcotest.(check bool) "in nullspace" true (Array.for_all Q.is_zero prod))
+    basis
+
+let test_determinant () =
+  Alcotest.(check bool) "det [[2,1],[1,1]] = 1" true
+    (Q.equal (Mat.determinant (mat [ [ 2; 1 ]; [ 1; 1 ] ])) Q.one);
+  Alcotest.(check bool) "det singular = 0" true
+    (Q.is_zero (Mat.determinant (mat [ [ 1; 2 ]; [ 2; 4 ] ])));
+  Alcotest.(check bool) "unimodular skew" true
+    (Mat.is_unimodular (mat [ [ 1; 0 ]; [ 2; 1 ] ]))
+
+let test_orthogonal_complement () =
+  (* paper eq. (6): rows found so far H = [1 0]; complement spans (0,1) *)
+  let h = mat [ [ 1; 0 ] ] in
+  (match Mat.orthogonal_complement h with
+  | [ v ] ->
+      Alcotest.(check int) "v = (0,±1)" 0 (Bigint.to_int v.(0));
+      Alcotest.(check int) "v = (0,±1)" 1 (abs (Bigint.to_int v.(1)))
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 row, got %d" (List.length l)));
+  (* full-rank H: empty complement *)
+  Alcotest.(check int) "full rank" 0
+    (List.length (Mat.orthogonal_complement (mat [ [ 1; 0 ]; [ 2; 1 ] ])));
+  (* H = [1 1]: every complement row is non-zero and orthogonal to (1,1)
+     (the projector I - HᵀH/2 has two such rows, ±(1,-1)) *)
+  let rows = Mat.orthogonal_complement (mat [ [ 1; 1 ] ]) in
+  Alcotest.(check bool) "non-empty" true (rows <> []);
+  List.iter
+    (fun (v : Vec.t) ->
+      Alcotest.(check int) "orthogonal" 0
+        (Bigint.to_int (Bigint.add v.(0) v.(1)));
+      Alcotest.(check bool) "non-zero" true (not (Vec.is_zero v)))
+    rows
+
+let test_row_to_bigint () =
+  let row = [| Q.of_ints 1 2; Q.of_ints 1 3; Q.of_int 1 |] in
+  let v = Mat.row_to_bigint row in
+  Alcotest.(check (list int)) "scaled" [ 3; 2; 6 ]
+    (Array.to_list (Array.map Bigint.to_int v))
+
+(* properties *)
+
+let arb_small_mat n =
+  QCheck.make
+    ~print:(fun m -> Putil.string_of_format Mat.pp m)
+    QCheck.Gen.(
+      let* entries = array_repeat (n * n) (int_range (-4) 4) in
+      return (Mat.init n n (fun i j -> Q.of_int entries.((i * n) + j))))
+
+let prop_inverse =
+  QCheck.Test.make ~name:"inverse correct when it exists" ~count:200
+    (arb_small_mat 3) (fun m ->
+      match Mat.inverse m with
+      | None -> Q.is_zero (Mat.determinant m)
+      | Some inv -> Mat.equal (Mat.mul m inv) (Mat.identity 3))
+
+let prop_nullspace_dim =
+  QCheck.Test.make ~name:"rank-nullity" ~count:200 (arb_small_mat 3) (fun m ->
+      Mat.rank m + List.length (Mat.nullspace m) = 3)
+
+let prop_ortho_complement =
+  QCheck.Test.make ~name:"orthogonal complement is orthogonal" ~count:200
+    (arb_small_mat 2) (fun m ->
+      QCheck.assume (Mat.rank m = 2);
+      (* take first row only to keep rows independent *)
+      let h = Mat.init 1 2 (fun _ j -> m.(0).(j)) in
+      QCheck.assume (not (Array.for_all Q.is_zero h.(0)));
+      List.for_all
+        (fun (v : Vec.t) ->
+          let dot = ref Q.zero in
+          Array.iteri
+            (fun j hv -> dot := Q.add !dot (Q.mul hv (Q.of_bigint v.(j))))
+            h.(0);
+          Q.is_zero !dot)
+        (Mat.orthogonal_complement h))
+
+let suite =
+  ( "linalg",
+    [
+      Alcotest.test_case "Q normalization" `Quick test_q_normalization;
+      Alcotest.test_case "Q arithmetic" `Quick test_q_arith;
+      Alcotest.test_case "Q compare" `Quick test_q_compare;
+      Alcotest.test_case "rank" `Quick test_rank;
+      Alcotest.test_case "inverse" `Quick test_inverse;
+      Alcotest.test_case "solve" `Quick test_solve;
+      Alcotest.test_case "nullspace" `Quick test_nullspace;
+      Alcotest.test_case "determinant/unimodular" `Quick test_determinant;
+      Alcotest.test_case "orthogonal complement (eq. 6)" `Quick test_orthogonal_complement;
+      Alcotest.test_case "row_to_bigint" `Quick test_row_to_bigint;
+      QCheck_alcotest.to_alcotest prop_inverse;
+      QCheck_alcotest.to_alcotest prop_nullspace_dim;
+      QCheck_alcotest.to_alcotest prop_ortho_complement;
+    ] )

@@ -1,0 +1,126 @@
+(* Cache simulator and performance model sanity. *)
+
+let cfg = { Cache.size_bytes = 1024; line_bytes = 64; assoc = 2 }
+
+let test_cache_basic () =
+  let c = Cache.create cfg in
+  Alcotest.(check bool) "cold miss" false (Cache.access c 0);
+  Alcotest.(check bool) "hit same line" true (Cache.access c 8);
+  Alcotest.(check bool) "hit again" true (Cache.access c 63);
+  Alcotest.(check bool) "next line misses" false (Cache.access c 64);
+  Alcotest.(check int) "counts" 2 (Cache.hits c);
+  Alcotest.(check int) "counts" 2 (Cache.misses c)
+
+let test_cache_lru_eviction () =
+  (* 1024B / 64B / 2-way = 8 sets; addresses mapping to set 0:
+     lines 0, 8, 16 (bytes 0, 512, 1024) *)
+  let c = Cache.create cfg in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 512);
+  (* both ways of set 0 full; touching 0 makes 512 the LRU *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 1024);
+  (* evicts 512 *)
+  Alcotest.(check bool) "0 still resident" true (Cache.access c 0);
+  Alcotest.(check bool) "512 evicted" false (Cache.access c 512)
+
+let test_cache_sequential_vs_strided () =
+  (* sequential scan: 1 miss per 8 doubles; stride-8 scan: every access misses *)
+  let c1 = Cache.create cfg in
+  for i = 0 to 1023 do
+    ignore (Cache.access c1 (i * 8))
+  done;
+  Alcotest.(check int) "sequential misses" 128 (Cache.misses c1);
+  let c2 = Cache.create cfg in
+  for i = 0 to 1023 do
+    ignore (Cache.access c2 (i * 64))
+  done;
+  Alcotest.(check int) "strided misses" 1024 (Cache.misses c2)
+
+let test_memory_layout () =
+  let p =
+    Frontend.parse_program ~name:"m"
+      "double A[N][M], v[N];\nfor (i = 0; i < N; i++) v[i] = A[i][0];"
+  in
+  let mem = Machine.alloc_memory p ~params:[| 4; 6 |] in
+  (* extents get +2 margin: A is (4+2)*(6+2), v is 4+2 *)
+  Alcotest.(check int) "total size" ((6 * 8) + 6)
+    (Array.length (Machine.memory_data mem))
+
+let test_init_deterministic () =
+  let p = Frontend.parse_program ~name:"m" "double v[N];\nfor (i = 0; i < N; i++) v[i] = 1.0;" in
+  let m1 = Machine.alloc_memory p ~params:[| 8 |] in
+  let m2 = Machine.alloc_memory p ~params:[| 8 |] in
+  Machine.init_memory m1;
+  Machine.init_memory m2;
+  Alcotest.(check bool) "same contents" true
+    (Machine.memory_data m1 = Machine.memory_data m2);
+  Alcotest.(check bool) "not all zero" true
+    (Array.exists (fun x -> x <> 0.0) (Machine.memory_data m1))
+
+let test_simulation_counts () =
+  (* matmul N=20: N^3 instances, 2 flops each *)
+  let r = Fixtures.compiled Kernels.matmul in
+  let res =
+    Machine.simulate Machine.default_machine r.Driver.code ~params:[| 20 |]
+  in
+  Alcotest.(check int) "instances" 8000 res.Machine.instances;
+  Alcotest.(check int) "flops" 16000 res.Machine.total_flops;
+  Alcotest.(check bool) "positive time" true (res.Machine.cycles > 0.0)
+
+let test_parallel_speedup_monotone () =
+  (* more cores should not slow the simulated wavefront code down *)
+  let r = Fixtures.compiled Kernels.seidel in
+  let params = [| 12; 40 |] in
+  let time n =
+    (Machine.simulate { Machine.default_machine with Machine.ncores = n }
+       r.Driver.code ~params)
+      .Machine.cycles
+  in
+  let t1 = time 1 and t4 = time 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "t4 (%.0f) <= t1 (%.0f)" t4 t1)
+    true (t4 <= t1)
+
+let test_locality_speedup_at_scale () =
+  (* at cache-stressing sizes the tiled jacobi must beat the original
+     sequentially (the Fig. 6 locality effect) *)
+  let k = Kernels.jacobi_1d in
+  let p, _ = Fixtures.program_and_deps k in
+  let orig = Baselines.original p in
+  let tiled = Fixtures.compiled k in
+  let params = Kernels.params_vector p [ ("T", 64); ("N", 4000) ] in
+  let mc = { Machine.default_machine with Machine.ncores = 1 } in
+  let t0 = (Machine.simulate mc orig.Driver.code ~params).Machine.cycles in
+  let t1 = (Machine.simulate mc tiled.Driver.code ~params).Machine.cycles in
+  Alcotest.(check bool)
+    (Printf.sprintf "tiled %.2e < orig %.2e" t1 t0)
+    true (t1 < t0)
+
+let test_out_of_bounds_detected () =
+  (* an access past the declared extent must be caught, not silently read *)
+  let p =
+    Frontend.parse_program ~name:"oob"
+      "double v[N];\nfor (i = 0; i < N + 4; i++) v[i] = 1.0;"
+  in
+  let r = Driver.compile_original p in
+  let mem = Machine.alloc_memory p ~params:[| 6 |] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Machine.interpret r.Driver.code ~params:[| 6 |] ~mem);
+       false
+     with Failure _ -> true)
+
+let suite =
+  ( "machine",
+    [
+      Alcotest.test_case "cache basics" `Quick test_cache_basic;
+      Alcotest.test_case "cache LRU" `Quick test_cache_lru_eviction;
+      Alcotest.test_case "cache stride sensitivity" `Quick test_cache_sequential_vs_strided;
+      Alcotest.test_case "memory layout" `Quick test_memory_layout;
+      Alcotest.test_case "deterministic init" `Quick test_init_deterministic;
+      Alcotest.test_case "simulation counts" `Quick test_simulation_counts;
+      Alcotest.test_case "parallel monotone" `Quick test_parallel_speedup_monotone;
+      Alcotest.test_case "locality speedup (Fig 6)" `Quick test_locality_speedup_at_scale;
+      Alcotest.test_case "out-of-bounds detection" `Quick test_out_of_bounds_detected;
+    ] )

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "pluto-reproduction"
+    [
+      Test_bigint.suite;
+      Test_linalg.suite;
+      Test_polyhedra.suite;
+      Test_milp.suite;
+      Test_frontend.suite;
+      Test_deps.suite;
+      Test_pluto.suite;
+      Test_codegen.suite;
+      Test_machine.suite;
+      Test_driver.suite;
+      Test_baselines.suite;
+      Test_util.suite;
+      Test_kernels.suite;
+      Test_cli.suite;
+      Test_edge.suite;
+      Test_more.suite;
+      Test_fuzz.suite;
+      Test_endtoend.suite;
+    ]

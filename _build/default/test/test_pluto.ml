@@ -1,0 +1,324 @@
+(* The transformation search: paper-exact transformations, legality
+   invariants, band structure, Farkas machinery. *)
+
+open Pluto.Types
+
+let check_rows name expected actual =
+  Alcotest.(check (list (list int))) name expected actual
+
+(* -- paper fixtures ------------------------------------------------------- *)
+
+let test_jacobi_matches_paper () =
+  (* Figure 3: c1 = t for both; c2 = 2t+i for S1 and 2t+j+1 for S2 *)
+  let t = Fixtures.transform Kernels.jacobi_1d in
+  check_rows "S1" [ [ 1; 0; 0 ]; [ 2; 1; 0 ]; [ 0; 0; 0 ] ] (Fixtures.rows_of t 0);
+  check_rows "S2" [ [ 1; 0; 0 ]; [ 2; 1; 1 ]; [ 0; 0; 1 ] ] (Fixtures.rows_of t 1);
+  (match t.kinds with
+  | [| Loop { band = b1; _ }; Loop { band = b2; _ }; Scalar |] ->
+      Alcotest.(check int) "one band" b1 b2
+  | _ -> Alcotest.fail "expected Loop,Loop,Scalar")
+
+let test_lu_matches_paper () =
+  (* 5.2: S1: (k, j, k);  S2: (k, j, i) — all in one tilable band *)
+  let t = Fixtures.transform Kernels.lu in
+  check_rows "S1" [ [ 1; 0; 0 ]; [ 0; 1; 0 ]; [ 1; 0; 0 ] ] (Fixtures.rows_of t 0);
+  check_rows "S2" [ [ 1; 0; 0; 0 ]; [ 0; 0; 1; 0 ]; [ 0; 1; 0; 0 ] ] (Fixtures.rows_of t 1);
+  let bands = Pluto.Tiling.bands_of t in
+  Alcotest.(check int) "single band" 1 (List.length bands);
+  Alcotest.(check int) "band width 3" 3 (List.hd bands).Pluto.Tiling.b_len
+
+let test_mvt_matches_paper () =
+  (* 7/Figure 12: fuse ij with ji — the second MV runs permuted so the RAR
+     distance on A is 0 on both hyperplanes; no sync-free parallelism left *)
+  let t = Fixtures.transform Kernels.mvt in
+  check_rows "S1" [ [ 1; 0; 0 ]; [ 0; 1; 0 ] ] (Fixtures.rows_of t 0);
+  check_rows "S2 (permuted)" [ [ 0; 1; 0 ]; [ 1; 0; 0 ] ] (Fixtures.rows_of t 1);
+  Array.iter
+    (function
+      | Loop { parallel; _ } ->
+          Alcotest.(check bool) "pipelined, not sync-free" false parallel
+      | Scalar -> ())
+    t.kinds
+
+let test_seidel_matches_paper () =
+  (* 7: "skews the two space dimensions by a factor of one and two ..."
+     our cost function finds the minimal legal skew (1,1) for the 5-point
+     stencil variant: (t, t+i, t+j), all three dimensions tilable *)
+  let t = Fixtures.transform Kernels.seidel in
+  check_rows "S1" [ [ 1; 0; 0; 0 ]; [ 1; 1; 0; 0 ]; [ 1; 0; 1; 0 ] ] (Fixtures.rows_of t 0);
+  let bands = Pluto.Tiling.bands_of t in
+  Alcotest.(check int) "one band of 3" 3 (List.hd bands).Pluto.Tiling.b_len
+
+let test_fdtd_band () =
+  (* 7: three tiling hyperplanes, all in one band (shifting+fusion+skewing) *)
+  let t = Fixtures.transform Kernels.fdtd_2d in
+  Alcotest.(check int) "3 levels" 3 t.nlevels;
+  let bands = Pluto.Tiling.bands_of t in
+  Alcotest.(check int) "one band" 1 (List.length bands);
+  Alcotest.(check int) "width 3" 3 (List.hd bands).Pluto.Tiling.b_len;
+  (* the 2-d statement is sunk into the 3-d band; S4 is shifted *)
+  let s4 = Fixtures.rows_of t 3 in
+  Alcotest.(check (list int)) "S4 c2 shifted" [ 1; 0; 1; 1 ] (List.nth s4 1)
+
+let test_matmul_identityish () =
+  (* matmul: i and j parallel hyperplanes outer, k (the reduction) inner *)
+  let t = Fixtures.transform Kernels.matmul in
+  check_rows "S1" [ [ 1; 0; 0; 0 ]; [ 0; 1; 0; 0 ]; [ 0; 0; 1; 0 ] ] (Fixtures.rows_of t 0);
+  (match t.kinds.(0) with
+  | Loop { parallel = true; _ } -> ()
+  | _ -> Alcotest.fail "outer loop should be parallel");
+  match t.kinds.(2) with
+  | Loop { parallel = false; _ } -> ()
+  | _ -> Alcotest.fail "reduction loop must be sequential"
+
+let test_2mm_distribution () =
+  (* two dependent matrix products: a scalar cut must separate them *)
+  let t = Fixtures.transform Kernels.mm2 in
+  Alcotest.(check bool) "has scalar level" true
+    (Array.exists (fun k -> k = Scalar) t.kinds);
+  (* the cut orders S1 before S2 *)
+  let l =
+    match Array.find_index (fun k -> k = Scalar) t.kinds with
+    | Some l -> l
+    | None -> assert false
+  in
+  let v i = List.nth (List.nth (Fixtures.rows_of t i) l) (Ir.depth (List.nth t.program.Ir.stmts i)) in
+  Alcotest.(check bool) "S1 before S2" true (v 0 < v 1)
+
+(* -- invariants on every kernel ------------------------------------------ *)
+
+(* legality: for every legality dependence and every level up to its
+   satisfaction level, δ >= 0 everywhere; at the satisfaction level δ >= 1 *)
+let check_transform_legality (k : Kernels.t) () =
+  let p, _ = Fixtures.program_and_deps k in
+  let t = Fixtures.transform k in
+  let np = Ir.nparams p in
+  let nv d = d.Deps.poly.Polyhedra.nvars in
+  List.iter
+    (fun d ->
+      if Deps.is_legality d then begin
+        let sat = Hashtbl.find_opt t.satisfied_at d.Deps.id in
+        let upto = match sat with Some l -> l | None -> t.nlevels - 1 in
+        for l = 0 to upto do
+          let delta =
+            Deps.satisfaction_row p d
+              t.rows.(d.Deps.src.Ir.id).(l)
+              t.rows.(d.Deps.dst.Ir.id).(l)
+          in
+          (* check: no point with δ <= -1, params fixed at 50 *)
+          let width = nv d + 1 in
+          let bad = Vec.neg delta in
+          bad.(width - 1) <- Bigint.sub bad.(width - 1) Bigint.one;
+          let sys = Polyhedra.add d.Deps.poly (Polyhedra.ge bad) in
+          let fix =
+            Polyhedra.of_constrs (nv d)
+              (List.map
+                 (fun j ->
+                   let r = Vec.zero width in
+                   r.(nv d - np + j) <- Bigint.one;
+                   r.(width - 1) <- Bigint.of_int (-50);
+                   Polyhedra.eq r)
+                 (Putil.range np))
+          in
+          match Milp.feasible (Polyhedra.meet sys fix) with
+          | Some _ ->
+              Alcotest.fail
+                (Printf.sprintf "%s: dep %d has negative component at level %d"
+                   k.Kernels.name d.Deps.id l)
+          | None -> ()
+        done;
+        match sat with
+        | None -> ()
+        | Some l ->
+            let delta =
+              Deps.satisfaction_row p d
+                t.rows.(d.Deps.src.Ir.id).(l)
+                t.rows.(d.Deps.dst.Ir.id).(l)
+            in
+            (* recorded satisfaction level really satisfies: no δ <= 0 point *)
+            let width = nv d + 1 in
+            let bad = Vec.neg delta in
+            let sys = Polyhedra.add d.Deps.poly (Polyhedra.ge bad) in
+            let fix =
+              Polyhedra.of_constrs (nv d)
+                (List.map
+                   (fun j ->
+                     let r = Vec.zero width in
+                     r.(nv d - np + j) <- Bigint.one;
+                     r.(width - 1) <- Bigint.of_int (-50);
+                     Polyhedra.eq r)
+                   (Putil.range np))
+            in
+            (match Milp.feasible (Polyhedra.meet sys fix) with
+            | Some _ ->
+                Alcotest.fail
+                  (Printf.sprintf "%s: dep %d not satisfied at recorded level %d"
+                     k.Kernels.name d.Deps.id l)
+            | None -> ())
+      end)
+    t.deps
+
+(* every statement reaches full row rank *)
+let check_full_rank (k : Kernels.t) () =
+  let t = Fixtures.transform k in
+  List.iter
+    (fun s ->
+      let m = Ir.depth s in
+      if m > 0 then begin
+        let rows =
+          Array.map (fun r -> Array.sub r 0 m) t.rows.(s.Ir.id)
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "%s rank" s.Ir.name)
+          m
+          (Mat.rank (Mat.of_int_rows rows))
+      end)
+    t.program.Ir.stmts
+
+(* all statements have the same number of rows = nlevels *)
+let check_homogeneous (k : Kernels.t) () =
+  let t = Fixtures.transform k in
+  Array.iter
+    (fun rows -> Alcotest.(check int) "levels" t.nlevels (Array.length rows))
+    t.rows;
+  Alcotest.(check int) "kinds" t.nlevels (Array.length t.kinds)
+
+(* -- Farkas machinery ----------------------------------------------------- *)
+
+let test_farkas_simple () =
+  (* ∀ x in [0, N-1] : c*x + d >= 0 with ILP vars (c, d) and N a parameter.
+     Farkas must yield constraints equivalent to c >= 0 ∧ d >= 0 (for the
+     parametric family N >= 1). *)
+  let poly =
+    (* vars: x, N; constraints x >= 0, N-1-x >= 0, N >= 1 *)
+    Polyhedra.of_constrs 2
+      [
+        Polyhedra.ge_ints [ 1; 0; 0 ];
+        Polyhedra.ge_ints [ -1; 1; -1 ];
+        Polyhedra.ge_ints [ 0; 1; -1 ];
+      ]
+  in
+  (* form over (x, N, 1): row of (c,d) coefficients *)
+  let form = [| [| 1; 0; 0 |]; [| 0; 0; 0 |]; [| 0; 1; 0 |] |] in
+  let sys = Pluto.Farkas.constraints ~nilp:2 ~form ~poly in
+  (* c=1,d=0 ok; c=-1,d=5 not (x can exceed 5 when N large) *)
+  let sat c d = Polyhedra.sat_point sys (Array.map Bigint.of_int [| c; d |]) in
+  Alcotest.(check bool) "c=1,d=0" true (sat 1 0);
+  Alcotest.(check bool) "c=0,d=0" true (sat 0 0);
+  Alcotest.(check bool) "c=-1,d=5" false (sat (-1) 5);
+  Alcotest.(check bool) "c=0,d=-1" false (sat 0 (-1))
+
+let test_sccs () =
+  (* 0 -> 1 -> 2 -> 1, 3 isolated: comps {0} {1,2} {3}, topo: 0 before 1,2 *)
+  let comp, n = Pluto.Ddg.sccs ~nstmts:4 [ (0, 1); (1, 2); (2, 1) ] in
+  Alcotest.(check int) "3 comps" 3 n;
+  Alcotest.(check int) "1 and 2 together" comp.(1) comp.(2);
+  Alcotest.(check bool) "topological" true (comp.(0) < comp.(1))
+
+let test_wavefront_sums_rows () =
+  let t = Fixtures.transform Kernels.seidel in
+  let bands = Pluto.Tiling.bands_of t in
+  let bands_sizes = List.map (fun b -> (b, Array.make b.Pluto.Tiling.b_len 8)) bands in
+  let tgt = Pluto.Tiling.tile t ~bands_sizes in
+  let levels = Pluto.Tiling.target_band_levels t ~bands_sizes (List.hd bands) in
+  let tgtw = Pluto.Tiling.wavefront tgt ~levels ~degrees:2 in
+  let ts = List.hd tgtw.tstmts in
+  let first = List.hd levels in
+  (* first tile row = sum of original first three tile rows = zT0+zT1+zT2 *)
+  Alcotest.(check (list int)) "wavefront row"
+    [ 1; 1; 1; 0; 0; 0; 0 ]
+    (Array.to_list ts.trows.(first));
+  (* two parallel marks *)
+  let pars = Array.to_list tgtw.tpar |> List.filter (fun p -> p = Par) in
+  Alcotest.(check int) "2 parallel levels" 2 (List.length pars)
+
+let test_tile_size_model () =
+  Alcotest.(check bool) "within range" true
+    (let t = Pluto.Tiling.default_tile_size ~band_width:2 ~cache_elems:1024 ~narrays:2 in
+     t >= 4 && t <= 64);
+  Alcotest.(check int) "floor at 4" 4
+    (Pluto.Tiling.default_tile_size ~band_width:3 ~cache_elems:8 ~narrays:4);
+  Alcotest.(check int) "cap at 32" 32
+    (Pluto.Tiling.default_tile_size ~band_width:1 ~cache_elems:100000000 ~narrays:1)
+
+(* tiling semantics: supernode constraints mean zT_j = floord(phi_j(i)+c0, tau)
+   at every domain point — checked by sampling *)
+let test_tile_floord_semantics () =
+  let t = Fixtures.transform Kernels.jacobi_1d in
+  let bands = Pluto.Tiling.bands_of t in
+  let b = List.hd bands in
+  let tau = 8 in
+  let bands_sizes = [ (b, Array.make b.Pluto.Tiling.b_len tau) ] in
+  let tgt = Pluto.Tiling.tile t ~bands_sizes in
+  let params = [| 5; 20 |] in
+  List.iter
+    (fun ts ->
+      let s = ts.stmt in
+      let m = Ir.depth s in
+      let n_super = Array.length ts.ext_iters - m in
+      List.iter
+        (fun iters ->
+          (* compute the forced supernode values and check they satisfy the
+             extended domain *)
+          let supers =
+            Array.init n_super (fun z ->
+                let l = b.Pluto.Tiling.b_start + z in
+                let row = t.rows.(s.Ir.id).(l) in
+                let phi =
+                  Array.to_list iters
+                  |> List.mapi (fun j v -> row.(j) * v)
+                  |> List.fold_left ( + ) row.(m)
+                in
+                if phi >= 0 then phi / tau else -(((-phi) + tau - 1) / tau))
+          in
+          let point =
+            Array.append (Array.map Bigint.of_int supers)
+              (Array.append (Array.map Bigint.of_int iters)
+                 (Array.map Bigint.of_int params))
+          in
+          if not (Polyhedra.sat_point ts.ext_domain point) then
+            Alcotest.fail "floord supernode not in extended domain";
+          (* and any OTHER supernode value must violate it *)
+          let wrong = Array.copy point in
+          wrong.(0) <- Bigint.add wrong.(0) Bigint.one;
+          if Polyhedra.sat_point ts.ext_domain wrong then
+            Alcotest.fail "supernode value not unique")
+        (Machine.For_tests.enumerate_domain s ~params:[| 5; 20 |]))
+    tgt.tstmts
+
+let extra_suite =
+  [ Alcotest.test_case "tile = floord semantics" `Quick test_tile_floord_semantics ]
+
+let suite =
+  let per_kernel name f =
+    List.map
+      (fun k -> Alcotest.test_case (name ^ " " ^ k.Kernels.name) `Quick (f k))
+      [
+        Kernels.jacobi_1d;
+        Kernels.lu;
+        Kernels.mvt;
+        Kernels.seidel;
+        Kernels.matmul;
+        Kernels.trmm;
+        Kernels.mm2;
+      ]
+  in
+  ( "pluto",
+    [
+      Alcotest.test_case "jacobi = paper Fig 3" `Quick test_jacobi_matches_paper;
+      Alcotest.test_case "LU = paper 5.2" `Quick test_lu_matches_paper;
+      Alcotest.test_case "MVT fusion = paper Fig 12" `Quick test_mvt_matches_paper;
+      Alcotest.test_case "Seidel skew" `Quick test_seidel_matches_paper;
+      Alcotest.test_case "FDTD band" `Quick test_fdtd_band;
+      Alcotest.test_case "matmul" `Quick test_matmul_identityish;
+      Alcotest.test_case "2mm distribution" `Quick test_2mm_distribution;
+      Alcotest.test_case "Farkas lemma" `Quick test_farkas_simple;
+      Alcotest.test_case "SCCs" `Quick test_sccs;
+      Alcotest.test_case "wavefront (Algorithm 2)" `Quick test_wavefront_sums_rows;
+      Alcotest.test_case "tile size model" `Quick test_tile_size_model;
+    ]
+    @ per_kernel "legality" check_transform_legality
+    @ per_kernel "full rank" check_full_rank
+    @ per_kernel "homogeneous" check_homogeneous
+    @ extra_suite )
+

@@ -1,0 +1,243 @@
+(* Constraint systems and Fourier-Motzkin projection. *)
+
+let box2 lo hi =
+  (* lo <= x,y <= hi *)
+  Polyhedra.of_constrs 2
+    [
+      Polyhedra.ge_ints [ 1; 0; -lo ];
+      Polyhedra.ge_ints [ -1; 0; hi ];
+      Polyhedra.ge_ints [ 0; 1; -lo ];
+      Polyhedra.ge_ints [ 0; -1; hi ];
+    ]
+
+let pt l = Array.of_list (List.map Bigint.of_int l)
+
+let test_sat_point () =
+  let sys = box2 0 5 in
+  Alcotest.(check bool) "inside" true (Polyhedra.sat_point sys (pt [ 2; 3 ]));
+  Alcotest.(check bool) "boundary" true (Polyhedra.sat_point sys (pt [ 0; 5 ]));
+  Alcotest.(check bool) "outside" false (Polyhedra.sat_point sys (pt [ 6; 0 ]));
+  let with_eq = Polyhedra.add sys (Polyhedra.eq_ints [ 1; -1; 0 ]) in
+  Alcotest.(check bool) "on diagonal" true (Polyhedra.sat_point with_eq (pt [ 3; 3 ]));
+  Alcotest.(check bool) "off diagonal" false (Polyhedra.sat_point with_eq (pt [ 3; 2 ]))
+
+let test_simplify_dedup () =
+  let sys =
+    Polyhedra.of_constrs 1
+      [
+        Polyhedra.ge_ints [ 1; 0 ];
+        Polyhedra.ge_ints [ 1; 0 ];
+        Polyhedra.ge_ints [ 1; 5 ] (* weaker: x >= -5 *);
+        Polyhedra.ge_ints [ 2; 1 ] (* x >= -1/2, weaker than x >= 0 *);
+      ]
+  in
+  match Polyhedra.simplify ~integer:true sys with
+  | None -> Alcotest.fail "non-empty system simplified to empty"
+  | Some s ->
+      Alcotest.(check int) "one constraint left" 1 (List.length s.Polyhedra.cs)
+
+let test_simplify_contradiction () =
+  let sys =
+    Polyhedra.of_constrs 1
+      [ Polyhedra.ge_ints [ 1; -5 ]; Polyhedra.ge_ints [ -1; 3 ] ]
+  in
+  (* x >= 5 and x <= 3: constraints are not syntactically trivial, so
+     simplify alone cannot decide, but elimination can *)
+  Alcotest.(check bool) "empty by elimination" true (Polyhedra.is_empty_rational sys);
+  let trivially_false = Polyhedra.of_constrs 1 [ Polyhedra.ge_ints [ 0; -1 ] ] in
+  Alcotest.(check bool) "trivially false" true
+    (Polyhedra.simplify trivially_false = None)
+
+let test_integer_tightening () =
+  (* 2x >= 1 tightens to x >= 1 *)
+  let sys = Polyhedra.of_constrs 1 [ Polyhedra.ge_ints [ 2; -1 ] ] in
+  match Polyhedra.simplify ~integer:true sys with
+  | Some { Polyhedra.cs = [ c ]; _ } ->
+      Alcotest.(check int) "coef" 1 (Bigint.to_int c.Polyhedra.coefs.(0));
+      Alcotest.(check int) "const" (-1) (Bigint.to_int c.Polyhedra.coefs.(1))
+  | _ -> Alcotest.fail "unexpected simplification"
+
+let test_eliminate_triangle () =
+  (* 0 <= x <= y <= 10; eliminating y gives 0 <= x <= 10 *)
+  let sys =
+    Polyhedra.of_constrs 2
+      [
+        Polyhedra.ge_ints [ 1; 0; 0 ];
+        Polyhedra.ge_ints [ -1; 1; 0 ];
+        Polyhedra.ge_ints [ 0; -1; 10 ];
+      ]
+  in
+  match Polyhedra.eliminate sys 1 with
+  | None -> Alcotest.fail "projection empty"
+  | Some proj ->
+      List.iter
+        (fun x ->
+          Alcotest.(check bool)
+            (Printf.sprintf "x=%d" x)
+            (x >= 0 && x <= 10)
+            (Polyhedra.sat_point proj (pt [ x; 0 ])))
+        [ -1; 0; 5; 10; 11 ]
+
+let test_eliminate_equality () =
+  (* x = 2y and 1 <= y <= 3; eliminating y: x in {2..6} rationally x in [2,6] *)
+  let sys =
+    Polyhedra.of_constrs 2
+      [
+        Polyhedra.eq_ints [ 1; -2; 0 ];
+        Polyhedra.ge_ints [ 0; 1; -1 ];
+        Polyhedra.ge_ints [ 0; -1; 3 ];
+      ]
+  in
+  match Polyhedra.eliminate sys 1 with
+  | None -> Alcotest.fail "projection empty"
+  | Some proj ->
+      Alcotest.(check bool) "x=2 in" true (Polyhedra.sat_point proj (pt [ 2; 0 ]));
+      Alcotest.(check bool) "x=6 in" true (Polyhedra.sat_point proj (pt [ 6; 0 ]));
+      Alcotest.(check bool) "x=1 out" false (Polyhedra.sat_point proj (pt [ 1; 0 ]));
+      Alcotest.(check bool) "x=7 out" false (Polyhedra.sat_point proj (pt [ 7; 0 ]))
+
+let test_insert_drop_vars () =
+  let sys = box2 0 5 in
+  let wide = Polyhedra.insert_vars sys ~at:1 ~count:2 in
+  Alcotest.(check int) "nvars" 4 wide.Polyhedra.nvars;
+  Alcotest.(check bool) "sat with padding" true
+    (Polyhedra.sat_point wide (pt [ 2; 99; -7; 3 ]));
+  let back = Polyhedra.drop_vars wide ~at:1 ~count:2 in
+  Alcotest.(check bool) "roundtrip" true (Polyhedra.sat_point back (pt [ 2; 3 ]));
+  Alcotest.check_raises "drop constrained var"
+    (Invalid_argument "Polyhedra.drop_vars: variable still constrained")
+    (fun () -> ignore (Polyhedra.drop_vars sys ~at:0 ~count:1))
+
+let test_bounds_on () =
+  let sys = box2 0 5 in
+  let lower, upper, rest = Polyhedra.bounds_on sys 0 in
+  Alcotest.(check int) "lower" 1 (List.length lower);
+  Alcotest.(check int) "upper" 1 (List.length upper);
+  Alcotest.(check int) "rest" 2 (List.length rest);
+  (* equality contributes to both sides *)
+  let sys_eq = Polyhedra.of_constrs 1 [ Polyhedra.eq_ints [ 1; -4 ] ] in
+  let lower, upper, _ = Polyhedra.bounds_on sys_eq 0 in
+  Alcotest.(check int) "eq lower" 1 (List.length lower);
+  Alcotest.(check int) "eq upper" 1 (List.length upper)
+
+(* --------- property: FM projection = shadow of the integer point set ------ *)
+
+let arb_sys =
+  (* random systems over 3 vars with small coefficients, boxed to [-6,6] *)
+  QCheck.make
+    ~print:(fun sys -> Putil.string_of_format (Polyhedra.pp ?names:None) sys)
+    QCheck.Gen.(
+      let* ncons = int_range 1 5 in
+      let* rows =
+        list_repeat ncons
+          (let* coefs = list_repeat 4 (int_range (-3) 3) in
+           let* iseq = int_range 0 7 in
+           return (coefs, iseq = 0))
+      in
+      let box =
+        List.concat_map
+          (fun j ->
+            let lo = List.init 4 (fun q -> if q = j then 1 else if q = 3 then 6 else 0) in
+            let hi = List.init 4 (fun q -> if q = j then -1 else if q = 3 then 6 else 0) in
+            [ Polyhedra.ge_ints lo; Polyhedra.ge_ints hi ])
+          [ 0; 1; 2 ]
+      in
+      let cs =
+        List.map
+          (fun (coefs, iseq) ->
+            if iseq then Polyhedra.eq_ints coefs else Polyhedra.ge_ints coefs)
+          rows
+      in
+      return (Polyhedra.of_constrs 3 (box @ cs)))
+
+let prop_projection_sound =
+  (* every integer point of the original has its shadow in the projection *)
+  QCheck.Test.make ~name:"FM projection soundness" ~count:100 arb_sys (fun sys ->
+      match Polyhedra.eliminate sys 2 with
+      | None ->
+          (* projection empty: no integer points may exist *)
+          let ok = ref true in
+          for x = -6 to 6 do
+            for y = -6 to 6 do
+              for z = -6 to 6 do
+                if Polyhedra.sat_point sys (pt [ x; y; z ]) then ok := false
+              done
+            done
+          done;
+          !ok
+      | Some proj ->
+          let ok = ref true in
+          for x = -6 to 6 do
+            for y = -6 to 6 do
+              for z = -6 to 6 do
+                if
+                  Polyhedra.sat_point sys (pt [ x; y; z ])
+                  && not (Polyhedra.sat_point proj (pt [ x; y; 0 ]))
+                then ok := false
+              done
+            done
+          done;
+          !ok)
+
+let prop_projection_rationally_tight =
+  (* every integer point of the projection has a RATIONAL preimage: check via
+     emptiness of the slice rather than integer search *)
+  QCheck.Test.make ~name:"FM projection completeness (rational)" ~count:100
+    arb_sys (fun sys ->
+      match Polyhedra.eliminate sys 2 with
+      | None -> true
+      | Some proj ->
+          let ok = ref true in
+          for x = -6 to 6 do
+            for y = -6 to 6 do
+              if Polyhedra.sat_point proj (pt [ x; y; 0 ]) then begin
+                (* slice original at x,y: must be rationally non-empty *)
+                let slice =
+                  Polyhedra.of_constrs 3
+                    [
+                      Polyhedra.eq_ints [ 1; 0; 0; -x ];
+                      Polyhedra.eq_ints [ 0; 1; 0; -y ];
+                    ]
+                in
+                if Polyhedra.is_empty_rational (Polyhedra.meet sys slice) then
+                  ok := false
+              end
+            done
+          done;
+          !ok)
+
+let prop_simplify_preserves =
+  QCheck.Test.make ~name:"simplify preserves integer points" ~count:100 arb_sys
+    (fun sys ->
+      let simplified = Polyhedra.simplify ~integer:true sys in
+      let ok = ref true in
+      for x = -6 to 6 do
+        for y = -6 to 6 do
+          for z = -6 to 6 do
+            let inside = Polyhedra.sat_point sys (pt [ x; y; z ]) in
+            let inside' =
+              match simplified with
+              | None -> false
+              | Some s -> Polyhedra.sat_point s (pt [ x; y; z ])
+            in
+            if inside <> inside' then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let suite =
+  ( "polyhedra",
+    [
+      Alcotest.test_case "sat_point" `Quick test_sat_point;
+      Alcotest.test_case "simplify dedup/domination" `Quick test_simplify_dedup;
+      Alcotest.test_case "contradictions" `Quick test_simplify_contradiction;
+      Alcotest.test_case "integer tightening" `Quick test_integer_tightening;
+      Alcotest.test_case "eliminate (triangle)" `Quick test_eliminate_triangle;
+      Alcotest.test_case "eliminate (equality pivot)" `Quick test_eliminate_equality;
+      Alcotest.test_case "insert/drop vars" `Quick test_insert_drop_vars;
+      Alcotest.test_case "bounds_on" `Quick test_bounds_on;
+      QCheck_alcotest.to_alcotest prop_projection_sound;
+      QCheck_alcotest.to_alcotest prop_projection_rationally_tight;
+      QCheck_alcotest.to_alcotest prop_simplify_preserves;
+    ] )

@@ -1,0 +1,63 @@
+(* Putil and Vec helpers. *)
+
+let test_gcd_lcm () =
+  Alcotest.(check int) "gcd" 6 (Putil.gcd_int 12 (-18));
+  Alcotest.(check int) "gcd 0 0" 0 (Putil.gcd_int 0 0);
+  Alcotest.(check int) "lcm" 36 (Putil.lcm_int 12 18);
+  Alcotest.(check int) "lcm 0" 0 (Putil.lcm_int 0 5)
+
+let test_lists () =
+  Alcotest.(check (list int)) "range" [ 0; 1; 2 ] (Putil.range 3);
+  Alcotest.(check (list int)) "range 0" [] (Putil.range 0);
+  Alcotest.(check int) "sum_by" 6 (Putil.sum_by (fun x -> x) [ 1; 2; 3 ]);
+  Alcotest.(check int) "list_max" 7 (Putil.list_max [ 3; 7; 1 ]);
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Putil.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take long" [ 1; 2; 3 ] (Putil.take 9 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop" [ 3 ] (Putil.drop 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop long" [] (Putil.drop 9 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "concat_map_i" [ 0; 10; 1; 20 ]
+    (Putil.concat_map_i (fun i x -> [ i; x ]) [ 10; 20 ])
+
+let test_fixpoint () =
+  Alcotest.(check int) "count down" 0
+    (Putil.fixpoint (fun x -> if x > 0 then Some (x - 1) else None) 5)
+
+let test_fresh () =
+  let f = Putil.Fresh.create "z" in
+  Alcotest.(check string) "z0" "z0" (Putil.Fresh.next f);
+  Alcotest.(check string) "z1" "z1" (Putil.Fresh.next f)
+
+let test_vec () =
+  let v = Vec.of_int_list [ 6; -9; 3 ] in
+  Alcotest.(check int) "content" 3 (Bigint.to_int (Vec.content v));
+  Alcotest.(check (list int)) "normalize" [ 2; -3; 1 ]
+    (Array.to_list (Vec.to_int_array (Vec.normalize v)));
+  Alcotest.(check int) "dot" 5
+    (Bigint.to_int (Vec.dot (Vec.of_int_list [ 1; 2 ]) (Vec.of_int_list [ 1; 2 ])));
+  Alcotest.(check bool) "zero" true (Vec.is_zero (Vec.zero 4));
+  Alcotest.(check bool) "normalize zero" true
+    (Vec.is_zero (Vec.normalize (Vec.zero 3)));
+  Alcotest.(check (list int)) "add/sub/neg" [ 0; 0 ]
+    (Array.to_list
+       (Vec.to_int_array
+          (Vec.sub (Vec.add (Vec.of_int_list [ 1; 2 ]) (Vec.of_int_list [ 3; 4 ]))
+             (Vec.of_int_list [ 4; 6 ]))))
+
+let test_pp_affine_row () =
+  let names = [| "i"; "j"; "N" |] in
+  let pp row = Putil.string_of_format (Ir.pp_affine_row names) (Array.of_list row) in
+  Alcotest.(check string) "mixed" "2*i - j + N - 1" (pp [ 2; -1; 1; -1 ]);
+  Alcotest.(check string) "const only" "7" (pp [ 0; 0; 0; 7 ]);
+  Alcotest.(check string) "zero" "0" (pp [ 0; 0; 0; 0 ]);
+  Alcotest.(check string) "leading neg" "-i + 2" (pp [ -1; 0; 0; 2 ])
+
+let suite =
+  ( "util",
+    [
+      Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
+      Alcotest.test_case "list helpers" `Quick test_lists;
+      Alcotest.test_case "fixpoint" `Quick test_fixpoint;
+      Alcotest.test_case "fresh names" `Quick test_fresh;
+      Alcotest.test_case "vectors" `Quick test_vec;
+      Alcotest.test_case "affine row printing" `Quick test_pp_affine_row;
+    ] )
