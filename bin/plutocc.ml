@@ -2,7 +2,12 @@
     C-subset loop nests in, transformed OpenMP C out, with optional
     dependence/transformation dumps, semantic-equivalence checking against
     the original execution order, and performance simulation on the modelled
-    multicore. *)
+    multicore.
+
+    Diagnostics are rendered gcc-style with source excerpts.  Exit codes:
+    0 = success, 2 = code emitted but only after graceful degradation
+    (a scheduling rung failed and a fallback was used), 1 = hard error
+    (nothing emitted, or the equivalence check failed). *)
 
 open Cmdliner
 
@@ -12,117 +17,181 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Render diagnostics to stderr, with source excerpts when [src] is given. *)
+let render ?src ds =
+  if ds <> [] then Format.eprintf "%a@." (Diag.pp_all ?src) ds
+
+(* "N=8000,T=64" — every malformed binding is reported, not just the first. *)
 let parse_params spec =
-  (* "N=8000,T=64" *)
-  if String.trim spec = "" then []
+  if String.trim spec = "" then Ok []
   else
-    String.split_on_char ',' spec
-    |> List.map (fun kv ->
-           match String.split_on_char '=' (String.trim kv) with
-           | [ k; v ] -> (String.trim k, int_of_string (String.trim v))
-           | _ -> failwith ("bad parameter binding: " ^ kv))
+    let bindings, errs =
+      List.fold_left
+        (fun (bs, es) kv ->
+          match String.split_on_char '=' (String.trim kv) with
+          | [ k; v ] -> (
+              match int_of_string_opt (String.trim v) with
+              | Some n -> ((String.trim k, n) :: bs, es)
+              | None ->
+                  ( bs,
+                    Diag.errorf ~code:"cli"
+                      "--params: value %S for %s is not an integer"
+                      (String.trim v) (String.trim k)
+                    :: es ))
+          | _ ->
+              ( bs,
+                Diag.errorf ~code:"cli"
+                  "--params: malformed binding %S (expected NAME=INT)"
+                  (String.trim kv)
+                :: es ))
+        ([], [])
+        (String.split_on_char ',' spec)
+    in
+    if errs = [] then Ok (List.rev bindings) else Error (List.rev errs)
+
+exception Cli_error of Diag.t
+
+let cli_error fmt = Printf.ksprintf (fun m -> raise (Cli_error (Diag.error ~code:"cli" m))) fmt
 
 let run file output show_deps show_transform no_tile tile_size no_parallel
     wavefront no_intra_reorder no_input_deps check params_spec simulate cores
-    native =
+    native strict =
   try
     let src = read_file file in
-    let program = Frontend.parse_program ~name:file src in
-    let options =
-      {
-        Driver.default_options with
-        Driver.tile = not no_tile;
-        tile_size;
-        parallelize = not no_parallel;
-        wavefront;
-        intra_reorder = not no_intra_reorder;
-        auto =
-          {
-            Pluto.Auto.default_config with
-            Pluto.Auto.input_deps = not no_input_deps;
-          };
-      }
-    in
-    let r = Driver.compile ~options program in
-    if show_deps then begin
-      Format.eprintf "/* %d dependences:@." (List.length r.Driver.deps);
-      List.iter (fun d -> Format.eprintf "   %a@." Deps.pp d) r.Driver.deps;
-      Format.eprintf "*/@."
-    end;
-    if show_transform then
-      Format.eprintf "/* transformation:@.%a*/@." Pluto.Auto.pp_transform
-        r.Driver.transform;
-    let emit fmt = Codegen.print_c fmt r.Driver.code in
-    (match output with
-    | None -> emit Format.std_formatter
-    | Some path ->
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () ->
-            let fmt = Format.formatter_of_out_channel oc in
-            emit fmt;
-            Format.pp_print_flush fmt ()));
-    let bindings = parse_params params_spec in
-    if check then begin
-      let assoc =
-        List.map
-          (fun p ->
-            (p, match List.assoc_opt p bindings with Some v -> v | None -> 20))
-          program.Ir.params
-      in
-      let params = Array.of_list (List.map snd assoc) in
-      let ok = Machine.equivalent program r.Driver.code ~params in
-      Format.eprintf "equivalence check (%s): %s@."
-        (String.concat ", "
-           (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) assoc))
-        (if ok then "PASS" else "FAIL");
-      if not ok then exit 2
-    end;
-    if native then begin
-      let assoc =
-        List.map
-          (fun p ->
-            ( p,
-              match List.assoc_opt p bindings with
-              | Some v -> v
-              | None -> failwith ("--native-run needs --params " ^ p ^ "=...") ))
-          program.Ir.params
-      in
-      match Runner.run r.Driver.code ~params:assoc with
-      | None -> Format.eprintf "native run: no C compiler found@."
-      | Some res ->
-          Format.eprintf "native run: %.6fs;%s@." res.Runner.wall_seconds
-            (String.concat ""
-               (List.map
-                  (fun (n, v) -> Printf.sprintf " checksum(%s)=%s" n v)
-                  res.Runner.checksums))
-    end;
-    if simulate then begin
-      let assoc =
-        List.map
-          (fun p ->
-            ( p,
-              match List.assoc_opt p bindings with
-              | Some v -> v
-              | None -> failwith ("--simulate needs --params " ^ p ^ "=...") ))
-          program.Ir.params
-      in
-      let params = Array.of_list (List.map snd assoc) in
-      let mc = { Machine.default_machine with Machine.ncores = cores } in
-      let res = Machine.simulate mc r.Driver.code ~params in
-      Format.eprintf "simulation (%d cores): %a@." cores Machine.pp_result res
-    end;
-    0
+    match parse_params params_spec with
+    | Error ds ->
+        render ds;
+        1
+    | Ok bindings -> (
+        match Frontend.parse_program_diag ~name:file src with
+        | Error ds ->
+            render ~src ds;
+            1
+        | Ok (program, parse_warns) -> (
+            render ~src parse_warns;
+            let options =
+              {
+                Driver.default_options with
+                Driver.tile = not no_tile;
+                tile_size;
+                parallelize = not no_parallel;
+                wavefront;
+                intra_reorder = not no_intra_reorder;
+                auto =
+                  {
+                    Pluto.Auto.default_config with
+                    Pluto.Auto.input_deps = not no_input_deps;
+                  };
+              }
+            in
+            match Driver.compile_robust ~options ~strict program with
+            | Error ds ->
+                render ~src ds;
+                1
+            | Ok (r, compile_warns) ->
+                render ~src compile_warns;
+                if show_deps then begin
+                  Format.eprintf "/* %d dependences:@."
+                    (List.length r.Driver.deps);
+                  List.iter
+                    (fun d -> Format.eprintf "   %a@." Deps.pp d)
+                    r.Driver.deps;
+                  Format.eprintf "*/@."
+                end;
+                if show_transform then
+                  Format.eprintf "/* transformation:@.%a*/@."
+                    Pluto.Auto.pp_transform r.Driver.transform;
+                let emit fmt = Codegen.print_c fmt r.Driver.code in
+                (match output with
+                | None -> emit Format.std_formatter
+                | Some path ->
+                    let oc = open_out path in
+                    Fun.protect
+                      ~finally:(fun () -> close_out_noerr oc)
+                      (fun () ->
+                        let fmt = Format.formatter_of_out_channel oc in
+                        emit fmt;
+                        Format.pp_print_flush fmt ()));
+                let check_failed = ref false in
+                if check then begin
+                  let assoc =
+                    List.map
+                      (fun p ->
+                        ( p,
+                          match List.assoc_opt p bindings with
+                          | Some v -> v
+                          | None -> 20 ))
+                      program.Ir.params
+                  in
+                  let params = Array.of_list (List.map snd assoc) in
+                  let ok = Machine.equivalent program r.Driver.code ~params in
+                  Format.eprintf "equivalence check (%s): %s@."
+                    (String.concat ", "
+                       (List.map
+                          (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                          assoc))
+                    (if ok then "PASS" else "FAIL");
+                  if not ok then check_failed := true
+                end;
+                if native then begin
+                  let assoc =
+                    List.map
+                      (fun p ->
+                        ( p,
+                          match List.assoc_opt p bindings with
+                          | Some v -> v
+                          | None ->
+                              cli_error "--native-run needs --params %s=..." p
+                        ))
+                      program.Ir.params
+                  in
+                  match Runner.run r.Driver.code ~params:assoc with
+                  | None -> Format.eprintf "native run: no C compiler found@."
+                  | Some res ->
+                      Format.eprintf "native run: %.6fs;%s@."
+                        res.Runner.wall_seconds
+                        (String.concat ""
+                           (List.map
+                              (fun (n, v) ->
+                                Printf.sprintf " checksum(%s)=%s" n v)
+                              res.Runner.checksums))
+                end;
+                if simulate then begin
+                  let assoc =
+                    List.map
+                      (fun p ->
+                        ( p,
+                          match List.assoc_opt p bindings with
+                          | Some v -> v
+                          | None -> cli_error "--simulate needs --params %s=..." p
+                        ))
+                      program.Ir.params
+                  in
+                  let params = Array.of_list (List.map snd assoc) in
+                  let mc =
+                    { Machine.default_machine with Machine.ncores = cores }
+                  in
+                  let res = Machine.simulate mc r.Driver.code ~params in
+                  Format.eprintf "simulation (%d cores): %a@." cores
+                    Machine.pp_result res
+                end;
+                if !check_failed then 1
+                else if Driver.degraded compile_warns then 2
+                else 0))
   with
-  | Frontend.Parse_error msg ->
-      Format.eprintf "parse error: %s@." msg;
+  | Cli_error d ->
+      render [ d ];
       1
-  | Pluto.Auto.No_transform msg ->
-      Format.eprintf "no transformation found: %s@." msg;
+  | Sys_error msg ->
+      render [ Diag.errorf ~code:"io" "%s" msg ];
       1
-  | Sys_error msg | Failure msg ->
-      Format.eprintf "error: %s@." msg;
+  | Failure msg ->
+      render [ Diag.errorf ~code:"cli" "%s" msg ];
+      1
+  | (Out_of_memory | Sys.Break) as e -> raise e
+  | e ->
+      render
+        [ Diag.errorf ~code:"internal" "internal error: %s" (Printexc.to_string e) ];
       1
 
 let file_arg =
@@ -198,6 +267,15 @@ let native_arg =
     & info [ "native-run" ]
         ~doc:"Compile the generated C with the host C compiler, run it and report wall time and checksums (needs --params).")
 
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Disable the graceful-degradation ladder: fail (exit 1) as soon as \
+           the Pluto transformation search fails instead of falling back to \
+           the Feautrier baseline or the original program order.")
+
 let cmd =
   let doc = "automatic polyhedral parallelizer and locality optimizer" in
   let info = Cmd.info "plutocc" ~version:"1.0" ~doc in
@@ -206,6 +284,6 @@ let cmd =
       const run $ file_arg $ output_arg $ show_deps_arg $ show_transform_arg
       $ no_tile_arg $ tile_size_arg $ no_parallel_arg $ wavefront_arg
       $ no_intra_arg $ no_input_deps_arg $ check_arg $ params_arg
-      $ simulate_arg $ cores_arg $ native_arg)
+      $ simulate_arg $ cores_arg $ native_arg $ strict_arg)
 
 let () = exit (Cmd.eval' cmd)

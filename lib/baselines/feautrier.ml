@@ -1,348 +1,10 @@
-(** An automatic Feautrier-style scheduler with Griebl FCO completion — the
-    "scheduling-based (time tiling)" comparison scheme of §7, implemented for
-    arbitrary kernels rather than from per-kernel fixtures.
+(** The scheduling-based (time tiling) comparison scheme of §7 — a thin
+    facade over {!Feautrier_core}, which holds the actual Feautrier + Griebl
+    FCO scheduler (it lives in the driver library so the graceful-degradation
+    ladder can use it as a rung).  This module adds the end-to-end [compile]
+    pipeline used by the evaluation harness. *)
 
-    Feautrier's algorithm ([20, 21] in the paper) finds minimum-latency
-    affine schedules: a 1-d schedule θ_S per statement such that every
-    dependence is {e strongly} satisfied (δ_e >= 1 everywhere), with the
-    latency bound u·p + w >= θ_S(i) minimized (the same Farkas machinery as
-    the Pluto search, §3.2: "Such a bounding function approach was first used
-    by Feautrier, but for a different purpose — to find minimum latency
-    schedules").  When no 1-d schedule exists, the classic greedy
-    multidimensional extension applies: satisfy as many dependences as
-    possible per dimension (here: require δ >= 0 for all, δ >= 1 for a
-    maximal feasible subset found greedily) and recurse on the rest.
-
-    Griebl's forward-communication-only completion then pads every statement
-    to full rank with additional rows that keep all dependences non-negative
-    (δ >= 0), which is exactly what enables time tiling of the schedule
-    dimension: the resulting rows form a permutable band in our terminology.
-
-    The schedules found this way are typically non-unimodular (θ = 2k + ...)
-    — the "code complexity" the paper blames for the scheme's slowdowns
-    shows up as modulo guards in the generated code. *)
-
-open Pluto.Types
-
-(* schedule coefficients use a slightly larger space than the Pluto search
-   since θ must cover whole dependence chains *)
-let config =
-  {
-    Pluto.Auto.default_config with
-    Pluto.Auto.coeff_bound = 4;
-    shift_bound = 10;
-    input_deps = false;
-  }
-
-(* ILP layout (like Auto's, but local): [u (np); w; per statement: c's, c0].
-   Schedules have no use for the secondary bound. *)
-type layout = { nilp : int; np : int; stmt_off : int array; stmt_depth : int array }
-
-let make_layout (p : Ir.program) =
-  let np = Ir.nparams p in
-  let n = List.length p.Ir.stmts in
-  let stmt_off = Array.make n 0 and stmt_depth = Array.make n 0 in
-  let off = ref (np + 1) in
-  List.iter
-    (fun s ->
-      stmt_off.(s.Ir.id) <- !off;
-      stmt_depth.(s.Ir.id) <- Ir.depth s;
-      off := !off + Ir.depth s + 1)
-    p.Ir.stmts;
-  { nilp = !off; np; stmt_off; stmt_depth }
-
-(* δ_e as a symbolic form over the local layout *)
-let delta_form lay (d : Deps.t) =
-  let ms = Ir.depth d.Deps.src and mt = Ir.depth d.Deps.dst in
-  let width = ms + mt + lay.np + 1 in
-  let form = Array.init width (fun _ -> Array.make (lay.nilp + 1) 0) in
-  let off_s = lay.stmt_off.(d.Deps.src.Ir.id) in
-  let off_t = lay.stmt_off.(d.Deps.dst.Ir.id) in
-  for j = 0 to ms - 1 do
-    form.(j).(off_s + j) <- form.(j).(off_s + j) - 1
-  done;
-  for j = 0 to mt - 1 do
-    form.(ms + j).(off_t + j) <- form.(ms + j).(off_t + j) + 1
-  done;
-  form.(width - 1).(off_t + mt) <- form.(width - 1).(off_t + mt) + 1;
-  form.(width - 1).(off_s + ms) <- form.(width - 1).(off_s + ms) - 1;
-  form
-
-(* the same form minus 1: δ - 1 >= 0 is strong satisfaction *)
-let delta_minus_one lay d =
-  let f = delta_form lay d in
-  let last = Array.length f - 1 in
-  f.(last).(lay.nilp) <- f.(last).(lay.nilp) - 1;
-  f
-
-(* latency bounding: ∀ i in D_S : u·p + w - θ_S(i) >= 0 *)
-let latency_form lay (s : Ir.stmt) =
-  let m = Ir.depth s in
-  let width = m + lay.np + 1 in
-  let form = Array.init width (fun _ -> Array.make (lay.nilp + 1) 0) in
-  let off = lay.stmt_off.(s.Ir.id) in
-  for j = 0 to m - 1 do
-    form.(j).(off + j) <- -1
-  done;
-  for j = 0 to lay.np - 1 do
-    form.(m + j).(j) <- 1
-  done;
-  form.(width - 1).(lay.np) <- 1;
-  form.(width - 1).(off + m) <- -1;
-  form
-
-let var_bounds lay =
-  let n = lay.nilp in
-  let ub j b =
-    let r = Vec.zero (n + 1) in
-    r.(j) <- Bigint.minus_one;
-    r.(n) <- Bigint.of_int b;
-    Polyhedra.ge r
-  in
-  let cs = ref [] in
-  for j = 0 to lay.np - 1 do
-    cs := ub j config.Pluto.Auto.u_bound :: !cs
-  done;
-  cs := ub lay.np config.Pluto.Auto.w_bound :: !cs;
-  Array.iteri
-    (fun id off ->
-      for j = 0 to lay.stmt_depth.(id) - 1 do
-        cs := ub (off + j) config.Pluto.Auto.coeff_bound :: !cs
-      done;
-      cs := ub (off + lay.stmt_depth.(id)) config.Pluto.Auto.shift_bound :: !cs)
-    lay.stmt_off;
-  Polyhedra.of_constrs n !cs
-
-(* rows (c's + c0 per statement) from an ILP point *)
-let rows_of lay (x : Bigint.t array) =
-  Array.mapi
-    (fun id off ->
-      let m = lay.stmt_depth.(id) in
-      Array.init (m + 1) (fun j -> Bigint.to_int x.(off + j)))
-    lay.stmt_off
-
-exception No_schedule of string
-
-(* Greedy multidimensional schedule: at each dimension, require δ >= 0 for
-   all unsatisfied deps, δ >= 1 for a greedily maximal subset, and minimize
-   the latency bound (u, w first in the lexmin).  [strong.(i)] caches the
-   Farkas systems. *)
-let schedule_rows (p : Ir.program) (deps : Deps.t list) =
-  let lay = make_layout p in
-  let legality = List.filter Deps.is_legality deps in
-  let weak =
-    List.map
-      (fun d ->
-        (d, Pluto.Farkas.constraints ~nilp:lay.nilp ~form:(delta_form lay d) ~poly:d.Deps.poly))
-      legality
-  in
-  let strong =
-    List.map
-      (fun d ->
-        (d.Deps.id, Pluto.Farkas.constraints ~nilp:lay.nilp ~form:(delta_minus_one lay d) ~poly:d.Deps.poly))
-      legality
-  in
-  let latency =
-    List.fold_left
-      (fun sys s ->
-        Polyhedra.meet sys
-          (Pluto.Farkas.constraints ~nilp:lay.nilp ~form:(latency_form lay s)
-             ~poly:
-               (let m = Ir.depth s in
-                ignore m;
-                s.Ir.domain)))
-      (var_bounds lay) p.Ir.stmts
-  in
-  let order = Putil.range (lay.np + 1) in
-  let dims = ref [] in
-  let unsatisfied = ref (List.map (fun d -> d.Deps.id) legality) in
-  let guard = ref 0 in
-  while !unsatisfied <> [] && !guard < 8 do
-    incr guard;
-    (* base: δ >= 0 for every unsatisfied dep + latency bound *)
-    let base =
-      List.fold_left
-        (fun sys (d, cs) ->
-          if List.mem d.Deps.id !unsatisfied then Polyhedra.meet sys cs else sys)
-        latency weak
-    in
-    (* greedily add strong satisfaction for as many deps as possible *)
-    let chosen = ref [] in
-    let sys = ref base in
-    List.iter
-      (fun id ->
-        let cs = List.assoc id strong in
-        let candidate = Polyhedra.meet !sys cs in
-        match Milp.lexmin_order ~nonneg:true candidate order with
-        | Some _ ->
-            sys := candidate;
-            chosen := id :: !chosen
-        | None -> ())
-      !unsatisfied;
-    if !chosen = [] then
-      raise (No_schedule "no dependence can be strongly satisfied");
-    (* solve with the full lexmin to fix all coefficients *)
-    let full_order =
-      order
-      @ List.concat
-          (Array.to_list
-             (Array.mapi
-                (fun id off ->
-                  List.rev (List.init lay.stmt_depth.(id) (fun j -> off + j))
-                  @ [ off + lay.stmt_depth.(id) ])
-                lay.stmt_off))
-    in
-    (match Milp.lexmin_order ~nonneg:true !sys full_order with
-    | None -> raise (No_schedule "greedy system became infeasible")
-    | Some x ->
-        dims := rows_of lay x :: !dims;
-        unsatisfied :=
-          List.filter (fun id -> not (List.mem id !chosen)) !unsatisfied)
-  done;
-  if !unsatisfied <> [] then raise (No_schedule "greedy scheduler did not converge");
-  List.rev !dims
-
-(* FCO completion: pad every statement to full rank with additional rows
-   that keep every dependence forward (δ >= 0 via the weak Farkas systems)
-   and are linearly independent of the rows found so far — Griebl's
-   forward-communication-only condition, which is what makes the schedule
-   band time-tilable.  When no such row exists the completion falls back to
-   arbitrary (unit) rows, which are legal for execution order (every
-   dependence is already strongly satisfied by a schedule dimension) but not
-   for tiling; the caller is told via [fco]. *)
-
-let independence_constraints lay (hmats : int array list array) =
-  let n = lay.nilp in
-  let cs = ref [] in
-  Array.iteri
-    (fun id rows ->
-      let m = lay.stmt_depth.(id) in
-      if m > 0 then begin
-        let rank rs =
-          if rs = [] then 0
-          else Mat.rank (Mat.of_int_rows (Array.of_list rs))
-        in
-        let lin = List.map (fun r -> Array.sub r 0 m) rows in
-        if rank lin < m then begin
-          let ortho =
-            if lin = [] then
-              List.map
-                (fun i ->
-                  Vec.init m (fun j -> if i = j then Bigint.one else Bigint.zero))
-                (Putil.range m)
-            else Mat.orthogonal_complement (Mat.of_int_rows (Array.of_list lin))
-          in
-          if ortho <> [] then begin
-            let off = lay.stmt_off.(id) in
-            let sum = Vec.zero (n + 1) in
-            List.iter
-              (fun (row : Vec.t) ->
-                let r = Vec.zero (n + 1) in
-                for j = 0 to m - 1 do
-                  r.(off + j) <- row.(j);
-                  sum.(off + j) <- Bigint.add sum.(off + j) row.(j)
-                done;
-                cs := Polyhedra.ge r :: !cs)
-              ortho;
-            sum.(n) <- Bigint.minus_one;
-            cs := Polyhedra.ge sum :: !cs
-          end
-        end
-      end)
-    hmats;
-  Polyhedra.of_constrs n !cs
-
-(** [scheduling_transform p deps] — the full §7 baseline: Feautrier schedule
-    dimensions first, Griebl FCO completion to full rank.  Returns the
-    transform and whether the completion satisfied the FCO condition (only
-    then is time tiling of the band legal). *)
-let scheduling_transform (p : Ir.program) (deps : Deps.t list) :
-    transform * bool =
-  let sched = schedule_rows p deps in
-  let lay = make_layout p in
-  let legality = List.filter Deps.is_legality deps in
-  let weak_all =
-    List.fold_left
-      (fun sys d ->
-        Polyhedra.meet sys
-          (Pluto.Farkas.constraints ~nilp:lay.nilp ~form:(delta_form lay d)
-             ~poly:d.Deps.poly))
-      (var_bounds lay) legality
-  in
-  let nstmts = List.length p.Ir.stmts in
-  let hmats =
-    Array.init nstmts (fun id -> List.map (fun lv -> lv.(id)) sched)
-  in
-  let full_rank () =
-    List.for_all
-      (fun (s : Ir.stmt) ->
-        let m = Ir.depth s in
-        m = 0
-        || Mat.rank
-             (Mat.of_int_rows
-                (Array.of_list
-                   (List.map (fun r -> Array.sub r 0 m) hmats.(s.Ir.id))))
-           = m)
-      p.Ir.stmts
-  in
-  let fco = ref true in
-  let extra = ref [] in
-  let order =
-    Putil.range (lay.np + 1)
-    @ List.concat
-        (Array.to_list
-           (Array.mapi
-              (fun id off ->
-                List.rev (List.init lay.stmt_depth.(id) (fun j -> off + j))
-                @ [ off + lay.stmt_depth.(id) ])
-              lay.stmt_off))
-  in
-  let guard = ref 0 in
-  while (not (full_rank ())) && !guard < 6 do
-    incr guard;
-    let sys = Polyhedra.meet weak_all (independence_constraints lay hmats) in
-    match Milp.lexmin_order ~nonneg:true sys order with
-    | Some x ->
-        let rows = rows_of lay x in
-        extra := !extra @ [ rows ];
-        Array.iteri (fun id r -> hmats.(id) <- hmats.(id) @ [ r ]) rows
-    | None ->
-        (* no FCO row exists: fall back to unit completion (legal order,
-           no time tiling) *)
-        fco := false;
-        List.iter
-          (fun (s : Ir.stmt) ->
-            let m = Ir.depth s in
-            let rank rs =
-              if rs = [] then 0
-              else Mat.rank (Mat.of_int_rows (Array.of_list rs))
-            in
-            let lin () = List.map (fun r -> Array.sub r 0 m) hmats.(s.Ir.id) in
-            for j = 0 to m - 1 do
-              let unit = Array.init m (fun q -> if q = j then 1 else 0) in
-              if rank (lin () @ [ unit ]) > rank (lin ()) then begin
-                let row = Array.make (m + 1) 0 in
-                row.(j) <- 1;
-                hmats.(s.Ir.id) <- hmats.(s.Ir.id) @ [ row ]
-              end
-            done)
-          p.Ir.stmts;
-        (* pad extra levels statement-wise below *)
-        ()
-  done;
-  let nlevels =
-    Array.fold_left (fun acc l -> max acc (List.length l)) 0 hmats
-  in
-  let rows =
-    Array.mapi
-      (fun id lst ->
-        let m = lay.stmt_depth.(id) in
-        let arr = Array.of_list lst in
-        Array.init nlevels (fun l ->
-            if l < Array.length arr then arr.(l) else Array.make (m + 1) 0))
-      hmats
-  in
-  (Pluto.Auto.annotate p deps ~rows ~scalar:(Array.make nlevels false), !fco)
+include Feautrier_core
 
 (** The complete automatic scheduling-based pipeline: schedule + FCO
     completion, time-tiled when the FCO condition holds (Griebl), untiled

@@ -29,6 +29,10 @@ type config = {
       (** apply the communication-volume bounding objective (4); disabling it
           leaves a legality-only search (an ablation of the paper's central
           design choice) *)
+  budget : Milp.budget;
+      (** resource budget for each hyperplane-search ILP; exhaustion is
+          treated as "no hyperplane at this level" and the search degrades
+          (cut / dismiss / [No_transform]) instead of running unboundedly *)
 }
 
 let default_config =
@@ -40,6 +44,7 @@ let default_config =
     ctx = 100;
     input_deps = true;
     use_cost_bound = true;
+    budget = Milp.default_budget;
   }
 
 (* ------------------------- per-dependence caches ------------------------- *)
@@ -163,9 +168,14 @@ let fix_params ~np ~ctx (poly : Polyhedra.t) =
   Polyhedra.meet poly (Polyhedra.of_constrs nv fix)
 
 let nonempty_int ~np ~ctx poly =
-  let sys = fix_params ~np ~ctx poly in
-  if Polyhedra.is_empty_rational sys then false
-  else Option.is_some (Milp.feasible sys)
+  (* On budget exhaustion answer "nonempty": every caller uses emptiness to
+     justify an optimization (satisfaction, parallelism, dismissal), so the
+     conservative answer only costs precision, never correctness. *)
+  try
+    let sys = fix_params ~np ~ctx poly in
+    if Polyhedra.is_empty_rational sys then false
+    else Option.is_some (Milp.feasible sys)
+  with Diag.Budget_exceeded _ -> true
 
 (* δ >= 1 everywhere on the dependence polyhedron (with params = ctx)? *)
 let delta_always_ge1 ~np ~ctx (d : Deps.t) (delta : Vec.t) =
@@ -309,7 +319,7 @@ let find_hyperplane cfg lay (states : dep_state list) hmats =
     | Some s -> s
     | None -> sys (* contradictory: let the ILP report infeasible *)
   in
-  match Milp.lexmin_order ~nonneg:true sys (lexmin_priority lay) with
+  match Milp.lexmin_order ~nonneg:true ~budget:cfg.budget sys (lexmin_priority lay) with
   | None -> None
   | Some x -> Some (rows_of_solution lay x)
 
@@ -429,13 +439,24 @@ let transform ?(config = default_config) (p : Ir.program) (deps : Deps.t list) =
     nonempty_int ~np ~ctx sys
   in
   let stuck_reason = ref "" in
+  let budget_note = ref None in
+  (* Budget exhaustion in the per-level ILP is "no hyperplane found at this
+     level": the search falls through to its cut/dismiss machinery and, if
+     that cannot make progress either, reports [No_transform] — which the
+     driver's degradation ladder turns into a warning, not a crash. *)
+  let find_hyperplane_bounded () =
+    try find_hyperplane config lay states hmats
+    with Diag.Budget_exceeded msg ->
+      budget_note := Some msg;
+      None
+  in
   let progress = ref true in
   while
     !progress
     && ((not (full_rank ())) || live_legality () <> [])
     && !level < 2 * (Putil.list_max (List.map (fun s -> Ir.depth s) p.Ir.stmts) + nstmts + 2)
   do
-    match find_hyperplane config lay states hmats with
+    match find_hyperplane_bounded () with
     | Some rows when Array.exists (fun (r : int array) ->
           Array.exists (fun c -> c <> 0) r) rows ->
         (* accept; a statement at full rank may legitimately get a zero row *)
@@ -502,8 +523,11 @@ let transform ?(config = default_config) (p : Ir.program) (deps : Deps.t list) =
             progress := false;
             stuck_reason :=
               Printf.sprintf
-                "no hyperplane, no useful cut, nothing to dismiss (level %d, %d live deps)"
+                "no hyperplane, no useful cut, nothing to dismiss (level %d, %d live deps)%s"
                 !level (List.length live)
+                (match !budget_note with
+                | Some b -> "; solver budget exhausted: " ^ b
+                | None -> "")
           end
         end)
   done;

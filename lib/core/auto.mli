@@ -43,6 +43,9 @@ type config = {
       (** apply the communication-volume bounding objective (4); disabling it
           leaves a legality-only search (an ablation of the paper's central
           design choice) *)
+  budget : Milp.budget;
+      (** resource budget for each hyperplane-search ILP; exhaustion degrades
+          the search (cut / dismiss / {!No_transform}) instead of diverging *)
 }
 
 val default_config : config

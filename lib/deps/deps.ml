@@ -108,21 +108,26 @@ let build_poly (p : Ir.program) src dst ~level src_acc dst_acc =
   let order = order_constrs ~ms ~width ~level ~common in
   Polyhedra.of_constrs nv (cs_src @ cs_dst @ access_eqs @ order)
 
-(* Integer emptiness with parameters fixed to the context value. *)
+(* Integer emptiness with parameters fixed to the context value.  On solver
+   budget exhaustion the dependence is conservatively assumed to exist — an
+   over-approximated dependence graph only restricts the transformations,
+   never their legality. *)
 let nonempty ~ctx ~np (poly : Polyhedra.t) =
-  let nv = poly.Polyhedra.nvars in
-  let fix =
-    List.map
-      (fun j ->
-        let r = Vec.zero (nv + 1) in
-        r.(nv - np + j) <- Bigint.one;
-        r.(nv) <- Bigint.of_int (-ctx);
-        Polyhedra.eq r)
-      (Putil.range np)
-  in
-  let sys = Polyhedra.meet poly (Polyhedra.of_constrs nv fix) in
-  if Polyhedra.is_empty_rational sys then false
-  else match Milp.feasible sys with Some _ -> true | None -> false
+  try
+    let nv = poly.Polyhedra.nvars in
+    let fix =
+      List.map
+        (fun j ->
+          let r = Vec.zero (nv + 1) in
+          r.(nv - np + j) <- Bigint.one;
+          r.(nv) <- Bigint.of_int (-ctx);
+          Polyhedra.eq r)
+        (Putil.range np)
+    in
+    let sys = Polyhedra.meet poly (Polyhedra.of_constrs nv fix) in
+    if Polyhedra.is_empty_rational sys then false
+    else match Milp.feasible sys with Some _ -> true | None -> false
+  with Diag.Budget_exceeded _ -> true
 
 let compute ?(input_deps = true) ?(ctx = 100) (p : Ir.program) =
   let np = Ir.nparams p in

@@ -1,0 +1,88 @@
+type severity = Error | Warning | Note
+
+type span = { file : string; line : int; col : int }
+
+type t = {
+  sev : severity;
+  code : string;
+  span : span option;
+  message : string;
+}
+
+exception Budget_exceeded of string
+
+let span ?(file = "<input>") ~line ~col () = { file; line; col }
+
+let mk sev ?span ~code message = { sev; code; span; message }
+
+let error ?span ~code message = mk Error ?span ~code message
+let warning ?span ~code message = mk Warning ?span ~code message
+let note ?span ~code message = mk Note ?span ~code message
+
+let errorf ?span ~code fmt = Printf.ksprintf (error ?span ~code) fmt
+let warningf ?span ~code fmt = Printf.ksprintf (warning ?span ~code) fmt
+
+let is_error d = d.sev = Error
+let has_errors ds = List.exists is_error ds
+let has_code ds code = List.exists (fun d -> String.equal d.code code) ds
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let pp fmt d =
+  (match d.span with
+  | Some s -> Format.fprintf fmt "%s:%d:%d: " s.file s.line s.col
+  | None -> ());
+  Format.fprintf fmt "%s[%s]: %s" (severity_name d.sev) d.code d.message
+
+(* The [line]-th (1-based) line of [src], if it exists. *)
+let source_line src line =
+  let rec go i l =
+    if l = line then
+      let j =
+        match String.index_from_opt src i '\n' with
+        | Some j -> j
+        | None -> String.length src
+      in
+      if i <= String.length src then Some (String.sub src i (j - i)) else None
+    else
+      match String.index_from_opt src i '\n' with
+      | Some j -> go (j + 1) (l + 1)
+      | None -> None
+  in
+  if line >= 1 then go 0 1 else None
+
+let pp_with_source ~src fmt d =
+  pp fmt d;
+  match d.span with
+  | None -> ()
+  | Some s -> (
+      match source_line src s.line with
+      | None -> ()
+      | Some text ->
+          let gutter = Printf.sprintf "%4d | " s.line in
+          Format.fprintf fmt "@,%s%s" gutter text;
+          let pad = String.make (String.length gutter - 2) ' ' in
+          let caret_col = max 0 (min (s.col - 1) (String.length text)) in
+          let lead =
+            String.init caret_col (fun i ->
+                if i < String.length text && text.[i] = '\t' then '\t' else ' ')
+          in
+          Format.fprintf fmt "@,%s| %s^" pad lead)
+
+let by_position ds =
+  let key d = match d.span with Some s -> (0, s.line, s.col) | None -> (1, 0, 0) in
+  List.stable_sort (fun a b -> compare (key a) (key b)) ds
+
+let pp_all ?src fmt ds =
+  Format.pp_open_vbox fmt 0;
+  List.iter
+    (fun d ->
+      (match src with
+      | Some src -> pp_with_source ~src fmt d
+      | None -> pp fmt d);
+      Format.pp_print_cut fmt ())
+    (by_position ds);
+  Format.pp_close_box fmt ()

@@ -153,3 +153,75 @@ let compile_original ?(options = default_options) program =
   in
   let code = Codegen.generate ~context_min:options.context_min target in
   { program; deps; transform; target; code }
+
+(* ---------------- robust compilation: the degradation ladder ------------- *)
+
+(* Run one rung, converting every failure mode into a diagnostic.  Anything
+   that is not an explicit out-of-memory / interrupt is caught: the whole
+   point of [compile_robust] is that no input can crash the process. *)
+let attempt ~what f =
+  match f () with
+  | v -> Ok v
+  | exception Diag.Budget_exceeded msg ->
+      Error (Diag.errorf ~code:"budget" "%s: resource budget exceeded: %s" what msg)
+  | exception Pluto.Auto.No_transform msg ->
+      Error (Diag.errorf ~code:"no-transform" "%s: no transformation found: %s" what msg)
+  | exception Feautrier_core.No_schedule msg ->
+      Error (Diag.errorf ~code:"no-schedule" "%s: no schedule found: %s" what msg)
+  | exception Stack_overflow ->
+      Error (Diag.errorf ~code:"internal" "%s: stack overflow" what)
+  | exception ((Out_of_memory | Sys.Break) as e) -> raise e
+  | exception e ->
+      Error (Diag.errorf ~code:"internal" "%s: %s" what (Printexc.to_string e))
+
+let demote (d : Diag.t) = { d with Diag.sev = Diag.Warning }
+let promote (d : Diag.t) = { d with Diag.sev = Diag.Error }
+
+let degraded ds =
+  Diag.has_code ds "degraded-feautrier" || Diag.has_code ds "degraded-identity"
+
+let compile_robust ?(options = default_options) ?(strict = false) program =
+  let rung_auto () = compile ~options program in
+  let rung_feautrier () =
+    let deps = Deps.compute ~input_deps:false program in
+    let fcfg =
+      { Feautrier_core.config with
+        Pluto.Auto.budget = options.auto.Pluto.Auto.budget
+      }
+    in
+    let tr, fco = Feautrier_core.scheduling_transform ~config:fcfg program deps in
+    let options = if fco then options else { options with tile = false } in
+    compile_with_transform ~options program deps tr
+  in
+  let rung_identity () = compile_original ~options program in
+  match attempt ~what:"Pluto auto transformation" rung_auto with
+  | Ok r -> Ok (r, [])
+  | Error d1 ->
+      if strict then Error [ promote d1 ]
+      else begin
+        let w1 =
+          Diag.warningf ~code:"degraded-feautrier"
+            "Pluto search failed; falling back to the Feautrier/FCO baseline \
+             schedule"
+        in
+        match attempt ~what:"Feautrier baseline scheduler" rung_feautrier with
+        | Ok r -> Ok (r, [ demote d1; w1 ])
+        | Error d2 -> (
+            let w2 =
+              Diag.warningf ~code:"degraded-identity"
+                "Feautrier baseline failed; emitting the original program \
+                 order (no transformation)"
+            in
+            match attempt ~what:"identity schedule" rung_identity with
+            | Ok r -> Ok (r, [ demote d1; w1; demote d2; w2 ])
+            | Error d3 ->
+                Error [ promote d1; promote d2; promote d3 ])
+      end
+
+let compile_source_robust ?options ?strict ?name src =
+  match Frontend.parse_program_diag ?name src with
+  | Error ds -> Error ds
+  | Ok (program, warns) -> (
+      match compile_robust ?options ?strict program with
+      | Ok (r, ds) -> Ok (r, warns @ ds)
+      | Error ds -> Error (warns @ ds))

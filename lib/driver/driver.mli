@@ -52,3 +52,45 @@ val compile_with_transform :
 (** The identity (original program order) pipeline — the "native compiler"
     baseline; no tiling or parallelization. *)
 val compile_original : ?options:options -> Ir.program -> result
+
+(** {1 Robust compilation: the graceful-degradation ladder}
+
+    [compile_robust] never raises (other than genuine out-of-memory /
+    interrupt): every failure of a scheduling rung — [No_transform], solver
+    budget exhaustion ([Diag.Budget_exceeded]), or any unexpected exception —
+    is recorded as a warning diagnostic and the next rung is tried:
+
+    + the Pluto automatic transformation ({!compile});
+    + the Feautrier + Griebl-FCO baseline schedule ({!Feautrier_core}), with
+      the same solver budget;
+    + the untiled identity schedule ({!compile_original}).
+
+    The identity rung can only fail if dependence analysis itself fails, in
+    which case no semantically-safe code can be emitted and the whole
+    compilation is a hard error.
+
+    With [strict:true] the ladder is disabled: the first failure returns
+    [Error] immediately (the CLI's [--strict]). *)
+
+(** [compile_robust ?options ?strict p] — [Ok (result, warnings)] where the
+    warnings record each degradation step (codes ["degraded-feautrier"],
+    ["degraded-identity"] plus the demoted failure reasons), or
+    [Error diagnostics] when no rung could emit code. *)
+val compile_robust :
+  ?options:options ->
+  ?strict:bool ->
+  Ir.program ->
+  (result * Diag.t list, Diag.t list) Stdlib.result
+
+(** [compile_source_robust ?options ?strict ?name src] — parse first
+    (collecting all frontend diagnostics), then {!compile_robust}. *)
+val compile_source_robust :
+  ?options:options ->
+  ?strict:bool ->
+  ?name:string ->
+  string ->
+  (result * Diag.t list, Diag.t list) Stdlib.result
+
+(** [degraded ds] — does the diagnostic list record a degradation step? (The
+    CLI maps this to exit code 2.) *)
+val degraded : Diag.t list -> bool

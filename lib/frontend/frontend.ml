@@ -1,7 +1,5 @@
 exception Parse_error of string
 
-let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
-
 (* --------------------------------- lexer --------------------------------- *)
 
 type token =
@@ -68,12 +66,23 @@ let token_name = function
 
 type ptok = { tok : token; line : int; col : int }
 
-let tokenize src =
+(* Tokenize the whole input, collecting a diagnostic per lexical error
+   instead of aborting on the first: an unexpected character is skipped, a
+   malformed number becomes 0, an unterminated comment ends the token
+   stream.  The parser then still sees the rest of the program. *)
+let tokenize ~file src =
   let n = String.length src in
   let toks = ref [] in
+  let ds = ref [] in
   let line = ref 1 and bol = ref 0 in
   let i = ref 0 in
   let emit tok col = toks := { tok; line = !line; col } :: !toks in
+  let lex_error ~col fmt =
+    Diag.errorf
+      ~span:(Diag.span ~file ~line:!line ~col ())
+      ~code:"lex" fmt
+  in
+  let record d = ds := d :: !ds in
   let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
   let is_id c = is_id_start c || (c >= '0' && c <= '9') in
   let is_digit c = c >= '0' && c <= '9' in
@@ -101,8 +110,12 @@ let tokenize src =
       i := !i + 2;
       let finished = ref false in
       while not !finished do
-        if !i + 1 >= n then fail "line %d: unterminated comment" !line;
-        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+        if !i + 1 >= n then begin
+          record (lex_error ~col "unterminated comment");
+          i := n;
+          finished := true
+        end
+        else if src.[!i] = '*' && src.[!i + 1] = '/' then begin
           i := !i + 2;
           finished := true
         end
@@ -150,9 +163,21 @@ let tokenize src =
             incr i
           done
         end;
-        emit (Tfloat (float_of_string (String.sub src start (!i - start)))) col
+        let text = String.sub src start (!i - start) in
+        match float_of_string_opt text with
+        | Some f -> emit (Tfloat f) col
+        | None ->
+            record (lex_error ~col "malformed number %S" text);
+            emit (Tfloat 0.) col
       end
-      else emit (Tint (int_of_string (String.sub src start (!i - start)))) col
+      else begin
+        let text = String.sub src start (!i - start) in
+        match int_of_string_opt text with
+        | Some v -> emit (Tint v) col
+        | None ->
+            record (lex_error ~col "integer literal %S out of range" text);
+            emit (Tint 0) col
+      end
     end
     else begin
       let two t =
@@ -185,15 +210,21 @@ let tokenize src =
       | '/' -> one Tslash
       | '<' -> one Tlt
       | '>' -> one Tgt
-      | _ -> fail "line %d, col %d: unexpected character %C" !line col c
+      | _ ->
+          record (lex_error ~col "unexpected character %C" c);
+          incr i
     end
   done;
   emit Teof (n - !bol + 1);
-  Array.of_list (List.rev !toks)
+  (Array.of_list (List.rev !toks), List.rev !ds)
 
 (* ------------------------------ syntax tree ------------------------------ *)
 
-type sexpr =
+type pos = { pline : int; pcol : int }
+
+type sexpr = { e : snode; epos : pos }
+
+and snode =
   | S_int of int
   | S_float of float
   | S_id of string
@@ -202,23 +233,52 @@ type sexpr =
   | S_bin of Ir.binop * sexpr * sexpr
 
 type sitem =
-  | S_assign of (string * sexpr list) * sexpr
-  | S_for of string * sexpr * [ `Lt | `Le ] * sexpr * sitem list
+  | S_assign of { lhs : string * sexpr list; rhs : sexpr; ipos : pos }
+  | S_for of {
+      it : string;
+      lb : sexpr;
+      cmp : [ `Lt | `Le ];
+      ub : sexpr;
+      body : sitem list;
+      ipos : pos;
+    }
 
-type decl = { dname : string; dexts : sexpr list }
+type decl = { dname : string; dexts : sexpr list; dpos : pos }
 
 (* --------------------------------- parser -------------------------------- *)
 
-type parser_state = { toks : ptok array; mutable pos : int }
+type parser_state = {
+  toks : ptok array;
+  mutable pos : int;
+  file : string;
+  diags : Diag.t list ref;
+}
 
 let peek ps = ps.toks.(ps.pos).tok
 
+let here ps =
+  let p = ps.toks.(ps.pos) in
+  { pline = p.line; pcol = p.col }
+
 let advance ps = ps.pos <- ps.pos + 1
+
+let record ps d = ps.diags := d :: !(ps.diags)
+
+let span_of ps (p : pos) = Diag.span ~file:ps.file ~line:p.pline ~col:p.pcol ()
+
+(* Syntax errors abort the current statement/declaration only; the recovery
+   loops below resynchronize and keep parsing so that every error in the
+   input is reported, not just the first. *)
+exception Synerr of Diag.t
+
+let syn_error ps pos fmt =
+  Printf.ksprintf (fun m -> raise (Synerr (Diag.error ~span:(span_of ps pos) ~code:"parse" m))) fmt
 
 let err_here ps what =
   let p = ps.toks.(ps.pos) in
-  fail "line %d, col %d: expected %s, found %s" p.line p.col what
-    (token_name p.tok)
+  syn_error ps
+    { pline = p.line; pcol = p.col }
+    "expected %s, found %s" what (token_name p.tok)
 
 let expect ps tok what =
   if peek ps = tok then advance ps else err_here ps what
@@ -239,10 +299,12 @@ and parse_additive ps =
     match peek ps with
     | Tplus ->
         advance ps;
-        lhs := S_bin (Ir.Add, !lhs, parse_multiplicative ps)
+        let rhs = parse_multiplicative ps in
+        lhs := { e = S_bin (Ir.Add, !lhs, rhs); epos = !lhs.epos }
     | Tminus ->
         advance ps;
-        lhs := S_bin (Ir.Sub, !lhs, parse_multiplicative ps)
+        let rhs = parse_multiplicative ps in
+        lhs := { e = S_bin (Ir.Sub, !lhs, rhs); epos = !lhs.epos }
     | _ -> continue_ := false
   done;
   !lhs
@@ -254,32 +316,36 @@ and parse_multiplicative ps =
     match peek ps with
     | Tstar ->
         advance ps;
-        lhs := S_bin (Ir.Mul, !lhs, parse_unary ps)
+        let rhs = parse_unary ps in
+        lhs := { e = S_bin (Ir.Mul, !lhs, rhs); epos = !lhs.epos }
     | Tslash ->
         advance ps;
-        lhs := S_bin (Ir.Div, !lhs, parse_unary ps)
+        let rhs = parse_unary ps in
+        lhs := { e = S_bin (Ir.Div, !lhs, rhs); epos = !lhs.epos }
     | _ -> continue_ := false
   done;
   !lhs
 
 and parse_unary ps =
+  let pos = here ps in
   match peek ps with
   | Tminus ->
       advance ps;
-      S_neg (parse_unary ps)
+      { e = S_neg (parse_unary ps); epos = pos }
   | Tplus ->
       advance ps;
       parse_unary ps
   | _ -> parse_primary ps
 
 and parse_primary ps =
+  let pos = here ps in
   match peek ps with
   | Tint n ->
       advance ps;
-      S_int n
+      { e = S_int n; epos = pos }
   | Tfloat f ->
       advance ps;
-      S_float f
+      { e = S_float f; epos = pos }
   | Tlparen ->
       advance ps;
       let e = parse_expr ps in
@@ -294,10 +360,25 @@ and parse_primary ps =
         expect ps Trbrack "']'";
         subs := e :: !subs
       done;
-      if !subs = [] then S_id name else S_idx (name, List.rev !subs)
+      if !subs = [] then { e = S_id name; epos = pos }
+      else { e = S_idx (name, List.rev !subs); epos = pos }
   | _ -> err_here ps "expression"
 
+(* Skip tokens until a plausible statement boundary: just past the next ';',
+   or right before a '}' / 'for' / end of input. *)
+let resync ps =
+  let stop = ref false in
+  while not !stop do
+    match peek ps with
+    | Tsemi ->
+        advance ps;
+        stop := true
+    | Trbrace | Tfor | Teof -> stop := true
+    | _ -> advance ps
+  done
+
 let rec parse_item ps =
+  let ipos = here ps in
   match peek ps with
   | Tfor ->
       advance ps;
@@ -306,9 +387,12 @@ let rec parse_item ps =
       expect ps Tassign "'='";
       let lb = parse_expr ps in
       expect ps Tsemi "';'";
+      let it2_pos = here ps in
       let it2 = expect_id ps "loop iterator in condition" in
       if not (String.equal it it2) then
-        fail "loop condition tests %s, expected %s" it2 it;
+        record ps
+          (Diag.errorf ~span:(span_of ps it2_pos) ~code:"parse"
+             "loop condition tests %s, expected %s" it2 it);
       let cmp =
         match peek ps with
         | Tlt ->
@@ -321,28 +405,29 @@ let rec parse_item ps =
       in
       let ub = parse_expr ps in
       expect ps Tsemi "';'";
+      let it3_pos = here ps in
       let it3 = expect_id ps "loop iterator in increment" in
       if not (String.equal it it3) then
-        fail "loop increments %s, expected %s" it3 it;
+        record ps
+          (Diag.errorf ~span:(span_of ps it3_pos) ~code:"parse"
+             "loop increments %s, expected %s" it3 it);
       expect ps Tinc "'++'";
       expect ps Trparen "')'";
       let body =
         if peek ps = Tlbrace then begin
+          let brace_pos = here ps in
           advance ps;
-          let items = ref [] in
-          while peek ps <> Trbrace do
-            items := parse_item ps :: !items
-          done;
-          advance ps;
-          List.rev !items
+          let items = parse_items ps ~in_block:(Some brace_pos) in
+          if peek ps = Trbrace then advance ps;
+          items
         end
         else [ parse_item ps ]
       in
-      S_for (it, lb, cmp, ub, body)
+      S_for { it; lb; cmp; ub; body; ipos }
   | Tid _ -> (
       let e = parse_primary ps in
       let target =
-        match e with
+        match e.e with
         | S_idx (name, subs) -> Some (name, subs)
         | S_id name -> Some (name, [])
         | _ -> None
@@ -355,9 +440,11 @@ let rec parse_item ps =
             expect ps Tsemi "';'";
             let name, subs = lhs in
             let lhs_expr =
-              if subs = [] then S_id name else S_idx (name, subs)
+              if subs = [] then { e = S_id name; epos = e.epos }
+              else { e = S_idx (name, subs); epos = e.epos }
             in
-            S_assign (lhs, S_bin (op, lhs_expr, rhs))
+            S_assign
+              { lhs; rhs = { e = S_bin (op, lhs_expr, rhs); epos = e.epos }; ipos }
         | None -> err_here ps "assignment target"
       in
       match (target, peek ps) with
@@ -365,51 +452,92 @@ let rec parse_item ps =
           advance ps;
           let rhs = parse_expr ps in
           expect ps Tsemi "';'";
-          S_assign (lhs, rhs)
+          S_assign { lhs; rhs; ipos }
       | _, Tpluseq -> compound Ir.Add
       | _, Tminuseq -> compound Ir.Sub
       | _, Tstareq -> compound Ir.Mul
       | _ -> err_here ps "'=' (assignment)")
   | _ -> err_here ps "statement or loop"
 
+(* Parse statements until '}' (when [in_block]) or end of input, recovering
+   from syntax errors at statement boundaries. *)
+and parse_items ps ~in_block =
+  let items = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek ps with
+    | Trbrace when in_block <> None -> continue_ := false
+    | Trbrace ->
+        (* stray '}' at top level *)
+        record ps
+          (Diag.error ~span:(span_of ps (here ps)) ~code:"parse"
+             "unmatched '}'");
+        advance ps
+    | Teof ->
+        (match in_block with
+        | Some brace_pos ->
+            record ps
+              (Diag.error ~span:(span_of ps brace_pos) ~code:"parse"
+                 "unclosed '{': missing '}' before end of input")
+        | None -> ());
+        continue_ := false
+    | _ -> (
+        let start = ps.pos in
+        try items := parse_item ps :: !items
+        with Synerr d ->
+          record ps d;
+          if ps.pos = start then advance ps;
+          resync ps)
+  done;
+  List.rev !items
+
 let parse_decls ps =
   let decls = ref [] in
   let continue_ = ref true in
   while !continue_ do
     match peek ps with
-    | Tdouble | Tfloatkw | Tint_kw ->
-        advance ps;
-        let again = ref true in
-        while !again do
-          let name = expect_id ps "declared name" in
-          let exts = ref [] in
-          while peek ps = Tlbrack do
-            advance ps;
-            let e = parse_expr ps in
-            expect ps Trbrack "']'";
-            exts := e :: !exts
-          done;
-          decls := { dname = name; dexts = List.rev !exts } :: !decls;
-          match peek ps with
-          | Tcomma -> advance ps
-          | Tsemi ->
+    | Tdouble | Tfloatkw | Tint_kw -> (
+        let start = ps.pos in
+        try
+          advance ps;
+          let again = ref true in
+          while !again do
+            let dpos = here ps in
+            let name = expect_id ps "declared name" in
+            let exts = ref [] in
+            while peek ps = Tlbrack do
               advance ps;
-              again := false
-          | _ -> err_here ps "',' or ';'"
-        done
+              let e = parse_expr ps in
+              expect ps Trbrack "']'";
+              exts := e :: !exts
+            done;
+            decls := { dname = name; dexts = List.rev !exts; dpos } :: !decls;
+            match peek ps with
+            | Tcomma -> advance ps
+            | Tsemi ->
+                advance ps;
+                again := false
+            | _ -> err_here ps "',' or ';'"
+          done
+        with Synerr d ->
+          record ps d;
+          if ps.pos = start then advance ps;
+          resync ps)
     | _ -> continue_ := false
   done;
   List.rev !decls
 
 let parse_toplevel ps =
   let decls = parse_decls ps in
-  let items = ref [] in
-  while peek ps <> Teof do
-    items := parse_item ps :: !items
-  done;
-  (decls, List.rev !items)
+  let items = parse_items ps ~in_block:None in
+  (decls, items)
 
 (* --------------------------- semantic analysis --------------------------- *)
+
+(* Semantic errors (non-affine constructs, unknown names, arity mismatches)
+   abort only the enclosing statement; the walk records the diagnostic and
+   continues with the next statement. *)
+exception Semerr of Diag.t
 
 (* Collect loop iterator names (anywhere) so that remaining free identifiers
    are recognized as parameters. *)
@@ -418,12 +546,12 @@ let rec collect_iters items acc =
     (fun acc item ->
       match item with
       | S_assign _ -> acc
-      | S_for (it, _, _, _, body) ->
+      | S_for { it; body; _ } ->
           collect_iters body (if List.mem it acc then acc else it :: acc))
     acc items
 
 let rec collect_ids_expr e acc =
-  match e with
+  match e.e with
   | S_int _ | S_float _ -> acc
   | S_id s -> if List.mem s acc then acc else s :: acc
   | S_idx (_, subs) -> List.fold_left (fun acc e -> collect_ids_expr e acc) acc subs
@@ -434,19 +562,29 @@ let rec collect_param_candidates items acc =
   List.fold_left
     (fun acc item ->
       match item with
-      | S_assign ((_, subs), rhs) ->
+      | S_assign { lhs = _, subs; rhs; _ } ->
           let acc = List.fold_left (fun acc e -> collect_ids_expr e acc) acc subs in
           collect_ids_expr rhs acc
-      | S_for (_, lb, _, ub, body) ->
+      | S_for { lb; ub; body; _ } ->
           collect_param_candidates body
             (collect_ids_expr ub (collect_ids_expr lb acc)))
     acc items
 
 (* Affine linearization of a source expression over (iters @ params @ [1]).
    Fails on products of variables, division, floats. *)
-let affine_of_expr ~iters ~params ~context e =
+let affine_of_expr ~file ~iters ~params ~context e =
   let ni = List.length iters and np = List.length params in
   let width = ni + np + 1 in
+  let sem_fail pos fmt =
+    Printf.ksprintf
+      (fun m ->
+        raise
+          (Semerr
+             (Diag.error
+                ~span:(Diag.span ~file ~line:pos.pline ~col:pos.pcol ())
+                ~code:"non-affine" m)))
+      fmt
+  in
   let index_of name =
     let rec find i = function
       | [] -> None
@@ -459,20 +597,20 @@ let affine_of_expr ~iters ~params ~context e =
         match find 0 params with Some i -> Some (ni + i) | None -> None)
   in
   let rec go e =
-    match e with
+    match e.e with
     | S_int n ->
         let r = Array.make width 0 in
         r.(width - 1) <- n;
         r
-    | S_float _ -> fail "%s: floating-point value in affine position" context
+    | S_float _ -> sem_fail e.epos "%s: floating-point value in affine position" context
     | S_id name -> (
         match index_of name with
         | Some i ->
             let r = Array.make width 0 in
             r.(i) <- 1;
             r
-        | None -> fail "%s: unknown identifier %s" context name)
-    | S_idx (a, _) -> fail "%s: array access %s[...] is not affine" context a
+        | None -> sem_fail e.epos "%s: unknown identifier %s" context name)
+    | S_idx (a, _) -> sem_fail e.epos "%s: array access %s[...] is not affine" context a
     | S_neg e -> Array.map (fun x -> -x) (go e)
     | S_bin (Ir.Add, a, b) -> Array.map2 ( + ) (go a) (go b)
     | S_bin (Ir.Sub, a, b) -> Array.map2 ( - ) (go a) (go b)
@@ -485,8 +623,8 @@ let affine_of_expr ~iters ~params ~context e =
         match (const_of ra, const_of rb) with
         | Some k, _ -> Array.map (fun x -> k * x) rb
         | _, Some k -> Array.map (fun x -> k * x) ra
-        | None, None -> fail "%s: product of variables is not affine" context)
-    | S_bin (Ir.Div, _, _) -> fail "%s: division is not affine" context
+        | None, None -> sem_fail e.epos "%s: product of variables is not affine" context)
+    | S_bin (Ir.Div, _, _) -> sem_fail e.epos "%s: division is not affine" context
   in
   go e
 
@@ -519,13 +657,14 @@ let restrict_to_scop src =
       ^ String.sub src a (b - a)
   | _ -> src
 
-let parse_program ?(name = "<input>") src =
+let parse_program_diag ?(name = "<input>") src =
+  let file = name in
   let src = restrict_to_scop src in
-  let ps = { toks = tokenize src; pos = 0 } in
-  let decls, items =
-    try parse_toplevel ps
-    with Parse_error msg -> fail "%s: %s" name msg
-  in
+  let toks, lex_diags = tokenize ~file src in
+  let ps = { toks; pos = 0; file; diags = ref [] } in
+  let decls, items = parse_toplevel ps in
+  let sem_diags = ref [] in
+  let sem_record d = sem_diags := d :: !sem_diags in
   let arrays = List.map (fun d -> d.dname) decls in
   let iters = List.rev (collect_iters items []) in
   let candidates = List.rev (collect_param_candidates items []) in
@@ -551,24 +690,34 @@ let parse_program ?(name = "<input>") src =
       params decls
   in
   let np = List.length params in
+  let affine ~iters ~context e = affine_of_expr ~file ~iters ~params ~context e in
   let array_infos =
     List.map
       (fun d ->
         let extents =
           List.map
             (fun e ->
-              affine_of_expr ~iters:[] ~params
-                ~context:(Printf.sprintf "extent of %s" d.dname)
-                e)
+              try
+                affine ~iters:[]
+                  ~context:(Printf.sprintf "extent of %s" d.dname)
+                  e
+              with Semerr diag ->
+                sem_record diag;
+                Array.make (np + 1) 0)
             d.dexts
         in
         { Ir.aname = d.dname; extents = Array.of_list extents })
       decls
   in
-  let dims_of a =
+  let dims_of ~pos a =
     match List.find_opt (fun d -> String.equal d.Ir.aname a) array_infos with
     | Some d -> Array.length d.Ir.extents
-    | None -> fail "use of undeclared array %s" a
+    | None ->
+        raise
+          (Semerr
+             (Diag.errorf
+                ~span:(Diag.span ~file ~line:pos.pline ~col:pos.pcol ())
+                ~code:"unknown-array" "use of undeclared array %s" a))
   in
   (* widen an affine row over (k iters + params + 1) to (m iters + ...) *)
   let widen_row ~from_iters ~to_iters row =
@@ -579,15 +728,19 @@ let parse_program ?(name = "<input>") src =
   in
   let stmts = ref [] in
   let next_id = ref 0 in
-  let mk_access ~iters (a, subs) =
-    let expected = dims_of a in
+  let mk_access ~pos ~iters (a, subs) =
+    let expected = dims_of ~pos a in
     if List.length subs <> expected then
-      fail "array %s used with %d subscripts, declared with %d" a
-        (List.length subs) expected;
+      raise
+        (Semerr
+           (Diag.errorf
+              ~span:(Diag.span ~file ~line:pos.pline ~col:pos.pcol ())
+              ~code:"arity" "array %s used with %d subscripts, declared with %d"
+              a (List.length subs) expected));
     let map =
       List.map
         (fun e ->
-          affine_of_expr ~iters ~params
+          affine ~iters
             ~context:(Printf.sprintf "subscript of %s" a)
             e)
         subs
@@ -595,78 +748,97 @@ let parse_program ?(name = "<input>") src =
     { Ir.arr = a; map = Array.of_list map }
   in
   let rec expr_of ~iters e =
-    match e with
+    match e.e with
     | S_int n -> Ir.Const (float_of_int n)
     | S_float f -> Ir.Const f
     | S_id s -> (
-        if List.mem s arrays then Ir.Load (mk_access ~iters (s, []))
+        if List.mem s arrays then Ir.Load (mk_access ~pos:e.epos ~iters (s, []))
         else
           match List.find_index (String.equal s) iters with
           | Some i -> Ir.Iter i
           | None ->
-              fail "identifier %s in statement body is neither an array nor an iterator" s)
-    | S_idx (a, subs) -> Ir.Load (mk_access ~iters (a, subs))
+              raise
+                (Semerr
+                   (Diag.errorf
+                      ~span:(Diag.span ~file ~line:e.epos.pline ~col:e.epos.pcol ())
+                      ~code:"unknown-id"
+                      "identifier %s in statement body is neither an array nor an iterator"
+                      s)))
+    | S_idx (a, subs) -> Ir.Load (mk_access ~pos:e.epos ~iters (a, subs))
     | S_neg e -> Ir.Unop (`Neg, expr_of ~iters e)
     | S_bin (op, a, b) -> Ir.Binop (op, expr_of ~iters a, expr_of ~iters b)
   in
-  (* walk the loop tree collecting constraints; [bounds] are (lb_row, ub_row)
-     pairs over (depth-so-far iters + params + 1) *)
+  (* walk the loop tree collecting constraints; [constrs] are rows over
+     (depth-so-far iters + params + 1).  A semantic error skips only the
+     offending statement (or loop bound), so every error is reported. *)
   let rec walk items ~iters ~constrs ~prefix =
     List.iteri
       (fun idx item ->
         match item with
-        | S_assign (lhs, rhs) ->
-            let m = List.length iters in
-            let nvars = m + np in
-            let cs =
-              List.map
-                (fun (row, from_iters) ->
-                  Polyhedra.ge
-                    (Ir.row_to_vec (widen_row ~from_iters ~to_iters:m row)))
-                constrs
+        | S_assign { lhs; rhs; ipos } -> (
+            try
+              let m = List.length iters in
+              let nvars = m + np in
+              let cs =
+                List.map
+                  (fun (row, from_iters) ->
+                    Polyhedra.ge
+                      (Ir.row_to_vec (widen_row ~from_iters ~to_iters:m row)))
+                  constrs
+              in
+              let domain = Polyhedra.of_constrs nvars cs in
+              let static = Array.of_list (List.rev (idx :: prefix)) in
+              let lhs_acc = mk_access ~pos:ipos ~iters lhs in
+              let rhs_ir = expr_of ~iters rhs in
+              let id = !next_id in
+              incr next_id;
+              let iter_names = Array.of_list iters in
+              let param_names = Array.of_list params in
+              let text =
+                Format.asprintf "%s%a = %a;" lhs_acc.Ir.arr
+                  (fun fmt rows ->
+                    Array.iter
+                      (fun row ->
+                        Format.fprintf fmt "[%a]"
+                          (Ir.pp_affine_row (Array.append iter_names param_names))
+                          row)
+                      rows)
+                  lhs_acc.Ir.map
+                  (Ir.pp_expr iter_names param_names)
+                  rhs_ir
+              in
+              let s =
+                Ir.mk_stmt ~id
+                  ~name:(Printf.sprintf "S%d" (id + 1))
+                  ~iters ~nparams:np ~domain ~static ~lhs:lhs_acc ~rhs:rhs_ir
+                  ~text
+              in
+              stmts := s :: !stmts
+            with Semerr d -> sem_record d)
+        | S_for { it; lb; cmp; ub; body; ipos } ->
+            let it =
+              if not (List.mem it iters) then it
+              else begin
+                sem_record
+                  (Diag.errorf
+                     ~span:(Diag.span ~file ~line:ipos.pline ~col:ipos.pcol ())
+                     ~code:"shadow" "iterator %s shadows an outer loop" it);
+                (* keep walking the body under a fresh name so its own
+                   errors are still found *)
+                it ^ "'"
+              end
             in
-            let domain = Polyhedra.of_constrs nvars cs in
-            let static = Array.of_list (List.rev (idx :: prefix)) in
-            let lhs_acc = mk_access ~iters lhs in
-            let rhs_ir = expr_of ~iters rhs in
-            let id = !next_id in
-            incr next_id;
-            let iter_names = Array.of_list iters in
-            let param_names = Array.of_list params in
-            let text =
-              Format.asprintf "%s%a = %a;" lhs_acc.Ir.arr
-                (fun fmt rows ->
-                  Array.iter
-                    (fun row ->
-                      Format.fprintf fmt "[%a]"
-                        (Ir.pp_affine_row (Array.append iter_names param_names))
-                        row)
-                    rows)
-                lhs_acc.Ir.map
-                (Ir.pp_expr iter_names param_names)
-                rhs_ir
-            in
-            let s =
-              Ir.mk_stmt ~id
-                ~name:(Printf.sprintf "S%d" (id + 1))
-                ~iters ~nparams:np ~domain ~static ~lhs:lhs_acc ~rhs:rhs_ir
-                ~text
-            in
-            stmts := s :: !stmts
-        | S_for (it, lb, cmp, ub, body) ->
-            if List.mem it iters then fail "iterator %s shadows an outer loop" it;
             let iters' = iters @ [ it ] in
             let k = List.length iters' in
-            let lb_row =
-              affine_of_expr ~iters ~params
-                ~context:(Printf.sprintf "lower bound of %s" it)
-                lb
+            let zero = Array.make (k - 1 + np + 1) 0 in
+            let bound_row ~what e =
+              try affine ~iters ~context:(Printf.sprintf "%s of %s" what it) e
+              with Semerr d ->
+                sem_record d;
+                zero
             in
-            let ub_row =
-              affine_of_expr ~iters ~params
-                ~context:(Printf.sprintf "upper bound of %s" it)
-                ub
-            in
+            let lb_row = bound_row ~what:"lower bound" lb in
+            let ub_row = bound_row ~what:"upper bound" ub in
             let width = k + np + 1 in
             (* it - lb >= 0 *)
             let lo = Array.make width 0 in
@@ -691,4 +863,18 @@ let parse_program ?(name = "<input>") src =
       items
   in
   walk items ~iters:[] ~constrs:[] ~prefix:[];
-  { Ir.params; arrays = array_infos; stmts = List.rev !stmts }
+  let diags = lex_diags @ List.rev !(ps.diags) @ List.rev !sem_diags in
+  if Diag.has_errors diags then Error (Diag.by_position diags)
+  else
+    Ok
+      ( { Ir.params; arrays = array_infos; stmts = List.rev !stmts },
+        Diag.by_position diags )
+
+let parse_program ?(name = "<input>") src =
+  match parse_program_diag ~name src with
+  | Ok (p, _) -> p
+  | Error ds ->
+      raise
+        (Parse_error
+           (String.concat "\n"
+              (List.map (fun d -> Format.asprintf "%a" Diag.pp d) ds)))

@@ -20,10 +20,26 @@
     - [#] preprocessor lines and comments are ignored;
     - assignments are floating-point expressions over array accesses.
 
-    Errors are reported with line/column positions. *)
+    Errors are reported as structured {!Diag.t} diagnostics with line/column
+    positions.  The parser recovers at statement boundaries, so a single run
+    reports {e all} syntax and semantic errors in the input, not just the
+    first one. *)
 
 exception Parse_error of string
 
-(** [parse_program ~name src] parses and extracts the polyhedral IR.
-    @raise Parse_error on syntax or non-affine constructs. *)
+(** [parse_program_diag ?name src] parses and extracts the polyhedral IR.
+
+    - [Ok (program, warnings)] when no errors were found (warnings may still
+      be present);
+    - [Error diagnostics] with every lexical, syntax and semantic error the
+      recovery passes could find, sorted by source position.
+
+    Never raises on malformed input. *)
+val parse_program_diag :
+  ?name:string -> string -> (Ir.program * Diag.t list, Diag.t list) result
+
+(** [parse_program ~name src] — exception-raising convenience wrapper around
+    {!parse_program_diag}.
+    @raise Parse_error with all rendered diagnostics (newline-separated) on
+    syntax or non-affine constructs. *)
 val parse_program : ?name:string -> string -> Ir.program

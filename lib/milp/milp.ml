@@ -22,7 +22,9 @@ type ilp_result =
   | Ilp_infeasible
   | Ilp_unbounded
 
-exception Node_limit_exceeded
+type budget = { max_nodes : int; time_limit_s : float option }
+
+let default_budget = { max_nodes = 200_000; time_limit_s = None }
 
 type dict = {
   mutable nonbasic : int array; (* variable ids of columns *)
@@ -295,7 +297,7 @@ let row_ge sys j (bound : Bigint.t) =
   coefs.(n) <- Bigint.neg bound;
   Polyhedra.ge coefs
 
-let ilp ?(nonneg = false) ?(node_limit = 200_000) (sys : Polyhedra.t)
+let ilp ?(nonneg = false) ?(budget = default_budget) (sys : Polyhedra.t)
     (objective : Vec.t) =
   if Array.length objective <> sys.Polyhedra.nvars then
     invalid_arg "Milp.ilp: objective length";
@@ -303,9 +305,29 @@ let ilp ?(nonneg = false) ?(node_limit = 200_000) (sys : Polyhedra.t)
   let best : (Bigint.t * Bigint.t array) option ref = ref None in
   let nodes = ref 0 in
   let unbounded = ref false in
+  let deadline =
+    match budget.time_limit_s with
+    | None -> None
+    | Some dt -> Some (Sys.time () +. dt)
+  in
   let rec go sys =
     incr nodes;
-    if !nodes > node_limit then raise Node_limit_exceeded;
+    if !nodes > budget.max_nodes then
+      raise
+        (Diag.Budget_exceeded
+           (Printf.sprintf
+              "Milp.ilp: branch-and-bound exceeded the %d-node budget"
+              budget.max_nodes));
+    (match deadline with
+    | Some d when Sys.time () > d ->
+        raise
+          (Diag.Budget_exceeded
+             (Printf.sprintf
+                "Milp.ilp: branch-and-bound exceeded the %.3fs time budget \
+                 (%d nodes explored)"
+                (Option.get budget.time_limit_s)
+                !nodes))
+    | _ -> ());
     match lp ~nonneg sys obj_q with
     | Lp_infeasible -> ()
     | Lp_unbounded ->
@@ -338,24 +360,24 @@ let ilp ?(nonneg = false) ?(node_limit = 200_000) (sys : Polyhedra.t)
   if !unbounded && !best = None then Ilp_unbounded
   else match !best with None -> Ilp_infeasible | Some (v, x) -> Ilp_optimal (v, x)
 
-let feasible ?(nonneg = false) ?node_limit (sys : Polyhedra.t) =
-  match ilp ~nonneg ?node_limit sys (Vec.zero sys.Polyhedra.nvars) with
+let feasible ?(nonneg = false) ?budget (sys : Polyhedra.t) =
+  match ilp ~nonneg ?budget sys (Vec.zero sys.Polyhedra.nvars) with
   | Ilp_optimal (_, x) -> Some x
   | Ilp_infeasible -> None
   | Ilp_unbounded -> assert false (* zero objective is never unbounded *)
 
-let lexmin_order ?(nonneg = false) ?node_limit (sys : Polyhedra.t) order =
+let lexmin_order ?(nonneg = false) ?budget (sys : Polyhedra.t) order =
   let n = sys.Polyhedra.nvars in
   let rec fix sys = function
     | [] -> (
-        match feasible ~nonneg ?node_limit sys with
+        match feasible ~nonneg ?budget sys with
         | None -> None
         | Some x -> Some x)
     | j :: rest -> (
         if j < 0 || j >= n then invalid_arg "Milp.lexmin_order: bad index";
         let obj = Vec.zero n in
         obj.(j) <- Bigint.one;
-        match ilp ~nonneg ?node_limit sys obj with
+        match ilp ~nonneg ?budget sys obj with
         | Ilp_infeasible -> None
         | Ilp_unbounded -> failwith "Milp.lexmin: coordinate unbounded below"
         | Ilp_optimal (v, _) ->
@@ -366,5 +388,5 @@ let lexmin_order ?(nonneg = false) ?node_limit (sys : Polyhedra.t) order =
   in
   fix sys order
 
-let lexmin ?nonneg ?node_limit sys =
-  lexmin_order ?nonneg ?node_limit sys (Putil.range sys.Polyhedra.nvars)
+let lexmin ?nonneg ?budget sys =
+  lexmin_order ?nonneg ?budget sys (Putil.range sys.Polyhedra.nvars)

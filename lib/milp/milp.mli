@@ -29,26 +29,36 @@ type ilp_result =
   | Ilp_infeasible
   | Ilp_unbounded
 
-exception Node_limit_exceeded
+(** Resource budget for branch-and-bound: a node-count limit and an optional
+    wall-clock allowance.  When exhausted the solver raises
+    [Diag.Budget_exceeded] instead of running unboundedly — callers at layer
+    boundaries catch it and degrade (conservative answer or a lower rung of
+    the scheduling ladder). *)
+type budget = { max_nodes : int; time_limit_s : float option }
 
-(** [ilp ?nonneg ?node_limit sys obj] minimizes the integer objective [obj·x]
+(** 200_000 nodes, no time limit. *)
+val default_budget : budget
+
+(** [ilp ?nonneg ?budget sys obj] minimizes the integer objective [obj·x]
     over the integer points of [sys].
-    @raise Node_limit_exceeded when the branch-and-bound tree exceeds
-    [node_limit] (default 200_000) nodes. *)
-val ilp : ?nonneg:bool -> ?node_limit:int -> Polyhedra.t -> Vec.t -> ilp_result
+    @raise Diag.Budget_exceeded when the branch-and-bound tree exceeds the
+    budget's node or time limit. *)
+val ilp : ?nonneg:bool -> ?budget:budget -> Polyhedra.t -> Vec.t -> ilp_result
 
 (** [feasible ?nonneg sys] decides whether [sys] contains an integer point and
-    returns a witness. *)
-val feasible : ?nonneg:bool -> ?node_limit:int -> Polyhedra.t -> Bigint.t array option
+    returns a witness.
+    @raise Diag.Budget_exceeded like {!ilp}. *)
+val feasible : ?nonneg:bool -> ?budget:budget -> Polyhedra.t -> Bigint.t array option
 
 (** [lexmin ?nonneg sys] is the lexicographically smallest integer point of
     [sys] (minimizing variable 0 first, then variable 1, ...), or [None] if
     empty.
-    @raise Failure if some coordinate is unbounded below. *)
-val lexmin : ?nonneg:bool -> ?node_limit:int -> Polyhedra.t -> Bigint.t array option
+    @raise Failure if some coordinate is unbounded below.
+    @raise Diag.Budget_exceeded like {!ilp}. *)
+val lexmin : ?nonneg:bool -> ?budget:budget -> Polyhedra.t -> Bigint.t array option
 
 (** [lexmin_order ?nonneg sys order] generalizes {!lexmin} to an explicit
     priority order over a subset of the variables; variables not listed are
     left unoptimized (any feasible value). *)
 val lexmin_order :
-  ?nonneg:bool -> ?node_limit:int -> Polyhedra.t -> int list -> Bigint.t array option
+  ?nonneg:bool -> ?budget:budget -> Polyhedra.t -> int list -> Bigint.t array option

@@ -186,7 +186,13 @@ let subst_eq e v c =
     { c with coefs = Vec.sub c_scaled e_scaled }
   end
 
-let eliminate t v =
+(* Fourier-Motzkin can square the constraint count at every elimination; the
+   guard bounds the system size so a pathological input degrades (via
+   [Diag.Budget_exceeded], caught at layer boundaries) instead of exhausting
+   memory. *)
+let default_max_constrs = 200_000
+
+let eliminate ?(max_constrs = default_max_constrs) t v =
   if v < 0 || v >= t.nvars then invalid_arg "Polyhedra.eliminate";
   (* Prefer an equality pivot: exact and avoids the quadratic FM blowup. *)
   match List.find_opt (fun c -> c.kind = Eq && involves c v) t.cs with
@@ -204,6 +210,14 @@ let eliminate t v =
             else (pos, neg, c :: rest))
           ([], [], []) t.cs
       in
+      let npos = List.length pos and nneg = List.length neg in
+      if npos * nneg + List.length rest > max_constrs then
+        raise
+          (Diag.Budget_exceeded
+             (Printf.sprintf
+                "Polyhedra.eliminate: Fourier-Motzkin row explosion (%d x %d \
+                 products + %d rows exceeds the %d-constraint budget)"
+                npos nneg (List.length rest) max_constrs));
       let combos =
         List.concat_map
           (fun p ->
@@ -218,9 +232,9 @@ let eliminate t v =
       in
       simplify { t with cs = rest @ combos }
 
-let eliminate_many t vars =
+let eliminate_many ?max_constrs t vars =
   List.fold_left
-    (fun acc v -> match acc with None -> None | Some t -> eliminate t v)
+    (fun acc v -> match acc with None -> None | Some t -> eliminate ?max_constrs t v)
     (Some t) vars
 
 let is_empty_rational t =

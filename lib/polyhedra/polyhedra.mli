@@ -69,14 +69,20 @@ val simplify : ?integer:bool -> t -> t option
 
 (** {1 Projection and emptiness} *)
 
-(** [eliminate t v] projects out variable [v] (rational Fourier–Motzkin for
-    inequalities, exact substitution for equalities).  The variable count is
-    unchanged; column [v] becomes all-zero.  Returns [None] if the projection
-    is discovered empty. *)
-val eliminate : t -> int -> t option
+(** Default Fourier–Motzkin size budget (constraints) for {!eliminate}. *)
+val default_max_constrs : int
 
-(** [eliminate_many t vars] projects out several variables. *)
-val eliminate_many : t -> int list -> t option
+(** [eliminate ?max_constrs t v] projects out variable [v] (rational
+    Fourier–Motzkin for inequalities, exact substitution for equalities).
+    The variable count is unchanged; column [v] becomes all-zero.  Returns
+    [None] if the projection is discovered empty.
+    @raise Diag.Budget_exceeded if the elimination would produce more than
+    [max_constrs] constraints (row explosion guard). *)
+val eliminate : ?max_constrs:int -> t -> int -> t option
+
+(** [eliminate_many ?max_constrs t vars] projects out several variables.
+    @raise Diag.Budget_exceeded on row explosion, like {!eliminate}. *)
+val eliminate_many : ?max_constrs:int -> t -> int list -> t option
 
 (** [is_empty_rational t] tests rational emptiness by full elimination.
     Rational emptiness implies integer emptiness; the converse is checked by

@@ -27,7 +27,23 @@ let read_lines path =
       in
       go [])
 
-let run ?(cc = cc_default) ?(cflags = [ "-O2" ]) ?(openmp = true) code ~params =
+(* First lines of a captured stderr file, bounded so a chatty binary cannot
+   blow up the failure message. *)
+let stderr_excerpt path =
+  match read_lines path with
+  | [] | (exception Sys_error _) -> "(stderr empty)"
+  | lines ->
+      let lines, truncated =
+        if List.length lines > 25 then (List.filteri (fun i _ -> i < 25) lines, true)
+        else (lines, false)
+      in
+      String.concat "\n" (lines @ if truncated then [ "... (truncated)" ] else [])
+
+let timeout_available =
+  lazy (Sys.command "which timeout > /dev/null 2> /dev/null" = 0)
+
+let run ?(cc = cc_default) ?(cflags = [ "-O2" ]) ?(openmp = true) ?timeout_s
+    code ~params =
   if not (available ()) then None
   else
     with_temp_dir (fun dir ->
@@ -52,9 +68,26 @@ let run ?(cc = cc_default) ?(cflags = [ "-O2" ]) ?(openmp = true) code ~params =
         if Sys.command cmd <> 0 then
           failwith
             (Printf.sprintf "Runner: C compilation failed:\n%s"
-               (String.concat "\n" (read_lines (dir ^ "/cc.err"))));
-        if Sys.command (Printf.sprintf "%s > %s 2> %s/run.err" exe out dir) <> 0
-        then failwith "Runner: generated binary failed";
+               (stderr_excerpt (dir ^ "/cc.err")));
+        let run_prefix =
+          match timeout_s with
+          | Some t when Lazy.force timeout_available ->
+              Printf.sprintf "timeout %g " t
+          | _ -> ""
+        in
+        let rc =
+          Sys.command
+            (Printf.sprintf "%s%s > %s 2> %s/run.err" run_prefix exe out dir)
+        in
+        if rc = 124 && run_prefix <> "" then
+          failwith
+            (Printf.sprintf "Runner: generated binary timed out after %gs"
+               (Option.get timeout_s));
+        if rc <> 0 then
+          failwith
+            (Printf.sprintf
+               "Runner: generated binary failed (exit code %d):\n%s" rc
+               (stderr_excerpt (dir ^ "/run.err")));
         let lines = read_lines out in
         let wall = ref nan and sums = ref [] in
         List.iter
@@ -66,8 +99,8 @@ let run ?(cc = cc_default) ?(cflags = [ "-O2" ]) ?(openmp = true) code ~params =
           lines;
         Some { wall_seconds = !wall; checksums = List.rev !sums })
 
-let validate a b ~params =
-  match (run a ~params, run b ~params) with
+let validate ?timeout_s a b ~params =
+  match (run ?timeout_s a ~params, run ?timeout_s b ~params) with
   | Some ra, Some rb ->
       Some
         (List.length ra.checksums = List.length rb.checksums

@@ -21,19 +21,28 @@ type result = {
 (** [available ()] — is a C compiler usable on this host? *)
 val available : unit -> bool
 
-(** [run ?cc ?cflags ?openmp code ~params] writes the instrumented C, builds
-    and runs it with each parameter bound via [-D].  Returns [None] when no
-    compiler is available; raises [Failure] on compile or run errors. *)
+(** [run ?cc ?cflags ?openmp ?timeout_s code ~params] writes the instrumented
+    C, builds and runs it with each parameter bound via [-D].  Returns [None]
+    when no compiler is available; raises [Failure] on compile or run errors
+    — the message includes a bounded excerpt of the captured stderr.  With
+    [timeout_s] the binary is run under coreutils [timeout] (when present)
+    and a run exceeding the limit raises [Failure] mentioning the timeout
+    instead of hanging the caller. *)
 val run :
   ?cc:string ->
   ?cflags:string list ->
   ?openmp:bool ->
+  ?timeout_s:float ->
   Codegen.t ->
   params:(string * int) list ->
   result option
 
-(** [validate a b ~params] runs two variants and checks their checksums are
-    identical (same program semantics on real hardware).  [None] if no
-    compiler. *)
+(** [validate ?timeout_s a b ~params] runs two variants and checks their
+    checksums are identical (same program semantics on real hardware).
+    [None] if no compiler. *)
 val validate :
-  Codegen.t -> Codegen.t -> params:(string * int) list -> bool option
+  ?timeout_s:float ->
+  Codegen.t ->
+  Codegen.t ->
+  params:(string * int) list ->
+  bool option

@@ -18,5 +18,6 @@ let () =
       Test_edge.suite;
       Test_more.suite;
       Test_fuzz.suite;
+      Test_robustness.suite;
       Test_endtoend.suite;
     ]

@@ -78,8 +78,12 @@ let test_milp_node_limit () =
          (Putil.range n)
   in
   let sys = Polyhedra.of_constrs n cs in
-  (match Milp.ilp ~node_limit:1 sys (Vec.zero n) with
-  | exception Milp.Node_limit_exceeded -> ()
+  (match
+     Milp.ilp
+       ~budget:{ Milp.max_nodes = 1; time_limit_s = None }
+       sys (Vec.zero n)
+   with
+  | exception Diag.Budget_exceeded _ -> ()
   | _ -> Alcotest.fail "expected node limit");
   (* with a sane budget it terminates with infeasible *)
   match Milp.ilp sys (Vec.zero n) with
