@@ -55,7 +55,7 @@ let cli_error fmt = Printf.ksprintf (fun m -> raise (Cli_error (Diag.error ~code
 
 let run file output show_deps show_transform no_tile tile_size no_parallel
     wavefront no_intra_reorder no_input_deps check params_spec simulate cores
-    native strict =
+    native strict verify break_schedule =
   try
     let src = read_file file in
     match parse_params params_spec with
@@ -90,6 +90,40 @@ let run file output show_deps show_transform no_tile tile_size no_parallel
                 1
             | Ok (r, compile_warns) ->
                 render ~src compile_warns;
+                (* test-only: sabotage the schedule so the validator has
+                   something to catch *)
+                let r =
+                  if not break_schedule then r
+                  else
+                    match
+                      Verify.For_tests.reverse_first_loop r.Driver.transform
+                    with
+                    | None -> r
+                    | Some broken ->
+                        Driver.compile_with_transform ~options
+                          r.Driver.program r.Driver.deps broken
+                in
+                let verify_failed = ref false in
+                if verify then begin
+                  let assoc =
+                    List.map
+                      (fun p ->
+                        ( p,
+                          match List.assoc_opt p bindings with
+                          | Some v -> v
+                          | None -> 6 ))
+                      program.Ir.params
+                  in
+                  let params = Array.of_list (List.map snd assoc) in
+                  let rep = Driver.verify ~params r in
+                  Format.eprintf "translation validation (%s): %a@."
+                    (String.concat ", "
+                       (List.map
+                          (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                          assoc))
+                    Verify.pp_report rep;
+                  if not (Verify.ok rep) then verify_failed := true
+                end;
                 if show_deps then begin
                   Format.eprintf "/* %d dependences:@."
                     (List.length r.Driver.deps);
@@ -175,7 +209,7 @@ let run file output show_deps show_transform no_tile tile_size no_parallel
                   Format.eprintf "simulation (%d cores): %a@." cores
                     Machine.pp_result res
                 end;
-                if !check_failed then 1
+                if !check_failed || !verify_failed then 1
                 else if Driver.degraded compile_warns then 2
                 else 0))
   with
@@ -276,6 +310,24 @@ let strict_arg =
            the Pluto transformation search fails instead of falling back to \
            the Feautrier baseline or the original program order.")
 
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Run the independent translation validator on the result: re-prove \
+           that the schedule respects every dependence (integer emptiness \
+           over the dependence polyhedra) and that the generated loop nest \
+           scans exactly the original iteration domain.  Parameter values \
+           come from --params (default 6).  Exit 1 if validation fails.")
+
+(* Deliberately undocumented: sabotage hook for exercising --verify's
+   rejection path from the test suite. *)
+let break_schedule_arg =
+  Arg.(
+    value & flag
+    & info [ "break-schedule" ] ~doc:"" ~docs:Cmdliner.Manpage.s_none)
+
 let cmd =
   let doc = "automatic polyhedral parallelizer and locality optimizer" in
   let info = Cmd.info "plutocc" ~version:"1.0" ~doc in
@@ -284,6 +336,7 @@ let cmd =
       const run $ file_arg $ output_arg $ show_deps_arg $ show_transform_arg
       $ no_tile_arg $ tile_size_arg $ no_parallel_arg $ wavefront_arg
       $ no_intra_arg $ no_input_deps_arg $ check_arg $ params_arg
-      $ simulate_arg $ cores_arg $ native_arg $ strict_arg)
+      $ simulate_arg $ cores_arg $ native_arg $ strict_arg $ verify_arg
+      $ break_schedule_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -670,3 +670,57 @@ let print_c ?(instrument = false) fmt t =
 module For_tests = struct
   let pp_iexpr = pp_iexpr
 end
+
+(* ------------------------- AST evaluation semantics ----------------------- *)
+
+(* The single definition of what the emitted C computes for bounds, guards and
+   statement arguments.  Both executors of the AST — the {!Machine}
+   interpreter/simulator and the {!Verify} domain-coverage checker — evaluate
+   through here, so a disagreement between them can only come from the AST
+   itself, not from divergent evaluators. *)
+module Eval = struct
+  let floord n d = if n >= 0 then n / d else -((-n + d - 1) / d)
+  let ceild n d = if n >= 0 then (n + d - 1) / d else -(-n / d)
+
+  (* env has width nlevels + nparams; affine rows have width env+1. *)
+  let affine (row : int array) (env : int array) =
+    let n = Array.length env in
+    let acc = ref row.(n) in
+    for j = 0 to n - 1 do
+      if row.(j) <> 0 then acc := !acc + (row.(j) * env.(j))
+    done;
+    !acc
+
+  let rec iexpr (e : iexpr) env =
+    match e with
+    | Affine row -> affine row env
+    | Floord (e, d) -> floord (iexpr e env) d
+    | Ceild (e, d) -> ceild (iexpr e env) d
+    | Emin es -> List.fold_left (fun acc e -> min acc (iexpr e env)) max_int es
+    | Emax es -> List.fold_left (fun acc e -> max acc (iexpr e env)) min_int es
+
+  let guard (g : guard) env =
+    match g with
+    | Ge0 row -> affine row env >= 0
+    | Mod0 (row, d) ->
+        let v = affine row env in
+        ((v mod d) + d) mod d = 0
+
+  (* Original-iterator values of a statement instance from its leaf [args]
+     (per extended iterator: affine row and divisor); the original iterators
+     are the trailing [m] extended iterators.
+     @raise Failure if a divisor does not divide exactly (the AST is missing
+     a stride guard). *)
+  let leaf_iters (leaf_args : (int array * int) array) env m =
+    let ext_n = Array.length leaf_args in
+    Array.init m (fun j ->
+        let row, d = leaf_args.(ext_n - m + j) in
+        let v = affine row env in
+        if d = 1 then v
+        else begin
+          if ((v mod d) + d) mod d <> 0 then
+            failwith
+              "Codegen.Eval: non-integral iterator value (missing stride guard?)";
+          v / d
+        end)
+end

@@ -83,3 +83,29 @@ val size : t -> int
 module For_tests : sig
   val pp_iexpr : string array -> Format.formatter -> iexpr -> unit
 end
+
+(** The single definition of what the emitted C computes for loop bounds,
+    guards and statement arguments.  Every executor of the AST — the
+    {!Machine} interpreter/simulator and the [Verify] domain-coverage
+    checker — evaluates through here, so a disagreement between them can only
+    come from the AST itself, never from divergent evaluators.
+
+    Environments [env] have width [nlevels + nparams] (scattering variables
+    then parameters); affine rows have width [nlevels + nparams + 1]. *)
+module Eval : sig
+  val floord : int -> int -> int
+  val ceild : int -> int -> int
+
+  (** [affine row env] evaluates [row·(env, 1)]. *)
+  val affine : int array -> int array -> int
+
+  val iexpr : iexpr -> int array -> int
+  val guard : guard -> int array -> bool
+
+  (** [leaf_iters args env m] recovers the [m] original-iterator values of a
+      statement instance from its leaf [args] (the original iterators are the
+      trailing [m] extended iterators).
+      @raise Failure if a divisor does not divide exactly (a missing stride
+      guard in the AST). *)
+  val leaf_iters : (int array * int) array -> int array -> int -> int array
+end

@@ -46,6 +46,14 @@ type config = {
   budget : Milp.budget;
       (** resource budget for each hyperplane-search ILP; exhaustion degrades
           the search (cut / dismiss / {!No_transform}) instead of diverging *)
+  search_time_limit_s : float option;
+      (** CPU-time deadline for one whole search (default [None]).  The
+          per-ILP [budget] bounds each solver call, but a search makes many
+          of them — one hyperplane ILP per level plus concrete satisfaction
+          and parallelism tests per live dependence — so the total can grow
+          far beyond any single call's limit.  When the deadline passes, the
+          search raises {!Diag.Budget_exceeded}, which
+          [Driver.compile_robust] turns into a degradation step. *)
 }
 
 val default_config : config

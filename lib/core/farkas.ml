@@ -18,10 +18,21 @@
     entry is the form's constant term). *)
 type symbolic_form = int array array
 
+(* Eliminating the multipliers is Fourier–Motzkin, whose row count can grow
+   quadratically per eliminated variable.  [Polyhedra.eliminate]'s generic
+   cap (200k rows) is far too lax here: a system that legitimately needs
+   thousands of intermediate rows per step across dozens of multipliers
+   takes minutes while staying under it.  Every system arising from the
+   paper's kernels stays well below the cap below; anything that exceeds it
+   (certain adversarial random programs) is better treated as a solver
+   budget failure, which the degradation ladder turns into a fallback. *)
+let max_constrs = 2_000
+
 (** [constraints ~nilp ~form ~poly] returns the Fourier–Motzkin-eliminated
     system over the [nilp] ILP variables equivalent to
     [∀ x ∈ poly. form(x) >= 0].
-    @raise Failure if elimination detects an inconsistency (empty [poly]). *)
+    @raise Failure if elimination detects an inconsistency (empty [poly]).
+    @raise Diag.Budget_exceeded on row explosion during elimination. *)
 let constraints ~nilp ~(form : symbolic_form) ~(poly : Polyhedra.t) =
   let nx = poly.Polyhedra.nvars in
   if Array.length form <> nx + 1 then invalid_arg "Farkas.constraints: form width";
@@ -59,7 +70,10 @@ let constraints ~nilp ~(form : symbolic_form) ~(poly : Polyhedra.t) =
     if faces.(k).Polyhedra.kind = Polyhedra.Ge then cs := lam_ge (1 + k) :: !cs
   done;
   let sys = Polyhedra.of_constrs nv !cs in
-  match Polyhedra.eliminate_many sys (List.map (fun k -> nilp + k) (Putil.range nlam)) with
+  match
+    Polyhedra.eliminate_many ~max_constrs sys
+      (List.map (fun k -> nilp + k) (Putil.range nlam))
+  with
   | None -> failwith "Farkas.constraints: multiplier elimination found the system empty"
   | Some sys ->
       let sys = Polyhedra.drop_vars sys ~at:nilp ~count:nlam in

@@ -50,3 +50,22 @@ let level_kind_name = function
   | Loop { band; parallel } ->
       Printf.sprintf "loop(band %d%s)" band (if parallel then ", parallel" else "")
   | Scalar -> "scalar"
+
+let is_scalar = function Scalar -> true | Loop _ -> false
+let is_parallel_loop = function Loop { parallel; _ } -> parallel | Scalar -> false
+
+(** [transform_row t s ~level] — the row of statement [s] at [level] (width
+    [depth s + 1]).  Statement ids index [t.rows] (the search requires them to
+    be sequential positions in [t.program.stmts]).
+    @raise Invalid_argument on an out-of-range statement or level. *)
+let transform_row (t : transform) (s : Ir.stmt) ~level =
+  if s.Ir.id < 0 || s.Ir.id >= Array.length t.rows then
+    invalid_arg "Types.transform_row: statement id out of range";
+  if level < 0 || level >= t.nlevels then
+    invalid_arg "Types.transform_row: level out of range";
+  t.rows.(s.Ir.id).(level)
+
+(** [satisfaction_level t d] — the level at which the transform claims
+    dependence [d] is strongly (single-level) satisfied, if recorded. *)
+let satisfaction_level (t : transform) (d : Deps.t) =
+  Hashtbl.find_opt t.satisfied_at d.Deps.id

@@ -180,13 +180,41 @@ let promote (d : Diag.t) = { d with Diag.sev = Diag.Error }
 let degraded ds =
   Diag.has_code ds "degraded-feautrier" || Diag.has_code ds "degraded-identity"
 
-let compile_robust ?(options = default_options) ?(strict = false) program =
+let verify ?param_lo ?param_hi ?claim_ctx ?params (r : result) =
+  Verify.validate ?param_lo ?param_hi ?claim_ctx ?params r.program r.deps
+    r.transform r.code
+
+let compile_robust ?(options = default_options) ?(strict = false)
+    ?(verify = false) program =
+  let validate_rung ~what r =
+    if not verify then Ok r
+    else
+      match
+        Verify.validate r.program r.deps r.transform r.code
+      with
+      | rep when Verify.ok rep -> Ok r
+      | rep ->
+          Error
+            (Diag.errorf ~code:"verify-failed"
+               "%s: translation validation rejected the emitted code: %s" what
+               (Format.asprintf "%a" Verify.pp_report rep))
+      | exception ((Out_of_memory | Sys.Break) as e) -> raise e
+      | exception e ->
+          Error
+            (Diag.errorf ~code:"verify-failed" "%s: validator raised: %s" what
+               (Printexc.to_string e))
+  in
+  let rung ~what f =
+    Result.bind (attempt ~what f) (validate_rung ~what)
+  in
   let rung_auto () = compile ~options program in
   let rung_feautrier () =
     let deps = Deps.compute ~input_deps:false program in
     let fcfg =
       { Feautrier_core.config with
-        Pluto.Auto.budget = options.auto.Pluto.Auto.budget
+        Pluto.Auto.budget = options.auto.Pluto.Auto.budget;
+        Pluto.Auto.search_time_limit_s =
+          options.auto.Pluto.Auto.search_time_limit_s;
       }
     in
     let tr, fco = Feautrier_core.scheduling_transform ~config:fcfg program deps in
@@ -194,7 +222,7 @@ let compile_robust ?(options = default_options) ?(strict = false) program =
     compile_with_transform ~options program deps tr
   in
   let rung_identity () = compile_original ~options program in
-  match attempt ~what:"Pluto auto transformation" rung_auto with
+  match rung ~what:"Pluto auto transformation" rung_auto with
   | Ok r -> Ok (r, [])
   | Error d1 ->
       if strict then Error [ promote d1 ]
@@ -204,7 +232,7 @@ let compile_robust ?(options = default_options) ?(strict = false) program =
             "Pluto search failed; falling back to the Feautrier/FCO baseline \
              schedule"
         in
-        match attempt ~what:"Feautrier baseline scheduler" rung_feautrier with
+        match rung ~what:"Feautrier baseline scheduler" rung_feautrier with
         | Ok r -> Ok (r, [ demote d1; w1 ])
         | Error d2 -> (
             let w2 =
@@ -212,16 +240,16 @@ let compile_robust ?(options = default_options) ?(strict = false) program =
                 "Feautrier baseline failed; emitting the original program \
                  order (no transformation)"
             in
-            match attempt ~what:"identity schedule" rung_identity with
+            match rung ~what:"identity schedule" rung_identity with
             | Ok r -> Ok (r, [ demote d1; w1; demote d2; w2 ])
             | Error d3 ->
                 Error [ promote d1; promote d2; promote d3 ])
       end
 
-let compile_source_robust ?options ?strict ?name src =
+let compile_source_robust ?options ?strict ?verify ?name src =
   match Frontend.parse_program_diag ?name src with
   | Error ds -> Error ds
   | Ok (program, warns) -> (
-      match compile_robust ?options ?strict program with
+      match compile_robust ?options ?strict ?verify program with
       | Ok (r, ds) -> Ok (r, warns @ ds)
       | Error ds -> Error (warns @ ds))

@@ -72,21 +72,28 @@ val compile_original : ?options:options -> Ir.program -> result
     With [strict:true] the ladder is disabled: the first failure returns
     [Error] immediately (the CLI's [--strict]). *)
 
-(** [compile_robust ?options ?strict p] — [Ok (result, warnings)] where the
-    warnings record each degradation step (codes ["degraded-feautrier"],
-    ["degraded-identity"] plus the demoted failure reasons), or
-    [Error diagnostics] when no rung could emit code. *)
+(** [compile_robust ?options ?strict ?verify p] — [Ok (result, warnings)]
+    where the warnings record each degradation step (codes
+    ["degraded-feautrier"], ["degraded-identity"] plus the demoted failure
+    reasons), or [Error diagnostics] when no rung could emit code.
+
+    With [verify:true] every rung's output is additionally checked by the
+    translation validator ({!Verify.validate}); a rung whose output fails
+    validation is treated exactly like a rung that crashed (code
+    ["verify-failed"]) and the ladder degrades to the next rung. *)
 val compile_robust :
   ?options:options ->
   ?strict:bool ->
+  ?verify:bool ->
   Ir.program ->
   (result * Diag.t list, Diag.t list) Stdlib.result
 
-(** [compile_source_robust ?options ?strict ?name src] — parse first
+(** [compile_source_robust ?options ?strict ?verify ?name src] — parse first
     (collecting all frontend diagnostics), then {!compile_robust}. *)
 val compile_source_robust :
   ?options:options ->
   ?strict:bool ->
+  ?verify:bool ->
   ?name:string ->
   string ->
   (result * Diag.t list, Diag.t list) Stdlib.result
@@ -94,3 +101,15 @@ val compile_source_robust :
 (** [degraded ds] — does the diagnostic list record a degradation step? (The
     CLI maps this to exit code 2.) *)
 val degraded : Diag.t list -> bool
+
+(** [verify ?param_lo ?param_hi ?claim_ctx ?params r] — run the independent
+    translation validator ({!Verify.validate}) on a compilation result:
+    re-proves schedule legality over the dependence polyhedra and that the
+    generated AST scans exactly the original iteration domains. *)
+val verify :
+  ?param_lo:int ->
+  ?param_hi:int ->
+  ?claim_ctx:int ->
+  ?params:int array ->
+  result ->
+  Verify.report

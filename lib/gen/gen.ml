@@ -1,0 +1,143 @@
+(* Random polyhedral programs for differential testing.
+
+   Everything is drawn from a caller-supplied [Random.State.t] so a printed
+   seed reproduces the exact program.  The shapes are chosen to exercise the
+   interesting paths of the pipeline — triangular bounds (skewed domains),
+   imperfect nesting (2d+1 scalar dimensions, fusion/distribution), stencil
+   offsets (loop-carried dependences at distance 1), reversed and transposed
+   accesses (non-trivial h-transformations), and shared arrays across nests
+   (inter-nest dependences) — while keeping every access provably in bounds:
+   all iterators range inside [1, N-2], so i±1 lies in [0, N-1] and the
+   reversal N-1-i lies back in [1, N-2]. *)
+
+type t = { gen_name : string; gen_source : string }
+
+let check_params = [ ("N", 8) ]
+
+(* Shared array pool: every program draws lhs/rhs arrays from here, which is
+   what makes dependences (within and across nests) likely. *)
+let arrays_2d = [ "A"; "B" ]
+let arrays_1d = [ "u"; "v" ]
+let iters = [| [ "i"; "j"; "k" ]; [ "p"; "q"; "r" ]; [ "x"; "y"; "z" ] |]
+
+let pick st l = List.nth l (Random.State.int st (List.length l))
+
+(* One index expression over the enclosing iterators (innermost last). *)
+let index st encl =
+  let v = pick st encl in
+  match Random.State.int st 10 with
+  | 0 -> v ^ "-1"
+  | 1 -> v ^ "+1"
+  | 2 -> "N-1-" ^ v
+  | 3 -> "1"
+  | _ -> v
+
+let array_ref st encl =
+  if Random.State.bool st then
+    Printf.sprintf "%s[%s][%s]" (pick st arrays_2d) (index st encl)
+      (index st encl)
+  else Printf.sprintf "%s[%s]" (pick st arrays_1d) (index st encl)
+
+(* rhs: 1-3 operands joined by + / -, each an array reference optionally
+   scaled by a small constant or (rarely) multiplied by a second reference.
+   Division and large constants are excluded so values stay finite and the
+   bit-identical oracle compares meaningful numbers. *)
+let rhs st encl =
+  let operand () =
+    let r = array_ref st encl in
+    match Random.State.int st 7 with
+    | 0 -> "0.5 * " ^ r
+    | 1 -> "0.25 * " ^ r
+    | 2 -> r ^ " * " ^ array_ref st encl
+    | _ -> r
+  in
+  let n = 1 + Random.State.int st 3 in
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (operand ());
+  for _ = 2 to n do
+    Buffer.add_string buf (if Random.State.bool st then " + " else " - ");
+    Buffer.add_string buf (operand ())
+  done;
+  Buffer.contents buf
+
+let stmt st encl = Printf.sprintf "%s = %s;" (array_ref st encl) (rhs st encl)
+
+let indent n = String.make (2 * n) ' '
+
+(* A nest of the given depth; [encl] are the iterators of outer nesting
+   levels (only non-empty when this is the inner part of an imperfect nest).
+   Returns the lines and the number of statements emitted. *)
+let rec nest st ~names ~depth ~encl ~budget lines =
+  match names with
+  | [] ->
+      lines := (indent (List.length encl) ^ stmt st encl) :: !lines;
+      1
+  | v :: rest ->
+      let lo =
+        match encl with
+        | outer :: _ when Random.State.int st 3 = 0 -> outer
+        | _ -> "1"
+      in
+      let header = Printf.sprintf "for (%s = %s; %s < N - 1; %s++)" v lo v v in
+      let encl' = v :: encl in
+      if depth > 1 then begin
+        (* imperfect nesting: sometimes a statement at this level before the
+           inner loop *)
+        let pre = budget > 1 && Random.State.int st 3 = 0 in
+        lines := (indent (List.length encl) ^ header ^ " {") :: !lines;
+        let used =
+          if pre then begin
+            lines := (indent (List.length encl') ^ stmt st encl') :: !lines;
+            1
+          end
+          else 0
+        in
+        let used =
+          used
+          + nest st ~names:rest ~depth:(depth - 1) ~encl:encl'
+              ~budget:(budget - used) lines
+        in
+        lines := (indent (List.length encl) ^ "}") :: !lines;
+        used
+      end
+      else begin
+        let n = if budget > 1 && Random.State.int st 3 = 0 then 2 else 1 in
+        if n > 1 then begin
+          lines := (indent (List.length encl) ^ header ^ " {") :: !lines;
+          for _ = 1 to n do
+            lines := (indent (List.length encl') ^ stmt st encl') :: !lines
+          done;
+          lines := (indent (List.length encl) ^ "}") :: !lines
+        end
+        else begin
+          lines := (indent (List.length encl) ^ header) :: !lines;
+          lines := (indent (List.length encl') ^ stmt st encl') :: !lines
+        end;
+        n
+      end
+
+let generate st =
+  let tag = Random.State.int st 0xffffff in
+  let nnests = 1 + Random.State.int st 3 in
+  let lines = ref [] in
+  let budget = ref 4 in
+  let nstmts = ref 0 in
+  for n = 0 to nnests - 1 do
+    if !budget > 0 then begin
+      let depth = 1 + Random.State.int st 3 in
+      let names = iters.(n mod Array.length iters) in
+      let used = nest st ~names ~depth ~encl:[] ~budget:!budget lines in
+      budget := !budget - used;
+      nstmts := !nstmts + used
+    end
+  done;
+  let body = String.concat "\n" (List.rev !lines) in
+  let decls =
+    "double A[N][N], B[N][N], u[N], v[N];"
+  in
+  {
+    gen_name = Printf.sprintf "gen-%06x-%ds" tag !nstmts;
+    gen_source = decls ^ "\n" ^ body ^ "\n";
+  }
+
+let parse g = Frontend.parse_program ~name:g.gen_name g.gen_source

@@ -1,0 +1,35 @@
+(** Structured random polyhedral-program generator.
+
+    Produces small but adversarial programs in the C subset the front-end
+    accepts: 1–3 loop nests of depth 1–3 over a single structure parameter
+    [N], at most 4 statements in total, with triangular bounds, imperfect
+    nesting, affine accesses with ±1 offsets and occasional reversed
+    ([N-1-i]) or transposed index patterns over a small shared array pool —
+    so the generated programs carry genuine loop-carried flow/anti/output
+    dependences for the scheduler to respect.
+
+    Every access provably stays in bounds for any [N >= 4]: iterators range
+    over sub-intervals of [[0, N-1]] such that offsets ±1 and reversals stay
+    within the declared extent [N].
+
+    The generator is deterministic in the given {!Random.State.t}: the same
+    seed yields the same program, which is how failing inputs are reproduced
+    from a printed seed. *)
+
+type t = {
+  gen_name : string;  (** stable name derived from the draw, for reporting *)
+  gen_source : string;  (** the program, parsable by {!Frontend} *)
+}
+
+(** Parameter binding under which generated programs are interpreted:
+    small enough to keep differential runs fast, large enough that tile
+    sizes and wavefronts actually trigger. [("N", 8)] *)
+val check_params : (string * int) list
+
+(** Generate one random program. *)
+val generate : Random.State.t -> t
+
+(** [parse g] — convenience: parse the generated source.
+    @raise Failure if the generator emitted something the front-end rejects
+    (a generator bug; the test suite treats this as a failure). *)
+val parse : t -> Ir.program

@@ -93,34 +93,12 @@ let access_offset mem (a : Ir.access) iters params =
 
 (* ------------------------- expression evaluation ------------------------- *)
 
-let floord n d = if n >= 0 then n / d else -((-n + d - 1) / d)
-let ceild n d = if n >= 0 then (n + d - 1) / d else -(-n / d)
-
-(* env has width nlevels + nparams; affine rows have width env+1. *)
-let eval_affine (row : int array) (env : int array) =
-  let n = Array.length env in
-  let acc = ref row.(n) in
-  for j = 0 to n - 1 do
-    if row.(j) <> 0 then acc := !acc + (row.(j) * env.(j))
-  done;
-  !acc
-
-let rec eval_iexpr (e : Codegen.iexpr) env =
-  match e with
-  | Codegen.Affine row -> eval_affine row env
-  | Codegen.Floord (e, d) -> floord (eval_iexpr e env) d
-  | Codegen.Ceild (e, d) -> ceild (eval_iexpr e env) d
-  | Codegen.Emin es ->
-      List.fold_left (fun acc e -> min acc (eval_iexpr e env)) max_int es
-  | Codegen.Emax es ->
-      List.fold_left (fun acc e -> max acc (eval_iexpr e env)) min_int es
-
-let guard_holds (g : Codegen.guard) env =
-  match g with
-  | Codegen.Ge0 row -> eval_affine row env >= 0
-  | Codegen.Mod0 (row, d) ->
-      let v = eval_affine row env in
-      ((v mod d) + d) mod d = 0
+(* Bounds, guards and leaf arguments all evaluate through Codegen.Eval — the
+   shared definition of the emitted C's integer semantics (see codegen.mli). *)
+let floord = Codegen.Eval.floord
+let ceild = Codegen.Eval.ceild
+let eval_iexpr = Codegen.Eval.iexpr
+let guard_holds = Codegen.Eval.guard
 
 (* statement-body evaluation on real data *)
 let rec eval_expr mem (e : Ir.expr) iters params =
@@ -141,17 +119,8 @@ let rec eval_expr mem (e : Ir.expr) iters params =
 (* --------------------------- semantic interpreter ------------------------ *)
 
 let leaf_iters (cg : Codegen.t) (leaf_args : (int array * int) array) env m =
-  let ext_n = Array.length leaf_args in
   ignore cg;
-  Array.init m (fun j ->
-      let row, d = leaf_args.(ext_n - m + j) in
-      let v = eval_affine row env in
-      if d = 1 then v
-      else begin
-        if v mod d <> 0 then
-          failwith "Machine: non-integral iterator value (missing stride guard?)";
-        v / d
-      end)
+  Codegen.Eval.leaf_iters leaf_args env m
 
 let interpret ?(par_reverse = false) (cg : Codegen.t) ~params ~mem =
   let np = Array.length params in
@@ -302,7 +271,21 @@ let equivalent ?par_reverse (p : Ir.program) (cg : Codegen.t) ~params =
   init_memory mem2;
   let n1 = run_original p ~params ~mem:mem1 in
   let n2 = interpret ?par_reverse cg ~params ~mem:mem2 in
-  n1 = n2 && mem1.data = mem2.data
+  (* Compare bit patterns, not float values: a legal schedule preserves the
+     exact dataflow, so every cell must match to the last bit — including
+     NaNs (which programs with runaway recurrences do produce, and which
+     compare unequal to themselves under [=]). *)
+  let same_bits a b =
+    Array.length a = Array.length b
+    && (let ok = ref true in
+        Array.iteri
+          (fun i v ->
+            if Int64.bits_of_float v <> Int64.bits_of_float b.(i) then
+              ok := false)
+          a;
+        !ok)
+  in
+  n1 = n2 && same_bits mem1.data mem2.data
 
 (* --------------------------- performance model --------------------------- *)
 

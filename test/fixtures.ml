@@ -43,3 +43,50 @@ let check_params (k : Kernels.t) =
 (* rows of statement [i] of a transform, as int lists, for readable asserts *)
 let rows_of (t : Pluto.Types.transform) i =
   Array.to_list (Array.map Array.to_list t.Pluto.Types.rows.(i))
+
+(* ----------------------- fuzzing / reproducer support --------------------- *)
+
+(* The randomized suites (test_fuzz, test_differential) draw from a seed that
+   is printed on startup and overridable via PLUTO_FUZZ_SEED, so any failure
+   is replayed exactly by re-running with that seed. *)
+let fuzz_seed =
+  match Sys.getenv_opt "PLUTO_FUZZ_SEED" with
+  | None | Some "" -> 20080613 (* PLDI'08 *)
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "PLUTO_FUZZ_SEED=%S is not an integer\n%!" s;
+          exit 2)
+
+let announce_seed =
+  let done_ = ref false in
+  fun () ->
+    if not !done_ then begin
+      done_ := true;
+      Printf.eprintf
+        "fuzz seed: %d (set PLUTO_FUZZ_SEED to override and reproduce)\n%!"
+        fuzz_seed
+    end
+
+(* Write a failing input program to PLUTO_FUZZ_DUMP_DIR (or the system temp
+   dir) and return the path, so the reproducer survives the test run. *)
+let dump_reproducer ~name src =
+  let dir =
+    match Sys.getenv_opt "PLUTO_FUZZ_DUMP_DIR" with
+    | Some d when String.trim d <> "" ->
+        (try
+           if not (Sys.file_exists d) then Unix.mkdir d 0o755
+         with Unix.Unix_error _ -> ());
+        d
+    | _ -> Filename.get_temp_dir_name ()
+  in
+  let path = Filename.concat dir (name ^ ".c") in
+  (try
+     let oc = open_out path in
+     output_string oc src;
+     close_out oc;
+     Printf.eprintf "reproducer written to %s\n%!" path
+   with Sys_error msg ->
+     Printf.eprintf "could not write reproducer %s: %s\n%!" path msg);
+  path

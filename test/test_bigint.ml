@@ -145,6 +145,88 @@ let prop_gcd_divides =
         && Bigint.is_zero (Bigint.rem b g)
         && Bigint.sign g > 0)
 
+(* Values hugging the base-2^30 digit boundaries — ±(2^30)^k ± small — where
+   carry propagation, borrow chains and limb normalization bugs live.  The
+   generic [arb_big] almost never lands on them. *)
+let arb_boundary =
+  QCheck.make ~print:Bigint.to_string
+    QCheck.Gen.(
+      let* k = int_range 0 4 in
+      let* off = int_range (-3) 3 in
+      let* neg = bool in
+      let v =
+        Bigint.add
+          (Bigint.pow (Bigint.of_int (1 lsl 30)) k)
+          (Bigint.of_int off)
+      in
+      return (if neg then Bigint.neg v else v))
+
+let prop_boundary_string_roundtrip =
+  QCheck.Test.make ~name:"boundary: string roundtrip" ~count:200 arb_boundary
+    (fun a -> Bigint.equal a (Bigint.of_string (Bigint.to_string a)))
+
+let prop_boundary_mul_div_cancel =
+  QCheck.Test.make ~name:"boundary: (a*b)/b = a" ~count:300
+    (QCheck.pair arb_boundary arb_boundary)
+    (fun (a, b) ->
+      QCheck.assume (not (Bigint.is_zero b));
+      let p = Bigint.mul a b in
+      Bigint.equal (Bigint.div p b) a && Bigint.is_zero (Bigint.rem p b))
+
+let prop_boundary_add_sub_carry =
+  QCheck.Test.make ~name:"boundary: add/sub carry chains" ~count:300
+    (QCheck.pair arb_boundary arb_boundary)
+    (fun (a, b) ->
+      let open Bigint in
+      equal (sub (add a b) b) a
+      && equal (add (sub a b) b) a
+      && equal (neg (sub a b)) (sub b a)
+      && compare (abs (add a b)) (add (abs a) (abs b)) <= 0)
+
+(* All four division conventions on all four sign combinations: truncation
+   toward zero (divmod), floor (fdiv/fmod), ceiling (cdiv). *)
+let prop_boundary_division_signs =
+  QCheck.Test.make ~name:"boundary: division sign conventions" ~count:400
+    (QCheck.pair arb_boundary arb_boundary)
+    (fun (a, b) ->
+      QCheck.assume (not (Bigint.is_zero b));
+      let open Bigint in
+      let q, r = divmod a b in
+      let fq = fdiv a b and fr = fmod a b in
+      let cq = cdiv a b in
+      (* truncated: a = q*b + r, |r| < |b|, r carries a's sign *)
+      equal a (add (mul q b) r)
+      && compare (abs r) (abs b) < 0
+      && (is_zero r || sign r = sign a)
+      (* floor: a = fq*b + fr, fr in [0, |b|) when b > 0, (−|b|, 0] when
+         b < 0, i.e. fr carries b's sign *)
+      && equal a (add (mul fq b) fr)
+      && compare (abs fr) (abs b) < 0
+      && (is_zero fr || sign fr = sign b)
+      (* ceiling vs floor: cdiv = fdiv iff exact, else fdiv + 1 *)
+      && equal cq
+           (if is_zero fr then fq else add fq one)
+      (* truncation lies between floor and ceiling *)
+      && compare fq q <= 0 && compare q cq <= 0)
+
+let prop_boundary_gcd =
+  QCheck.Test.make ~name:"boundary: gcd invariants" ~count:300
+    (QCheck.pair arb_boundary arb_boundary)
+    (fun (a, b) ->
+      let open Bigint in
+      let g = gcd a b in
+      equal g (gcd b a)
+      && equal g (gcd (abs a) (abs b))
+      && equal (gcd a zero) (abs a)
+      &&
+      if is_zero g then is_zero a && is_zero b
+      else
+        is_zero (rem a g) && is_zero (rem b g)
+        && sign g > 0
+        (* any common divisor d divides g: check with d = gcd(a,b) scaled
+           components a/g, b/g being coprime *)
+        && equal (gcd (div a g) (div b g)) one)
+
 let prop_fdiv_cdiv_bounds =
   QCheck.Test.make ~name:"fdiv/cdiv tight" ~count:300
     (QCheck.pair arb_big arb_big)
@@ -175,4 +257,9 @@ let suite =
       QCheck_alcotest.to_alcotest prop_string_roundtrip;
       QCheck_alcotest.to_alcotest prop_gcd_divides;
       QCheck_alcotest.to_alcotest prop_fdiv_cdiv_bounds;
+      QCheck_alcotest.to_alcotest prop_boundary_string_roundtrip;
+      QCheck_alcotest.to_alcotest prop_boundary_mul_div_cancel;
+      QCheck_alcotest.to_alcotest prop_boundary_add_sub_carry;
+      QCheck_alcotest.to_alcotest prop_boundary_division_signs;
+      QCheck_alcotest.to_alcotest prop_boundary_gcd;
     ] )

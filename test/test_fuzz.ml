@@ -4,8 +4,9 @@
    result is checked for semantic equivalence against the original execution
    order — forwards and with parallel loops reversed.
 
-   Identity is always a legal transformation for these programs, so the
-   search must always succeed. *)
+   Compilation goes through [Driver.compile_robust]: identity is always a
+   legal transformation for these programs, so the degradation ladder must
+   always emit code, even when the hyperplane search itself gives up. *)
 
 let gen_program : string QCheck.Gen.t =
   let open QCheck.Gen in
@@ -87,34 +88,64 @@ let arb_program = QCheck.make ~print:(fun s -> s) gen_program
 let options =
   { Driver.default_options with Driver.tile_size = Some 4 }
 
+(* On failure, persist the offending program so it outlives the test run
+   (QCheck's printed counterexample is also the source, but a file is easier
+   to feed straight back to plutocc). *)
+let dumping name f src =
+  match f src with
+  | true -> true
+  | false ->
+      ignore (Fixtures.dump_reproducer ~name src);
+      false
+  | exception e ->
+      ignore (Fixtures.dump_reproducer ~name src);
+      raise e
+
 let prop_pipeline_equivalence =
   QCheck.Test.make ~name:"random program: full pipeline is semantics-preserving"
-    ~count:15 arb_program (fun src ->
-      let p = Frontend.parse_program ~name:"<fuzz>" src in
-      let r = Driver.compile ~options p in
-      let params = [| 10 |] in
-      Machine.equivalent p r.Driver.code ~params
-      && Machine.equivalent ~par_reverse:true p r.Driver.code ~params)
+    ~count:15 arb_program
+    (dumping "fuzz-pipeline" (fun src ->
+         match Driver.compile_source_robust ~options ~name:"<fuzz>" src with
+         | Error ds ->
+             QCheck.Test.fail_reportf "robust compile failed: %s"
+               (Format.asprintf "%a" (Diag.pp_all ?src:None) ds)
+         | Ok (r, _) ->
+             let p = r.Driver.program in
+             let params = [| 10 |] in
+             Machine.equivalent p r.Driver.code ~params
+             && Machine.equivalent ~par_reverse:true p r.Driver.code ~params))
 
 let prop_coverage =
   QCheck.Test.make ~name:"random program: codegen visits the exact domain"
-    ~count:8 arb_program (fun src ->
-      let p = Frontend.parse_program ~name:"<fuzz>" src in
-      let r = Driver.compile ~options p in
-      let params = [| 9 |] in
-      let mem = Machine.alloc_memory p ~params in
-      Machine.init_memory mem;
-      let executed = Machine.interpret r.Driver.code ~params ~mem in
-      let expected =
-        Putil.sum_by
-          (fun s -> List.length (Machine.For_tests.enumerate_domain s ~params))
-          p.Ir.stmts
-      in
-      executed = expected)
+    ~count:8 arb_program
+    (dumping "fuzz-coverage" (fun src ->
+         match Driver.compile_source_robust ~options ~name:"<fuzz>" src with
+         | Error ds ->
+             QCheck.Test.fail_reportf "robust compile failed: %s"
+               (Format.asprintf "%a" (Diag.pp_all ?src:None) ds)
+         | Ok (r, _) ->
+         let p = r.Driver.program in
+         let params = [| 9 |] in
+         let mem = Machine.alloc_memory p ~params in
+         Machine.init_memory mem;
+         let executed = Machine.interpret r.Driver.code ~params ~mem in
+         let expected =
+           Putil.sum_by
+             (fun s ->
+               List.length (Machine.For_tests.enumerate_domain s ~params))
+             p.Ir.stmts
+         in
+         executed = expected))
 
+(* The QCheck properties draw from the same pinned, overridable seed as the
+   differential suite, so runs are reproducible by construction. *)
 let suite =
   ( "fuzz",
+    let rand =
+      Fixtures.announce_seed ();
+      Random.State.make [| Fixtures.fuzz_seed |]
+    in
     [
-      QCheck_alcotest.to_alcotest prop_pipeline_equivalence;
-      QCheck_alcotest.to_alcotest prop_coverage;
+      QCheck_alcotest.to_alcotest ~rand prop_pipeline_equivalence;
+      QCheck_alcotest.to_alcotest ~rand prop_coverage;
     ] )

@@ -20,4 +20,6 @@ let () =
       Test_fuzz.suite;
       Test_robustness.suite;
       Test_endtoend.suite;
+      Test_verify.suite;
+      Test_differential.suite;
     ]

@@ -176,6 +176,83 @@ let prop_lexmin_is_lex_minimal =
           done;
           !ok)
 
+(* Lexmin tie-breaking: many points share the minimal first component; the
+   later objective components must break the tie, in order. *)
+let test_lexmin_tie_breaking () =
+  (* x + y + z = 6, 0 <= x,y,z <= 6.  Plain lexmin: (0,0,6). *)
+  let sys =
+    Polyhedra.of_constrs 3
+      [
+        Polyhedra.eq_ints [ 1; 1; 1; -6 ];
+        Polyhedra.ge_ints [ 1; 0; 0; 0 ];
+        Polyhedra.ge_ints [ 0; 1; 0; 0 ];
+        Polyhedra.ge_ints [ 0; 0; 1; 0 ];
+        Polyhedra.ge_ints [ -1; 0; 0; 6 ];
+        Polyhedra.ge_ints [ 0; -1; 0; 6 ];
+        Polyhedra.ge_ints [ 0; 0; -1; 6 ];
+      ]
+  in
+  (match Milp.lexmin sys with
+  | Some x ->
+      Alcotest.(check (list int))
+        "lexmin breaks the x-tie on y, then z" [ 0; 0; 6 ]
+        (Array.to_list (Array.map Bigint.to_int x))
+  | None -> Alcotest.fail "expected a point");
+  (* same optimum for the first component under order [z; y; x]: all points
+     with z = 6 force x = y = 0, so the tie never propagates *)
+  (match Milp.lexmin_order sys [ 2; 1; 0 ] with
+  | Some x ->
+      Alcotest.(check (list int))
+        "explicit order minimizes z first" [ 6; 0; 0 ]
+        (Array.to_list (Array.map Bigint.to_int x))
+  | None -> Alcotest.fail "expected a point");
+  (* order [y; x] leaves z free to take the slack *)
+  match Milp.lexmin_order sys [ 1; 0 ] with
+  | Some x ->
+      Alcotest.(check (list int))
+        "partial order still yields a feasible completion" [ 0; 0; 6 ]
+        (Array.to_list (Array.map Bigint.to_int x))
+  | None -> Alcotest.fail "expected a point"
+
+(* An exhausted budget must surface as Diag.Budget_exceeded — never as a
+   silently wrong "optimum" and never as infeasibility. *)
+let test_budget_exhaustion_raises () =
+  (* integer-empty strip (odd = even is impossible): branch-and-bound has to
+     branch at least once, so a one-node budget cannot finish *)
+  let sys =
+    Polyhedra.of_constrs 2
+      [
+        Polyhedra.eq_ints [ 2; -2; -1 ];
+        Polyhedra.ge_ints [ 1; 0; 0 ];
+        Polyhedra.ge_ints [ -1; 0; 1000 ];
+        Polyhedra.ge_ints [ 0; 1; 0 ];
+        Polyhedra.ge_ints [ 0; -1; 1000 ];
+      ]
+  in
+  let tiny = { Milp.max_nodes = 1; Milp.time_limit_s = None } in
+  (match Milp.ilp ~budget:tiny sys (Vec.of_int_list [ 1; 1 ]) with
+  | exception Diag.Budget_exceeded _ -> ()
+  | Milp.Ilp_optimal _ -> Alcotest.fail "budget ignored: reported an optimum"
+  | Milp.Ilp_infeasible ->
+      Alcotest.fail "budget ignored: reported infeasible"
+  | Milp.Ilp_unbounded -> Alcotest.fail "budget ignored: reported unbounded");
+  (match Milp.feasible ~budget:tiny sys with
+  | exception Diag.Budget_exceeded _ -> ()
+  | Some _ -> Alcotest.fail "feasible under exhausted budget"
+  | None -> Alcotest.fail "infeasible under exhausted budget");
+  (match Milp.lexmin ~budget:tiny sys with
+  | exception Diag.Budget_exceeded _ -> ()
+  | Some _ | None -> Alcotest.fail "lexmin answered under exhausted budget");
+  (* an elapsed time limit trips immediately, even on an easy system *)
+  let expired = { Milp.max_nodes = max_int; Milp.time_limit_s = Some 0.0 } in
+  let easy =
+    Polyhedra.of_constrs 1
+      [ Polyhedra.ge_ints [ 1; -3 ]; Polyhedra.ge_ints [ -1; 9 ] ]
+  in
+  match Milp.lexmin ~budget:expired easy with
+  | exception Diag.Budget_exceeded _ -> ()
+  | Some _ | None -> Alcotest.fail "expired time budget ignored"
+
 let suite =
   ( "milp",
     [
@@ -188,6 +265,9 @@ let suite =
       Alcotest.test_case "ILP integer-empty" `Quick test_ilp_integer_empty_rational_nonempty;
       Alcotest.test_case "lexmin" `Quick test_lexmin;
       Alcotest.test_case "lexmin unbounded" `Quick test_lexmin_unbounded;
+      Alcotest.test_case "lexmin tie-breaking" `Quick test_lexmin_tie_breaking;
+      Alcotest.test_case "budget exhaustion raises" `Quick
+        test_budget_exhaustion_raises;
       QCheck_alcotest.to_alcotest prop_ilp_vs_brute;
       QCheck_alcotest.to_alcotest prop_lexmin_is_lex_minimal;
     ] )
