@@ -20,10 +20,57 @@ let simulate ?(cores = 4) (s : scheme) params =
 
 let gflops r = r.Machine.gflops
 
+(* ------------------- machine-readable results (JSON) --------------------- *)
+
+(* Every table cell printed below is also recorded here and dumped to
+   BENCH_results.json at the end, so plots/regressions can consume the run
+   without scraping stdout. *)
+type cell = {
+  figure : string;
+  series : string;
+  x_label : string;
+  x : int;
+  sim : Machine.sim_result;
+}
+
+let cells : cell list ref = ref []
+
+let record ~figure ~series ~x_label ~x sim =
+  cells := { figure; series; x_label; x; sim } :: !cells
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let write_results path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "[\n";
+      List.iteri
+        (fun i c ->
+          if i > 0 then output_string oc ",\n";
+          Printf.fprintf oc
+            "  {\"figure\": \"%s\", \"series\": \"%s\", \"x_label\": \
+             \"%s\", \"x\": %d, \"gflops\": %.6f, \"cycles\": %.0f, \
+             \"l1_misses\": %d, \"l2_misses\": %d}"
+            (json_escape c.figure) (json_escape c.series)
+            (json_escape c.x_label) c.x c.sim.Machine.gflops
+            c.sim.Machine.cycles c.sim.Machine.l1_misses
+            c.sim.Machine.l2_misses)
+        (List.rev !cells);
+      output_string oc "\n]\n");
+  Printf.printf "\nmachine-readable results written to %s (%d cells)\n" path
+    (List.length !cells)
+
 (* print a table: rows indexed by [xs] (printed with [pp_x]), one column per
-   scheme, cell = simulated GFLOPS *)
-let table ~xlabel ~xs ~(pp_x : int -> string) ~(schemes : scheme list)
-    ~(run : scheme -> int -> Machine.sim_result) =
+   scheme, cell = simulated GFLOPS; every cell is also [record]ed *)
+let table ~figure ~xlabel ~xs ~(pp_x : int -> string)
+    ~(schemes : scheme list) ~(run : scheme -> int -> Machine.sim_result) =
   Printf.printf "%-10s" xlabel;
   List.iter (fun s -> Printf.printf "%16s" s.sname) schemes;
   Printf.printf "\n%!";
@@ -31,12 +78,35 @@ let table ~xlabel ~xs ~(pp_x : int -> string) ~(schemes : scheme list)
     (fun x ->
       Printf.printf "%-10s" (pp_x x);
       List.iter
-        (fun s -> Printf.printf "%16.3f" (gflops (run s x)))
+        (fun s ->
+          let sim = run s x in
+          record ~figure ~series:s.sname ~x_label:xlabel ~x sim;
+          Printf.printf "%16.3f" (gflops sim))
         schemes;
       Printf.printf "\n%!")
     xs
 
 let pp_int = string_of_int
+
+(* The autotuned variant (lib/tune): tile sizes / fusion / unroll searched
+   empirically at one representative problem size, then simulated across the
+   figure's sweep like every other scheme.  Evaluations are cached under
+   PLUTO_TUNE_CACHE (default .pluto-tune-cache), so reruns are free; the
+   search order is pinned by PLUTO_FUZZ_SEED. *)
+let tuned_scheme ?(budget = 12) p ~params =
+  let cache_dir =
+    match Sys.getenv_opt "PLUTO_TUNE_CACHE" with
+    | Some "" -> None
+    | Some d -> Some d
+    | None -> Some ".pluto-tune-cache"
+  in
+  let report, best =
+    Tune.search ~jobs:2 ~budget ?cache_dir ~seed:(Gen.seed_of_env ()) ~params p
+  in
+  Format.printf "%a@." Tune.pp_report_summary report;
+  match best with
+  | Some r -> [ { sname = "pluto+tune"; result = r } ]
+  | None -> []
 
 (* ------------------------------- Figure 3 -------------------------------- *)
 
@@ -71,17 +141,18 @@ let fig6 () =
     { sname = "sched-fco"; result = Baselines.jacobi_scheduling_fco p }
   in
   let innerp = { sname = "inner-par"; result = Baselines.inner_parallel p } in
+  let tuned = tuned_scheme p ~params:[ ("T", 64); ("N", 2000) ] in
   Printf.printf "\n(a) single core GFLOPS vs problem size (T = 64):\n";
-  table ~xlabel:"N"
+  table ~figure:"fig6a" ~xlabel:"N"
     ~xs:[ 1000; 2000; 4000; 8000 ]
     ~pp_x:pp_int
-    ~schemes:[ icc; pluto; affine; sched ]
+    ~schemes:([ icc; pluto; affine; sched ] @ tuned)
     ~run:(fun s n ->
       simulate ~cores:1 s (Kernels.params_vector p [ ("T", 64); ("N", n) ]));
   Printf.printf "\n(b) GFLOPS vs cores (N = 8000, T = 128):\n";
   let params = Kernels.params_vector p [ ("T", 128); ("N", 8000) ] in
-  table ~xlabel:"cores" ~xs:[ 1; 2; 3; 4 ] ~pp_x:pp_int
-    ~schemes:[ icc; innerp; sched; affine; pluto ]
+  table ~figure:"fig6b" ~xlabel:"cores" ~xs:[ 1; 2; 3; 4 ] ~pp_x:pp_int
+    ~schemes:([ icc; innerp; sched; affine; pluto ] @ tuned)
     ~run:(fun s c -> simulate ~cores:c s params)
 
 (* ----------------------------- Figures 7 / 8 ----------------------------- *)
@@ -101,17 +172,20 @@ let fig7_8 () =
   let pluto = { sname = "pluto"; result = r } in
   let icc = { sname = "icc(orig)"; result = Baselines.original p } in
   let innerp = { sname = "inner-par"; result = Baselines.inner_parallel p } in
+  let tuned =
+    tuned_scheme p ~params:[ ("tmax", 32); ("nx", 64); ("ny", 64) ]
+  in
   Printf.printf "\n(a) GFLOPS vs cores (nx = ny = 100, tmax = 32):\n";
   let params =
     Kernels.params_vector p [ ("tmax", 32); ("nx", 100); ("ny", 100) ]
   in
-  table ~xlabel:"cores" ~xs:[ 1; 2; 3; 4 ] ~pp_x:pp_int
-    ~schemes:[ icc; innerp; pluto ]
+  table ~figure:"fig8a" ~xlabel:"cores" ~xs:[ 1; 2; 3; 4 ] ~pp_x:pp_int
+    ~schemes:([ icc; innerp; pluto ] @ tuned)
     ~run:(fun s c -> simulate ~cores:c s params);
   Printf.printf
     "\n(b) inner-parallel-only comparison vs size (4 cores, tmax = 32):\n";
-  table ~xlabel:"nx=ny" ~xs:[ 48; 64; 100 ] ~pp_x:pp_int
-    ~schemes:[ icc; innerp; pluto ]
+  table ~figure:"fig8b" ~xlabel:"nx=ny" ~xs:[ 48; 64; 100 ] ~pp_x:pp_int
+    ~schemes:([ icc; innerp; pluto ] @ tuned)
     ~run:(fun s n ->
       simulate ~cores:4 s
         (Kernels.params_vector p [ ("tmax", 32); ("nx", n); ("ny", n) ]))
@@ -133,13 +207,14 @@ let fig9_10 () =
   let icc = { sname = "icc(orig)"; result = Baselines.original p } in
   let sched = { sname = "sched-based"; result = Baselines.lu_scheduling p } in
   let innerp = { sname = "inner-par"; result = Baselines.inner_parallel p } in
+  let tuned = tuned_scheme p ~params:[ ("N", 150) ] in
   Printf.printf "\n(a) single core GFLOPS vs problem size:\n";
-  table ~xlabel:"N" ~xs:[ 64; 100; 150 ] ~pp_x:pp_int
-    ~schemes:[ icc; pluto ]
+  table ~figure:"fig10a" ~xlabel:"N" ~xs:[ 64; 100; 150 ] ~pp_x:pp_int
+    ~schemes:([ icc; pluto ] @ tuned)
     ~run:(fun s n -> simulate ~cores:1 s [| n |]);
   Printf.printf "\n(b) GFLOPS vs cores (N = 150):\n";
-  table ~xlabel:"cores" ~xs:[ 1; 2; 3; 4 ] ~pp_x:pp_int
-    ~schemes:[ icc; innerp; sched; pluto ]
+  table ~figure:"fig10b" ~xlabel:"cores" ~xs:[ 1; 2; 3; 4 ] ~pp_x:pp_int
+    ~schemes:([ icc; innerp; sched; pluto ] @ tuned)
     ~run:(fun s c -> simulate ~cores:c s [| 150 |])
 
 (* ------------------------------- Figure 12 ------------------------------- *)
@@ -160,11 +235,11 @@ let fig12 () =
     { sname = "unfused-par"; result = Baselines.mvt_unfused_parallel p }
   in
   Printf.printf "\nGFLOPS on 4 cores vs problem size:\n";
-  table ~xlabel:"N" ~xs:[ 300; 600; 1000 ] ~pp_x:pp_int
+  table ~figure:"fig12a" ~xlabel:"N" ~xs:[ 300; 600; 1000 ] ~pp_x:pp_int
     ~schemes:[ icc; unfused; fuse_ij; pluto ]
     ~run:(fun s n -> simulate ~cores:4 s [| n |]);
   Printf.printf "\nGFLOPS vs cores (N = 600):\n";
-  table ~xlabel:"cores" ~xs:[ 1; 2; 3; 4 ] ~pp_x:pp_int
+  table ~figure:"fig12b" ~xlabel:"cores" ~xs:[ 1; 2; 3; 4 ] ~pp_x:pp_int
     ~schemes:[ icc; unfused; fuse_ij; pluto ]
     ~run:(fun s c -> simulate ~cores:c s [| 600 |])
 
@@ -192,7 +267,7 @@ let fig13 () =
   let icc = { sname = "icc(orig)"; result = Baselines.original p } in
   Printf.printf "\nGFLOPS vs cores (N = 120, T = 32):\n";
   let params = Kernels.params_vector p [ ("T", 32); ("N", 120) ] in
-  table ~xlabel:"cores" ~xs:[ 1; 2; 3; 4 ] ~pp_x:pp_int
+  table ~figure:"fig13" ~xlabel:"cores" ~xs:[ 1; 2; 3; 4 ] ~pp_x:pp_int
     ~schemes:[ icc; wave 1; wave 2 ]
     ~run:(fun s c -> simulate ~cores:c s params)
 
@@ -230,7 +305,7 @@ let ablations () =
   let pluto = { sname = "pluto"; result = Driver.compile p } in
   Printf.printf
     "\nA1/A2: MVT, 4 cores — drop the bounding objective / drop RAR deps:\n";
-  table ~xlabel:"N" ~xs:[ 600 ] ~pp_x:pp_int
+  table ~figure:"A1" ~xlabel:"N" ~xs:[ 600 ] ~pp_x:pp_int
     ~schemes:[ nocost; norar; pluto ]
     ~run:(fun s n -> simulate ~cores:4 s [| n |]);
   (* A3: intra-tile reordering (vectorization) on matmul *)
@@ -250,7 +325,7 @@ let ablations () =
     { sname = "pluto"; result = Driver.compile_with_transform p deps tr }
   in
   Printf.printf "\nA3: matmul, 4 cores — intra-tile reordering (5.4):\n";
-  table ~xlabel:"N" ~xs:[ 140 ] ~pp_x:pp_int ~schemes:[ without; base ]
+  table ~figure:"A3" ~xlabel:"N" ~xs:[ 140 ] ~pp_x:pp_int ~schemes:[ without; base ]
     ~run:(fun s n -> simulate ~cores:4 s [| n |]);
   (* A4: degrees of pipelined parallelism on LU *)
   let p = Kernels.program Kernels.lu in
@@ -266,7 +341,7 @@ let ablations () =
     }
   in
   Printf.printf "\nA4: LU N=150, 4 cores — wavefront degrees (Algorithm 2):\n";
-  table ~xlabel:"N" ~xs:[ 150 ] ~pp_x:pp_int
+  table ~figure:"A4" ~xlabel:"N" ~xs:[ 150 ] ~pp_x:pp_int
     ~schemes:[ wave 0; wave 1; wave 2 ]
     ~run:(fun s n -> simulate ~cores:4 s [| n |]);
   (* A5: tile sizes on jacobi (the empirical-search enablement of section 1) *)
@@ -289,7 +364,9 @@ let ablations () =
   Printf.printf "\n%-10s" "GFLOPS";
   List.iter
     (fun tau ->
-      Printf.printf "%16.3f" (gflops (simulate ~cores:4 (with_tau tau) params)))
+      let sim = simulate ~cores:4 (with_tau tau) params in
+      record ~figure:"A5" ~series:"pluto" ~x_label:"tau" ~x:tau sim;
+      Printf.printf "%16.3f" (gflops sim))
     [ 8; 16; 32; 64 ];
   Printf.printf "\n";
   (* A6: one vs two levels of tiling (5.2 "tiling multiple times") *)
@@ -305,7 +382,7 @@ let ablations () =
   let one = tiled [ Array.make 2 32 ] "1-level(32)" in
   let two = tiled [ Array.make 2 64; Array.make 2 8 ] "2-level(64,8)" in
   Printf.printf "\nA6: 1-d Jacobi, 4 cores — one vs two levels of tiling:\n";
-  table ~xlabel:"scheme" ~xs:[ 0 ] ~pp_x:(fun _ -> "GFLOPS")
+  table ~figure:"A6" ~xlabel:"scheme" ~xs:[ 0 ] ~pp_x:(fun _ -> "GFLOPS")
     ~schemes:[ one; two ]
     ~run:(fun s _ -> simulate ~cores:4 s params)
 
@@ -323,13 +400,14 @@ let ablation_auto_scheduler () =
     (fun (k : Kernels.t) ->
       let p = Kernels.program k in
       let params = Kernels.params_vector p k.Kernels.bench_params in
-      let g (r : Driver.result) =
-        (Machine.simulate Machine.default_machine r.Driver.code ~params)
-          .Machine.gflops
+      let g series (r : Driver.result) =
+        let sim = Machine.simulate Machine.default_machine r.Driver.code ~params in
+        record ~figure:"A7" ~series ~x_label:k.Kernels.name ~x:0 sim;
+        sim.Machine.gflops
       in
       Printf.printf "%-16s %16.3f %16.3f\n%!" k.Kernels.name
-        (g (Feautrier.compile p))
-        (g (Driver.compile p)))
+        (g "sched-auto" (Feautrier.compile p))
+        (g "pluto" (Driver.compile p)))
     [ Kernels.jacobi_1d; Kernels.lu; Kernels.seidel ]
 
 (* ------------------------- system statistics ----------------------------- *)
@@ -419,5 +497,6 @@ let () =
   ablation_auto_scheduler ();
   statistics ();
   bechamel_compile_times ();
+  write_results "BENCH_results.json";
   Printf.printf "\n%s\ntotal benchmark time: %.1fs\n" line
     (Unix.gettimeofday () -. t0)

@@ -54,9 +54,11 @@ exception Cli_error of Diag.t
 let cli_error fmt = Printf.ksprintf (fun m -> raise (Cli_error (Diag.error ~code:"cli" m))) fmt
 
 let run file output show_deps show_transform no_tile tile_size no_parallel
-    wavefront no_intra_reorder no_input_deps check params_spec simulate cores
-    native strict verify break_schedule =
-  try
+    wavefront no_intra_reorder no_input_deps unroll_jam check params_spec
+    simulate cores native strict verify break_schedule tune tune_report jobs
+    tune_budget stats =
+  let code =
+    try
     let src = read_file file in
     match parse_params params_spec with
     | Error ds ->
@@ -74,6 +76,7 @@ let run file output show_deps show_transform no_tile tile_size no_parallel
                 Driver.default_options with
                 Driver.tile = not no_tile;
                 tile_size;
+                unroll_jam;
                 parallelize = not no_parallel;
                 wavefront;
                 intra_reorder = not no_intra_reorder;
@@ -84,7 +87,51 @@ let run file output show_deps show_transform no_tile tile_size no_parallel
                   };
               }
             in
-            match Driver.compile_robust ~options ~strict program with
+            let compiled =
+              if not tune then Driver.compile_robust ~options ~strict program
+              else begin
+                (* autotune: search the configuration space, then continue the
+                   normal pipeline (output/check/simulate) with the winner *)
+                let seed = Gen.seed_of_env () in
+                let cache_dir =
+                  match Sys.getenv_opt "PLUTO_TUNE_CACHE" with
+                  | Some "" -> None (* explicitly disabled *)
+                  | Some d -> Some d
+                  | None -> Some ".pluto-tune-cache"
+                in
+                let report, best =
+                  Tune.search ~options ~jobs ~budget:tune_budget ?cache_dir
+                    ~seed ~params:bindings program
+                in
+                Format.eprintf "%a@." Tune.pp_report_summary report;
+                (match tune_report with
+                | None -> ()
+                | Some path ->
+                    let oc = open_out path in
+                    Fun.protect
+                      ~finally:(fun () -> close_out_noerr oc)
+                      (fun () -> output_string oc (Tune.report_to_json report)));
+                match (best, report.Tune.r_best) with
+                | Some r, Some o ->
+                    let warns =
+                      if o.Tune.o_degraded then
+                        [
+                          Diag.warning ~code:"degraded-tune"
+                            "tuned best candidate was produced by a fallback \
+                             scheduling rung";
+                        ]
+                      else []
+                    in
+                    Ok (r, warns)
+                | _ ->
+                    Error
+                      [
+                        Diag.error ~code:"tune"
+                          "autotuning found no verified candidate";
+                      ]
+              end
+            in
+            match compiled with
             | Error ds ->
                 render ~src ds;
                 1
@@ -223,10 +270,16 @@ let run file output show_deps show_transform no_tile tile_size no_parallel
       render [ Diag.errorf ~code:"cli" "%s" msg ];
       1
   | (Out_of_memory | Sys.Break) as e -> raise e
-  | e ->
-      render
-        [ Diag.errorf ~code:"internal" "internal error: %s" (Printexc.to_string e) ];
-      1
+    | e ->
+        render
+          [
+            Diag.errorf ~code:"internal" "internal error: %s"
+              (Printexc.to_string e);
+          ];
+        1
+  in
+  if stats then prerr_endline (Stats.to_json ());
+  code
 
 let file_arg =
   Arg.(
@@ -321,6 +374,57 @@ let verify_arg =
            scans exactly the original iteration domain.  Parameter values \
            come from --params (default 6).  Exit 1 if validation fails.")
 
+let unroll_jam_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "unroll-jam" ] ~docv:"F"
+        ~doc:
+          "Unroll-jam factor for the innermost parallel/vectorizable loop \
+           (annotation priced by the simulator and emitted as a pragma; 1 = \
+           off).")
+
+let tune_arg =
+  Arg.(
+    value & flag
+    & info [ "tune" ]
+        ~doc:
+          "Autotune tile sizes, fusion choice and unroll-jam empirically: \
+           compile each candidate with full verification, cost it on the \
+           simulated machine, and emit the best verified variant.  The \
+           search order is pinned by PLUTO_FUZZ_SEED; evaluations are \
+           memoized in PLUTO_TUNE_CACHE (default .pluto-tune-cache, empty \
+           to disable).")
+
+let tune_report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tune-report" ] ~docv:"FILE"
+        ~doc:"Write the full tuning report (every candidate's cost) as JSON.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:"Evaluate tuning candidates on N forked workers.")
+
+let tune_budget_arg =
+  Arg.(
+    value & opt int 24
+    & info [ "tune-budget" ] ~docv:"K"
+        ~doc:
+          "Evaluate at most K candidates (the default and T=64 baselines are \
+           always among them).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print internal counters and pass timings (ILP solves, \
+           Fourier-Motzkin eliminations, cache-model events, ...) as JSON on \
+           stderr.")
+
 (* Deliberately undocumented: sabotage hook for exercising --verify's
    rejection path from the test suite. *)
 let break_schedule_arg =
@@ -335,8 +439,9 @@ let cmd =
     Term.(
       const run $ file_arg $ output_arg $ show_deps_arg $ show_transform_arg
       $ no_tile_arg $ tile_size_arg $ no_parallel_arg $ wavefront_arg
-      $ no_intra_arg $ no_input_deps_arg $ check_arg $ params_arg
-      $ simulate_arg $ cores_arg $ native_arg $ strict_arg $ verify_arg
-      $ break_schedule_arg)
+      $ no_intra_arg $ no_input_deps_arg $ unroll_jam_arg $ check_arg
+      $ params_arg $ simulate_arg $ cores_arg $ native_arg $ strict_arg
+      $ verify_arg $ break_schedule_arg $ tune_arg $ tune_report_arg
+      $ jobs_arg $ tune_budget_arg $ stats_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,9 @@
+/* Imperfectly nested 1-d Jacobi stencil (the paper's Figure 3).
+   Try:  plutocc --tune --tune-report report.json examples/jacobi-1d.c */
+double a[N], b[N];
+for (t = 0; t < T; t++) {
+  for (i = 2; i < N - 1; i++)
+    b[i] = 0.333 * (a[i-1] + a[i] + a[i+1]);
+  for (j = 2; j < N - 1; j++)
+    a[j] = b[j];
+}

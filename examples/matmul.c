@@ -1,0 +1,7 @@
+/* Dense matrix-matrix multiplication.
+   Try:  plutocc --tune --jobs 2 examples/matmul.c */
+double A[N][N], B[N][N], C[N][N];
+for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    for (k = 0; k < N; k++)
+      C[i][j] = C[i][j] + A[i][k] * B[k][j];

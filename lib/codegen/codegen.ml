@@ -28,6 +28,7 @@ type t = {
   nlevels : int;
   nparams : int;
   body : ast list;
+  unroll : int array;
 }
 
 exception Codegen_error of string
@@ -477,13 +478,49 @@ let generate ?(context_min = 1) (tgt : target) =
     end
   in
   let body = gen 0 (List.map (fun si -> (si, context_rows)) infos) in
-  { target = tgt; nlevels; nparams = np; body }
+  { target = tgt; nlevels; nparams = np; body; unroll = Array.make nlevels 1 }
 
 let rec ast_size = function
   | For { body; _ } -> 1 + Putil.sum_by ast_size body
   | Leaf _ -> 1
 
 let size t = Putil.sum_by ast_size t.body
+
+(* ------------------------------ unroll-jam ------------------------------- *)
+
+(* A loop is "innermost" when its body contains no further loop; eligible for
+   the unroll-jam annotation when its level is a parallel hyperplane or a
+   §5.4 forced-vectorization level — the loops whose iterations are
+   independent, so jamming is legal by the same argument that justifies the
+   OpenMP/ivdep marks already on them. *)
+let with_unroll_innermost t ~factor =
+  if factor <= 1 then t
+  else begin
+    let eligible level =
+      t.target.tvec.(level)
+      || Pluto.Types.is_parallel_loop t.target.tkinds.(level)
+      || t.target.tpar.(level) = Pluto.Types.Par
+    in
+    let unroll = Array.copy t.unroll in
+    let marked = ref false in
+    let rec walk = function
+      | Leaf _ -> ()
+      | For { level; body; _ } ->
+          let has_inner_for =
+            List.exists (function For _ -> true | Leaf _ -> false) body
+          in
+          if (not has_inner_for) && eligible level then begin
+            unroll.(level) <- factor;
+            marked := true
+          end;
+          List.iter walk body
+    in
+    List.iter walk t.body;
+    if !marked then { t with unroll } else t
+  end
+
+let unrolled_levels t =
+  List.filter (fun l -> t.unroll.(l) > 1) (Putil.range (Array.length t.unroll))
 
 (* ------------------------------- C printer ------------------------------- *)
 
@@ -516,6 +553,8 @@ let rec pp_ast t names fmt node =
       if t.target.Pluto.Types.tvec.(level) then
         (* vectorization forced by the transformation framework (§5.4) *)
         Format.fprintf fmt "@,#pragma ivdep";
+      if t.unroll.(level) > 1 then
+        Format.fprintf fmt "@,#pragma unroll(%d)" t.unroll.(level);
       if parallel then begin
         let privates =
           List.init (t.nlevels - level - 1) (fun j -> names.(level + 1 + j))

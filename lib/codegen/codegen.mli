@@ -53,6 +53,13 @@ type t = {
   nlevels : int;
   nparams : int;
   body : ast list;
+  unroll : int array;
+      (** per-level unroll-jam factor (all 1 from {!generate}); a purely
+          cost-model/pragma annotation — iteration order and semantics are
+          unchanged, so validation is unaffected.  The C printer emits
+          [#pragma unroll(f)] and the {!Machine} simulator amortizes loop
+          control overhead over [f] (and charges a remainder-loop cost per
+          entry), pricing the classic unroll-jam trade-off. *)
 }
 
 exception Codegen_error of string
@@ -62,6 +69,15 @@ exception Codegen_error of string
     structure parameter (CLooG's context).
     @raise Codegen_error on non-full-rank scatterings or unbounded loops. *)
 val generate : ?context_min:int -> Pluto.Types.target -> t
+
+(** [with_unroll_innermost t ~factor] marks every innermost loop whose level
+    is a parallel loop (or a §5.4 forced-vectorization level) with unroll
+    factor [factor] — the loops the tuner's unroll-jam knob targets.  Returns
+    [t] unchanged if [factor <= 1] or no loop is eligible. *)
+val with_unroll_innermost : t -> factor:int -> t
+
+(** The levels currently carrying an unroll factor > 1. *)
+val unrolled_levels : t -> int list
 
 (** [print_c fmt t] emits compilable C with OpenMP pragmas, [floord]/[ceild]/
     [min]/[max] macros, array declarations and a [main] driver.  With

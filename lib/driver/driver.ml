@@ -1,9 +1,11 @@
 type options = {
   tile : bool;
   tile_size : int option;
+  tile_sizes : int array option;
   parallelize : bool;
   wavefront : int;
   intra_reorder : bool;
+  unroll_jam : int;
   min_band_tile : int;
   auto : Pluto.Auto.config;
   context_min : int;
@@ -13,9 +15,11 @@ let default_options =
   {
     tile = true;
     tile_size = None;
+    tile_sizes = None;
     parallelize = true;
     wavefront = 1;
     intra_reorder = true;
+    unroll_jam = 1;
     min_band_tile = 2;
     auto = Pluto.Auto.default_config;
     context_min = 1;
@@ -36,14 +40,21 @@ let narrays (p : Ir.program) = List.length p.Ir.arrays
 (* Tile sizes: uniform, either given or from the rough cache model (an L1 of
    the simulated machine: 2 KB = 256 doubles). *)
 let sizes_for options (b : Pluto.Tiling.band) na =
-  let tau =
-    match options.tile_size with
-    | Some t -> t
-    | None ->
-        Pluto.Tiling.default_tile_size ~band_width:b.Pluto.Tiling.b_len
-          ~cache_elems:2048 ~narrays:na
-  in
-  Array.make b.Pluto.Tiling.b_len tau
+  match options.tile_sizes with
+  | Some sizes when Array.length sizes > 0 ->
+      (* rectangular tiles: one size per band level, the last size repeated
+         for bands deeper than the given vector *)
+      Array.init b.Pluto.Tiling.b_len (fun j ->
+          sizes.(min j (Array.length sizes - 1)))
+  | _ ->
+      let tau =
+        match options.tile_size with
+        | Some t -> t
+        | None ->
+            Pluto.Tiling.default_tile_size ~band_width:b.Pluto.Tiling.b_len
+              ~cache_elems:2048 ~narrays:na
+      in
+      Array.make b.Pluto.Tiling.b_len tau
 
 let intra_levels_of_band ~(bands_sizes : (Pluto.Tiling.band * int array) list)
     (b : Pluto.Tiling.band) =
@@ -132,12 +143,26 @@ let build_target options (tr : Pluto.Types.transform) =
 
 let compile_with_transform ?(options = default_options) program deps transform =
   let target = build_target options transform in
-  let code = Codegen.generate ~context_min:options.context_min target in
+  let code =
+    Stats.time "pass.codegen" (fun () ->
+        Codegen.generate ~context_min:options.context_min target)
+  in
+  let code =
+    if options.unroll_jam > 1 then
+      Codegen.with_unroll_innermost code ~factor:options.unroll_jam
+    else code
+  in
   { program; deps; transform; target; code }
 
 let compile ?(options = default_options) program =
-  let deps = Deps.compute ~input_deps:options.auto.Pluto.Auto.input_deps program in
-  let transform = Pluto.Auto.transform ~config:options.auto program deps in
+  let deps =
+    Stats.time "pass.deps" (fun () ->
+        Deps.compute ~input_deps:options.auto.Pluto.Auto.input_deps program)
+  in
+  let transform =
+    Stats.time "pass.transform" (fun () ->
+        Pluto.Auto.transform ~config:options.auto program deps)
+  in
   compile_with_transform ~options program deps transform
 
 let compile_source ?options ?name src =
@@ -178,7 +203,9 @@ let demote (d : Diag.t) = { d with Diag.sev = Diag.Warning }
 let promote (d : Diag.t) = { d with Diag.sev = Diag.Error }
 
 let degraded ds =
-  Diag.has_code ds "degraded-feautrier" || Diag.has_code ds "degraded-identity"
+  Diag.has_code ds "degraded-feautrier"
+  || Diag.has_code ds "degraded-identity"
+  || Diag.has_code ds "degraded-tune"
 
 let verify ?param_lo ?param_hi ?claim_ctx ?params (r : result) =
   Verify.validate ?param_lo ?param_hi ?claim_ctx ?params r.program r.deps

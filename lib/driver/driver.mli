@@ -14,9 +14,16 @@
 type options = {
   tile : bool;
   tile_size : int option;  (** uniform tile size; [None] = rough model *)
+  tile_sizes : int array option;
+      (** rectangular tiles: per-band-level sizes, outermost first, the last
+          entry repeated for deeper bands; takes precedence over
+          [tile_size].  The tuner's search space lives here. *)
   parallelize : bool;
   wavefront : int;  (** degrees of pipelined parallelism to extract *)
   intra_reorder : bool;  (** §5.4 post-pass *)
+  unroll_jam : int;
+      (** unroll-jam factor applied to innermost parallel/vectorized loops
+          ({!Codegen.with_unroll_innermost}); 1 = off *)
   min_band_tile : int;  (** minimum band width worth tiling *)
   auto : Pluto.Auto.config;
   context_min : int;

@@ -14,6 +14,9 @@ type t = { gen_name : string; gen_source : string }
 
 let check_params = [ ("N", 8) ]
 
+let seed_of_env () = Putil.Seed.of_env ~default:Putil.Seed.default ()
+let state_of_seed = Putil.Seed.state
+
 (* Shared array pool: every program draws lhs/rhs arrays from here, which is
    what makes dependences (within and across nests) likely. *)
 let arrays_2d = [ "A"; "B" ]

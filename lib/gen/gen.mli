@@ -26,6 +26,21 @@ type t = {
     sizes and wavefronts actually trigger. [("N", 8)] *)
 val check_params : (string * int) list
 
+(** {1 Seeding}
+
+    Both helpers delegate to {!Putil.Seed}, the repository's single source of
+    deterministic randomness: the same [PLUTO_FUZZ_SEED] that replays a fuzz
+    failure also replays a tuner search order. *)
+
+(** [seed_of_env ()] — the run seed: [PLUTO_FUZZ_SEED] when set, else the
+    pinned default (20080613).
+    @raise Failure when the variable is set but malformed. *)
+val seed_of_env : unit -> int
+
+(** [state_of_seed n] — the [Random.State.t] every randomized consumer should
+    draw from. *)
+val state_of_seed : int -> Random.State.t
+
 (** Generate one random program. *)
 val generate : Random.State.t -> t
 

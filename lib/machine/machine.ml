@@ -411,6 +411,12 @@ let simulate (cfg : machine_config) (cg : Codegen.t) ~params =
     match node with
     | Codegen.For { level; parallel; lb; ub; body } ->
         let lo = eval_iexpr lb env and hi = eval_iexpr ub env in
+        (* unroll-jam pricing: control overhead amortized over the factor,
+           plus a per-entry remainder-loop / code-size cost — so large
+           factors only pay off on long trip counts *)
+        let uf = float_of_int cg.Codegen.unroll.(level) in
+        let iter_overhead = cfg.loop_overhead_cycles /. uf in
+        let entry_overhead = cfg.loop_overhead_cycles *. (uf -. 1.0) in
         if hi < lo then 0.0
         else if parallel && core < 0 then begin
           (* OpenMP static (block) schedule: contiguous chunks per core —
@@ -423,10 +429,10 @@ let simulate (cfg : machine_config) (cg : Codegen.t) ~params =
           for k = 0 to cfg.ncores - 1 do
             let myo = lo + (k * chunk) in
             let myhi = min hi (myo + chunk - 1) in
-            let t = ref 0.0 in
+            let t = ref (if myhi >= myo then entry_overhead else 0.0) in
             for v = myo to myhi do
               env.(level) <- v;
-              t := !t +. cfg.loop_overhead_cycles;
+              t := !t +. iter_overhead;
               List.iter
                 (fun nd -> t := !t +. sim k ~innermost:(Some level) nd)
                 body
@@ -441,10 +447,10 @@ let simulate (cfg : machine_config) (cg : Codegen.t) ~params =
         end
         else begin
           let core' = if core < 0 then 0 else core in
-          let t = ref 0.0 in
+          let t = ref entry_overhead in
           for v = lo to hi do
             env.(level) <- v;
-            t := !t +. cfg.loop_overhead_cycles;
+            t := !t +. iter_overhead;
             List.iter
               (fun nd ->
                 t :=
@@ -492,6 +498,11 @@ let simulate (cfg : machine_config) (cg : Codegen.t) ~params =
   in
   let l1_misses = Array.fold_left (fun a c -> a + Cache.misses c) 0 l1s in
   let l2_misses = Array.fold_left (fun a c -> a + Cache.misses c) 0 l2s in
+  Stats.incr "machine.simulations";
+  Stats.add "machine.mem_accesses"
+    (Array.fold_left (fun a c -> a + Cache.hits c + Cache.misses c) 0 l1s);
+  Stats.add "machine.l1_misses" l1_misses;
+  Stats.add "machine.l2_misses" l2_misses;
   let seconds = cycles /. (cfg.ghz *. 1e9) in
   {
     cycles;

@@ -301,6 +301,7 @@ let ilp ?(nonneg = false) ?(budget = default_budget) (sys : Polyhedra.t)
     (objective : Vec.t) =
   if Array.length objective <> sys.Polyhedra.nvars then
     invalid_arg "Milp.ilp: objective length";
+  Stats.incr "milp.solves";
   let obj_q = Array.map Q.of_bigint objective in
   let best : (Bigint.t * Bigint.t array) option ref = ref None in
   let nodes = ref 0 in
@@ -312,6 +313,7 @@ let ilp ?(nonneg = false) ?(budget = default_budget) (sys : Polyhedra.t)
   in
   let rec go sys =
     incr nodes;
+    Stats.incr "milp.bb_nodes";
     if !nodes > budget.max_nodes then
       raise
         (Diag.Budget_exceeded

@@ -194,9 +194,11 @@ let default_max_constrs = 200_000
 
 let eliminate ?(max_constrs = default_max_constrs) t v =
   if v < 0 || v >= t.nvars then invalid_arg "Polyhedra.eliminate";
+  Stats.incr "fm.eliminations";
   (* Prefer an equality pivot: exact and avoids the quadratic FM blowup. *)
   match List.find_opt (fun c -> c.kind = Eq && involves c v) t.cs with
   | Some e ->
+      Stats.incr "fm.rows_eliminated";
       let cs = List.filter (fun c -> c != e) t.cs in
       let cs = List.map (subst_eq e v) cs in
       simplify { t with cs }
@@ -211,6 +213,7 @@ let eliminate ?(max_constrs = default_max_constrs) t v =
           ([], [], []) t.cs
       in
       let npos = List.length pos and nneg = List.length neg in
+      Stats.add "fm.rows_eliminated" (npos + nneg);
       if npos * nneg + List.length rest > max_constrs then
         raise
           (Diag.Budget_exceeded

@@ -1,0 +1,45 @@
+(** Global pass/solver counters and timers — cheap observability for the
+    whole pipeline.
+
+    Layers bump named counters ({!incr}, {!add}) and wrap phases in {!time};
+    the CLI renders everything as JSON ([plutocc --stats]) and the autotuner
+    folds the numbers into its search report.  Counters are process-global
+    and monotonic between {!reset}s; all operations are O(1) hashtable
+    updates, so leaving the hooks enabled costs nothing measurable next to
+    the ILP solves they count.
+
+    Established keys (grep for callers before renaming):
+    - ["milp.solves"], ["milp.bb_nodes"] — ILP calls / branch-and-bound nodes;
+    - ["fm.eliminations"], ["fm.rows_eliminated"] — Fourier–Motzkin steps and
+      the rows they removed;
+    - ["machine.simulations"], ["machine.l1_misses"], ["machine.l2_misses"],
+      ["machine.mem_accesses"] — performance-model cache events;
+    - ["tune.evaluated"], ["tune.cache_hits"], ["tune.pruned"] — autotuner;
+    - timers ["pass.deps"], ["pass.transform"], ["pass.codegen"]. *)
+
+(** Forget all counters and timers (tests and the tuner's workers use this to
+    scope measurements). *)
+val reset : unit -> unit
+
+(** [incr k] — add 1 to counter [k] (created at 0 on first use). *)
+val incr : string -> unit
+
+(** [add k n] — add [n] to counter [k]. *)
+val add : string -> int -> unit
+
+(** [time k f] — run [f ()], adding its wall-clock-ish duration
+    ([Sys.time], CPU seconds — no Unix dependency) to timer [k] and bumping
+    its call count.  Exceptions propagate; the time still gets recorded. *)
+val time : string -> (unit -> 'a) -> 'a
+
+val counter : string -> int
+
+(** All counters, sorted by name. *)
+val counters : unit -> (string * int) list
+
+(** All timers, sorted by name: (name, total seconds, calls). *)
+val timers : unit -> (string * float * int) list
+
+(** Everything as one JSON object:
+    [{"counters": {...}, "timers": {"k": {"seconds": s, "calls": n}}}]. *)
+val to_json : unit -> string

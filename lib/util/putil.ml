@@ -59,6 +59,25 @@ let rec fixpoint step state =
   match step state with None -> state | Some state' -> fixpoint step state'
 
 (** A counter-based fresh-name generator. *)
+(* The single source of deterministic randomness for the whole repository:
+   the fuzz suites, the differential tester and the autotuner's search order
+   all derive their [Random.State.t] from here, so one environment variable
+   (PLUTO_FUZZ_SEED) reproduces any randomized run exactly.  Nothing in the
+   libraries may call [Random.self_init]. *)
+module Seed = struct
+  let default = 20080613 (* PLDI'08 *)
+
+  let of_env ?(var = "PLUTO_FUZZ_SEED") ~default () =
+    match Sys.getenv_opt var with
+    | None | Some "" -> default
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n -> n
+        | None -> failwith (Printf.sprintf "%s=%S is not an integer" var s))
+
+  let state seed = Random.State.make [| seed |]
+end
+
 module Fresh = struct
   type t = { prefix : string; mutable next : int }
 

@@ -31,6 +31,23 @@ val string_of_format : (Format.formatter -> 'a -> unit) -> 'a -> string
 (** [fixpoint step x] applies [step] until it returns [None]. *)
 val fixpoint : ('a -> 'a option) -> 'a -> 'a
 
+(** The single source of deterministic randomness: every randomized component
+    (fuzz suites, differential tester, autotuner search order) derives its
+    [Random.State.t] from one seed resolved here, so [PLUTO_FUZZ_SEED]
+    reproduces any run exactly.  No library calls [Random.self_init]. *)
+module Seed : sig
+  (** 20080613 (PLDI'08) — the pinned default. *)
+  val default : int
+
+  (** [of_env ?var ~default ()] — the seed from [var] (default
+      ["PLUTO_FUZZ_SEED"]), or [default] when unset/empty.
+      @raise Failure when the variable is set but not an integer. *)
+  val of_env : ?var:string -> default:int -> unit -> int
+
+  (** A fresh state from a seed. *)
+  val state : int -> Random.State.t
+end
+
 module Fresh : sig
   type t
 

@@ -48,16 +48,14 @@ let rows_of (t : Pluto.Types.transform) i =
 
 (* The randomized suites (test_fuzz, test_differential) draw from a seed that
    is printed on startup and overridable via PLUTO_FUZZ_SEED, so any failure
-   is replayed exactly by re-running with that seed. *)
+   is replayed exactly by re-running with that seed.  The seed is resolved by
+   the shared Putil.Seed source — the same one the autotuner's search order
+   uses — so a single variable reproduces every randomized component. *)
 let fuzz_seed =
-  match Sys.getenv_opt "PLUTO_FUZZ_SEED" with
-  | None | Some "" -> 20080613 (* PLDI'08 *)
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n -> n
-      | None ->
-          Printf.eprintf "PLUTO_FUZZ_SEED=%S is not an integer\n%!" s;
-          exit 2)
+  try Putil.Seed.of_env ~default:Putil.Seed.default ()
+  with Failure msg ->
+    Printf.eprintf "%s\n%!" msg;
+    exit 2
 
 let announce_seed =
   let done_ = ref false in

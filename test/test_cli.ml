@@ -64,6 +64,34 @@ let test_option_flags () =
             "--show-transform --show-deps";
           ])
 
+let test_tune_flag () =
+  if available () then
+    with_source (fun dir src ->
+        let report = Filename.concat dir "report.json" in
+        let cache = Filename.concat dir "cache" in
+        let cmd =
+          Printf.sprintf
+            "PLUTO_FUZZ_SEED=5 PLUTO_TUNE_CACHE=%s %s %s --tune \
+             --tune-budget 6 --jobs 2 --tune-report %s --stats -o %s/out.c"
+            cache plutocc src report dir
+        in
+        Alcotest.(check int) "tune exits 0" 0 (run cmd);
+        let ic = open_in report in
+        let content = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        List.iter
+          (fun frag ->
+            Alcotest.(check bool) ("report contains " ^ frag) true
+              (Astring.String.is_infix ~affix:frag content))
+          [ "\"best\":"; "\"outcomes\":"; "\"seed\": 5"; "\"evaluated\": 6" ];
+        (* warm rerun: everything comes from the cache *)
+        Alcotest.(check int) "warm tune exits 0" 0 (run cmd);
+        let ic = open_in report in
+        let content = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Alcotest.(check bool) "warm rerun evaluates nothing" true
+          (Astring.String.is_infix ~affix:"\"evaluated\": 0" content))
+
 let test_parse_error_exit_code () =
   if available () then
     with_source (fun dir _src ->
@@ -80,6 +108,7 @@ let cli_cases =
     Alcotest.test_case "--check" `Quick test_check_flag;
     Alcotest.test_case "--simulate" `Quick test_simulate_flag;
     Alcotest.test_case "option flags" `Quick test_option_flags;
+    Alcotest.test_case "--tune end to end" `Quick test_tune_flag;
     Alcotest.test_case "parse error exit" `Quick test_parse_error_exit_code;
   ]
 

@@ -120,7 +120,7 @@ let validate (g : Gen.t) ~config (r : Driver.result) =
 
 let test_differential () =
   Fixtures.announce_seed ();
-  let st = Random.State.make [| Fixtures.fuzz_seed |] in
+  let st = Gen.state_of_seed Fixtures.fuzz_seed in
   let t0 = Unix.gettimeofday () in
   let keep_going i =
     match seconds with

@@ -143,7 +143,7 @@ let suite =
   ( "fuzz",
     let rand =
       Fixtures.announce_seed ();
-      Random.State.make [| Fixtures.fuzz_seed |]
+      Gen.state_of_seed Fixtures.fuzz_seed
     in
     [
       QCheck_alcotest.to_alcotest ~rand prop_pipeline_equivalence;

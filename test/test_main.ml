@@ -22,4 +22,5 @@ let () =
       Test_endtoend.suite;
       Test_verify.suite;
       Test_differential.suite;
+      Test_tune.suite;
     ]

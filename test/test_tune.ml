@@ -1,0 +1,227 @@
+(* The autotuner (lib/tune): candidate space and footprint pruning,
+   determinism under a pinned seed, the persistent evaluation cache, the fork
+   worker pool, and the tuned-beats-baseline property the subsystem exists
+   for. *)
+
+let mc = Machine.default_machine
+
+(* small, fast searches: all program parameters default to 64 *)
+let search ?cache_dir ?(jobs = 1) ?(budget = 6) ?(seed = 7) p =
+  Tune.search ~jobs ~budget ~candidate_time_s:30.0 ?cache_dir ~seed p
+
+let outcome_sig (o : Tune.outcome) =
+  ( Tune.candidate_to_string o.Tune.o_cand,
+    o.Tune.o_cycles,
+    o.Tune.o_degraded,
+    o.Tune.o_failed )
+
+let report_sig (r : Tune.report) = List.map outcome_sig r.Tune.r_outcomes
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tune" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end)
+    (fun () -> f dir)
+
+(* ----------------------------- candidate space ---------------------------- *)
+
+let test_footprint () =
+  (* 2 arrays, 2-deep band, 32x32 tiles: 2 * 32*32 * 8 bytes *)
+  Alcotest.(check int)
+    "uniform footprint" (2 * 32 * 32 * 8)
+    (Tune.footprint_bytes ~narrays:2 ~band_width:2 [| 32 |]);
+  (* rectangular: last size repeats for deeper levels *)
+  Alcotest.(check int)
+    "rect footprint" (3 * 8 * 32 * 32 * 8)
+    (Tune.footprint_bytes ~narrays:3 ~band_width:3 [| 8; 32 |]);
+  Alcotest.(check int) "no band" 0
+    (Tune.footprint_bytes ~narrays:2 ~band_width:0 [| 32 |])
+
+let test_prunes () =
+  (* 64x64 tiles over 2 arrays = 64 KB > the 16 KB modeled L2 *)
+  Alcotest.(check bool) "64x64 pruned" true
+    (Tune.prunes ~machine:mc ~narrays:2 ~band_width:2
+       { Tune.default_candidate with Tune.c_sizes = Some [| 64 |] });
+  Alcotest.(check bool) "8x8 kept" false
+    (Tune.prunes ~machine:mc ~narrays:2 ~band_width:2
+       { Tune.default_candidate with Tune.c_sizes = Some [| 8 |] });
+  (* model-chosen sizes and untiled candidates are never pruned *)
+  Alcotest.(check bool) "model sizes kept" false
+    (Tune.prunes ~machine:mc ~narrays:8 ~band_width:3 Tune.default_candidate);
+  Alcotest.(check bool) "untiled kept" false
+    (Tune.prunes ~machine:mc ~narrays:8 ~band_width:3
+       { Tune.default_candidate with Tune.c_tile = false })
+
+let test_enumerate_anchors () =
+  (* narrays/band deep enough that T=64 is over budget: the anchors must
+     survive anyway (they are the report's baselines), and pruned candidates
+     must be gone *)
+  let cands, npruned = Tune.For_tests.enumerate ~machine:mc ~narrays:3 ~band_width:3 in
+  Alcotest.(check bool) "some pruned" true (npruned > 0);
+  (match cands with
+  | c0 :: c1 :: _ ->
+      Alcotest.(check string) "anchor 0 is default"
+        (Tune.candidate_to_string Tune.default_candidate)
+        (Tune.candidate_to_string c0);
+      Alcotest.(check string) "anchor 1 is T=64"
+        (Tune.candidate_to_string Tune.t64_candidate)
+        (Tune.candidate_to_string c1)
+  | _ -> Alcotest.fail "fewer than two candidates");
+  List.iteri
+    (fun i c ->
+      if i >= 2 then
+        Alcotest.(check bool)
+          ("survivor not prunable: " ^ Tune.candidate_to_string c)
+          false
+          (Tune.prunes ~machine:mc ~narrays:3 ~band_width:3 c))
+    cands
+
+let test_cache_key_distinguishes () =
+  let key = Tune.For_tests.cache_key ~machine:mc ~options:Driver.default_options in
+  let k0 = key ~program_repr:"P" ~params:[ ("N", 64) ] Tune.default_candidate in
+  Alcotest.(check string) "stable" k0
+    (key ~program_repr:"P" ~params:[ ("N", 64) ] Tune.default_candidate);
+  Alcotest.(check bool) "candidate changes key" true
+    (k0 <> key ~program_repr:"P" ~params:[ ("N", 64) ] Tune.t64_candidate);
+  Alcotest.(check bool) "params change key" true
+    (k0 <> key ~program_repr:"P" ~params:[ ("N", 128) ] Tune.default_candidate);
+  Alcotest.(check bool) "program changes key" true
+    (k0 <> key ~program_repr:"Q" ~params:[ ("N", 64) ] Tune.default_candidate)
+
+(* ------------------------------ determinism ------------------------------- *)
+
+let test_deterministic_search () =
+  let p = Kernels.program Kernels.jacobi_1d in
+  let r1, _ = search ~seed:11 p in
+  let r2, _ = search ~seed:11 p in
+  Alcotest.(check int) "same count"
+    (List.length r1.Tune.r_outcomes)
+    (List.length r2.Tune.r_outcomes);
+  Alcotest.(check bool) "identical outcomes" true (report_sig r1 = report_sig r2)
+
+let test_pool_matches_sequential () =
+  (* the fork pool must not change results, only wall time *)
+  let p = Kernels.program Kernels.jacobi_1d in
+  let seq, _ = search ~jobs:1 ~seed:13 p in
+  let par, _ = search ~jobs:3 ~seed:13 p in
+  Alcotest.(check bool) "pool = sequential" true (report_sig seq = report_sig par)
+
+(* ------------------------------- the cache -------------------------------- *)
+
+let test_cache_warm_rerun () =
+  with_temp_dir (fun dir ->
+      let p = Kernels.program Kernels.jacobi_1d in
+      let cold, _ = search ~cache_dir:dir ~seed:17 p in
+      Alcotest.(check bool) "cold run evaluates" true (cold.Tune.r_evaluated > 0);
+      Alcotest.(check int) "cold run has no hits" 0 cold.Tune.r_cache_hits;
+      let warm, _ = search ~cache_dir:dir ~seed:17 p in
+      Alcotest.(check int) "warm run evaluates nothing" 0 warm.Tune.r_evaluated;
+      Alcotest.(check int) "warm run all hits"
+        (List.length warm.Tune.r_outcomes)
+        warm.Tune.r_cache_hits;
+      Alcotest.(check bool) "warm costs identical" true
+        (report_sig cold = report_sig warm);
+      Alcotest.(check bool) "warm outcomes marked from_cache" true
+        (List.for_all (fun o -> o.Tune.o_from_cache) warm.Tune.r_outcomes))
+
+let test_cache_corruption_is_miss () =
+  with_temp_dir (fun dir ->
+      let p = Kernels.program Kernels.jacobi_1d in
+      let _ = search ~cache_dir:dir ~seed:19 p in
+      (* truncate every cache entry: the next run must silently re-evaluate *)
+      Array.iter
+        (fun f ->
+          let oc = open_out (Filename.concat dir f) in
+          output_string oc "garbage\n";
+          close_out oc)
+        (Sys.readdir dir);
+      let again, _ = search ~cache_dir:dir ~seed:19 p in
+      Alcotest.(check int) "corrupt cache gives no hits" 0
+        again.Tune.r_cache_hits;
+      Alcotest.(check bool) "still evaluates" true (again.Tune.r_evaluated > 0))
+
+(* ------------------------- tuned beats baselines -------------------------- *)
+
+(* The reason the subsystem exists: the best verified candidate is never
+   worse than the default configuration or the hardcoded T=64, because both
+   are always in the evaluated set. *)
+let check_tuned_wins k =
+  let p = Kernels.program k in
+  let report, best = search ~budget:10 ~seed:23 p in
+  match (report.Tune.r_best, best) with
+  | Some o, Some r ->
+      Alcotest.(check bool) "best not failed" true (o.Tune.o_failed = None);
+      Alcotest.(check bool) "tuned <= default" true
+        (o.Tune.o_cycles <= report.Tune.r_default_cycles);
+      Alcotest.(check bool) "tuned <= T64" true
+        (o.Tune.o_cycles <= report.Tune.r_t64_cycles);
+      (* the returned artifact is real generated code for this program *)
+      Alcotest.(check bool) "artifact verifies" true
+        (Verify.ok (Driver.verify r))
+  | _ -> Alcotest.fail "no verified candidate found"
+
+let test_tuned_wins_jacobi () = check_tuned_wins Kernels.jacobi_1d
+let test_tuned_wins_matmul () = check_tuned_wins Kernels.matmul
+
+(* ------------------------ unroll-jam + stats ride-alongs ------------------ *)
+
+let test_unroll_jam_annotation () =
+  let p = Kernels.program Kernels.matmul in
+  let plain = Driver.compile p in
+  let r =
+    Driver.compile
+      ~options:{ Driver.default_options with Driver.unroll_jam = 4 }
+      p
+  in
+  let levels = Codegen.unrolled_levels r.Driver.code in
+  Alcotest.(check bool) "some level annotated" true (levels <> []);
+  (* annotation only: the generated loops are semantically unchanged *)
+  Alcotest.(check bool) "equivalent to original" true
+    (Machine.equivalent p r.Driver.code ~params:[| 14 |]);
+  (* the simulator prices it: cost differs from the unannotated code *)
+  let c1 = (Machine.simulate mc plain.Driver.code ~params:[| 64 |]).Machine.cycles in
+  let c4 = (Machine.simulate mc r.Driver.code ~params:[| 64 |]).Machine.cycles in
+  Alcotest.(check bool) "unroll changes modeled cost" true (c1 <> c4);
+  (* and the C printer emits the pragma *)
+  let c_text = Putil.string_of_format Codegen.print_c r.Driver.code in
+  Alcotest.(check bool) "pragma in output" true
+    (Astring.String.is_infix ~affix:"#pragma unroll(4)" c_text)
+
+let test_stats_counters () =
+  Stats.reset ();
+  let p = Kernels.program Kernels.jacobi_1d in
+  ignore (Driver.compile p);
+  Alcotest.(check bool) "ilp solves counted" true (Stats.counter "milp.solves" > 0);
+  Alcotest.(check bool) "fm eliminations counted" true
+    (Stats.counter "fm.eliminations" > 0);
+  ignore (Machine.simulate mc (Driver.compile p).Driver.code ~params:[| 8; 24 |]);
+  Alcotest.(check bool) "simulations counted" true
+    (Stats.counter "machine.simulations" > 0);
+  let j = Stats.to_json () in
+  Alcotest.(check bool) "json mentions timers" true
+    (Astring.String.is_infix ~affix:"pass.transform" j)
+
+let suite =
+  ( "tune",
+    [
+      Alcotest.test_case "footprint arithmetic" `Quick test_footprint;
+      Alcotest.test_case "pruning predicate" `Quick test_prunes;
+      Alcotest.test_case "enumerate keeps anchors" `Quick test_enumerate_anchors;
+      Alcotest.test_case "cache key" `Quick test_cache_key_distinguishes;
+      Alcotest.test_case "deterministic under seed" `Slow test_deterministic_search;
+      Alcotest.test_case "fork pool = sequential" `Slow test_pool_matches_sequential;
+      Alcotest.test_case "warm cache skips evaluation" `Slow test_cache_warm_rerun;
+      Alcotest.test_case "corrupt cache = miss" `Slow test_cache_corruption_is_miss;
+      Alcotest.test_case "tuned beats baselines (jacobi)" `Slow test_tuned_wins_jacobi;
+      Alcotest.test_case "tuned beats baselines (matmul)" `Slow test_tuned_wins_matmul;
+      Alcotest.test_case "unroll-jam annotation" `Quick test_unroll_jam_annotation;
+      Alcotest.test_case "stats counters" `Quick test_stats_counters;
+    ] )
