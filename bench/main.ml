@@ -415,6 +415,72 @@ let ablation_auto_scheduler () =
 (* A summary of what the compiler does to every kernel: dependence counts by
    kind, transformation depth, band structure, generated-code size.  Useful
    when comparing against other polyhedral tools. *)
+(* -------------------------- solver substrate ------------------------------ *)
+
+(* A/B the incremental solver (warm-started branch-and-bound, warm lexmin,
+   LP/feasibility memoization, canonical emptiness cache) against the cold
+   reference on the tuner path, where the same dependence systems and LPs
+   recur across candidates.  jobs:1 keeps the search in-process so the
+   counters accumulate in this process, and the disk cache is disabled so
+   both runs really solve.  The generated winner must be identical — the
+   warm paths change how answers are computed, never the answers. *)
+let solver_substrate () =
+  section "Solver substrate: incremental (warm) vs cold-start, tuner path";
+  let run_one (k : Kernels.t) params warm =
+    Milp.set_warm warm;
+    Polyhedra.set_empty_cache warm;
+    Milp.clear_caches ();
+    Polyhedra.clear_caches ();
+    Stats.reset ();
+    let p = Kernels.program k in
+    let t0 = Unix.gettimeofday () in
+    let _report, best =
+      Tune.search ~jobs:1 ~budget:8 ~candidate_time_s:5.0
+        ~seed:(Gen.seed_of_env ()) ~params p
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let counters = Stats.counters () in
+    let c name = try List.assoc name counters with Not_found -> 0 in
+    let code =
+      match best with
+      | Some r -> Putil.string_of_format Codegen.print_c r.Driver.code
+      | None -> ""
+    in
+    (dt, c, code)
+  in
+  List.iter
+    (fun ((k : Kernels.t), params) ->
+      let cold_dt, cold_c, cold_code = run_one k params false in
+      let warm_dt, warm_c, warm_code = run_one k params true in
+      Milp.set_warm true;
+      Polyhedra.set_empty_cache true;
+      Printf.printf "\n%s (tune budget 8, jobs 1):\n" k.Kernels.name;
+      Printf.printf "  %-28s %12s %12s %9s\n" "" "cold" "warm" "ratio";
+      List.iter
+        (fun name ->
+          let a = cold_c name and b = warm_c name in
+          let ratio = if b = 0 then Float.infinity else float a /. float b in
+          Printf.printf "  %-28s %12d %12d %8.2fx\n" name a b ratio)
+        [ "milp.cold_builds"; "milp.solves"; "milp.pivots"; "fm.eliminations" ];
+      List.iter
+        (fun name ->
+          Printf.printf "  %-28s %12s %12d\n" name "-" (warm_c name))
+        [
+          "milp.warm_starts";
+          "milp.feasible_cache_hits";
+          "milp.lp_cache_hits";
+          "poly.empty_cache_hits";
+        ];
+      Printf.printf "  %-28s %11.3fs %11.3fs %8.2fx\n" "search wall-clock"
+        cold_dt warm_dt
+        (if warm_dt > 0. then cold_dt /. warm_dt else Float.infinity);
+      Printf.printf "  winner code identical: %b\n"
+        (String.equal cold_code warm_code))
+    [
+      (Kernels.matmul, [ ("N", 64) ]);
+      (Kernels.jacobi_1d, [ ("T", 16); ("N", 256) ]);
+    ]
+
 let statistics () =
   section "System statistics (all kernels)";
   Printf.printf "%-16s %5s %5s %5s %5s %5s %6s %6s %6s %5s\n" "kernel" "stmts"
@@ -495,6 +561,7 @@ let () =
   fig7_8 ();
   ablations ();
   ablation_auto_scheduler ();
+  solver_substrate ();
   statistics ();
   bechamel_compile_times ();
   write_results "BENCH_results.json";

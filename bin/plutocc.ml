@@ -56,7 +56,11 @@ let cli_error fmt = Printf.ksprintf (fun m -> raise (Cli_error (Diag.error ~code
 let run file output show_deps show_transform no_tile tile_size no_parallel
     wavefront no_intra_reorder no_input_deps unroll_jam check params_spec
     simulate cores native strict verify break_schedule tune tune_report jobs
-    tune_budget stats =
+    tune_budget stats cold_solver =
+  if cold_solver then begin
+    Milp.set_warm false;
+    Polyhedra.set_empty_cache false
+  end;
   let code =
     try
     let src = read_file file in
@@ -432,6 +436,13 @@ let break_schedule_arg =
     value & flag
     & info [ "break-schedule" ] ~doc:"" ~docs:Cmdliner.Manpage.s_none)
 
+(* Deliberately undocumented: disable solver warm starts and emptiness
+   caching, the reference configuration for A/B-ing the incremental solver
+   (CI's solver-smoke job and the bench solver section use it). *)
+let cold_solver_arg =
+  Arg.(
+    value & flag & info [ "cold-solver" ] ~doc:"" ~docs:Cmdliner.Manpage.s_none)
+
 let cmd =
   let doc = "automatic polyhedral parallelizer and locality optimizer" in
   let info = Cmd.info "plutocc" ~version:"1.0" ~doc in
@@ -442,6 +453,6 @@ let cmd =
       $ no_intra_arg $ no_input_deps_arg $ unroll_jam_arg $ check_arg
       $ params_arg $ simulate_arg $ cores_arg $ native_arg $ strict_arg
       $ verify_arg $ break_schedule_arg $ tune_arg $ tune_report_arg
-      $ jobs_arg $ tune_budget_arg $ stats_arg)
+      $ jobs_arg $ tune_budget_arg $ stats_arg $ cold_solver_arg)
 
 let () = exit (Cmd.eval' cmd)

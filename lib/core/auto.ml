@@ -178,8 +178,10 @@ let nonempty_int ~np ~ctx poly =
      conservative answer only costs precision, never correctness. *)
   try
     let sys = fix_params ~np ~ctx poly in
-    if Polyhedra.is_empty_rational sys then false
-    else Option.is_some (Milp.feasible sys)
+    (* all variables integral (iteration counters), so integer-tightened
+       canonical emptiness and the memoized feasibility test are sound *)
+    if Polyhedra.is_empty_cached ~integer:true sys then false
+    else Option.is_some (Milp.feasible_cached sys)
   with Diag.Budget_exceeded _ -> true
 
 (* δ >= 1 everywhere on the dependence polyhedron (with params = ctx)? *)

@@ -125,8 +125,10 @@ let nonempty ~ctx ~np (poly : Polyhedra.t) =
         (Putil.range np)
     in
     let sys = Polyhedra.meet poly (Polyhedra.of_constrs nv fix) in
-    if Polyhedra.is_empty_rational sys then false
-    else match Milp.feasible sys with Some _ -> true | None -> false
+    (* every variable here is integral (iteration counters), so the
+       integer-tightened canonical emptiness test is sound *)
+    if Polyhedra.is_empty_cached ~integer:true sys then false
+    else match Milp.feasible_cached sys with Some _ -> true | None -> false
   with Diag.Budget_exceeded _ -> true
 
 let compute ?(input_deps = true) ?(ctx = 100) (p : Ir.program) =

@@ -11,6 +11,8 @@ type t = {
 
 exception Budget_exceeded of string
 
+exception Diagnostic of t
+
 let span ?(file = "<input>") ~line ~col () = { file; line; col }
 
 let mk sev ?span ~code message = { sev; code; span; message }

@@ -7,10 +7,12 @@
     graceful-degradation ladder, so a compilation can finish with warnings
     rather than die on the first failure.
 
-    The only exception this module defines, {!Budget_exceeded}, is the
+    Two escape hatches are defined as exceptions: {!Budget_exceeded}, the
     resource-budget signal raised by the solvers ({!Milp} branch-and-bound
-    node/time limits, {!Polyhedra} Fourier–Motzkin row-explosion guard).  It
-    is caught at layer boundaries and converted into a diagnostic. *)
+    node/time limits, {!Polyhedra} Fourier–Motzkin row-explosion guard), and
+    {!Diagnostic}, which carries a structured diagnostic out of a library
+    layer.  Both are caught at layer boundaries and converted into
+    diagnostics. *)
 
 type severity = Error | Warning | Note
 
@@ -27,6 +29,13 @@ type t = {
 (** Raised by resource-bounded algorithms when their budget is exhausted.
     The payload says which budget and where. *)
 exception Budget_exceeded of string
+
+(** Raised by library layers that hit a structured, reportable failure (for
+    example an unbounded lexmin coordinate in {!Milp}).  Like
+    {!Budget_exceeded} it is caught at layer boundaries — the driver's
+    [attempt] wrapper converts it into its payload so the degradation ladder
+    can continue instead of crashing. *)
+exception Diagnostic of t
 
 val span : ?file:string -> line:int -> col:int -> unit -> span
 

@@ -189,6 +189,8 @@ let attempt ~what f =
   | v -> Ok v
   | exception Diag.Budget_exceeded msg ->
       Error (Diag.errorf ~code:"budget" "%s: resource budget exceeded: %s" what msg)
+  | exception Diag.Diagnostic d ->
+      Error { d with Diag.message = what ^ ": " ^ d.Diag.message }
   | exception Pluto.Auto.No_transform msg ->
       Error (Diag.errorf ~code:"no-transform" "%s: no transformation found: %s" what msg)
   | exception Feautrier_core.No_schedule msg ->

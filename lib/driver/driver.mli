@@ -109,6 +109,14 @@ val compile_source_robust :
     CLI maps this to exit code 2.) *)
 val degraded : Diag.t list -> bool
 
+(** [attempt ~what f] — the ladder's exception wall: run [f], converting any
+    failure ([Diag.Budget_exceeded], [Diag.Diagnostic], scheduler
+    give-ups, stack overflow, anything unexpected) into an [Error]
+    diagnostic prefixed with [what].  Only genuine out-of-memory/interrupt
+    conditions propagate.  Exposed for tests and embedders building their
+    own rungs. *)
+val attempt : what:string -> (unit -> 'a) -> ('a, Diag.t) Stdlib.result
+
 (** [verify ?param_lo ?param_hi ?claim_ctx ?params r] — run the independent
     translation validator ({!Verify.validate}) on a compilation result:
     re-proves schedule legality over the dependence polyhedra and that the

@@ -33,6 +33,20 @@ let normalize (t : t) : t =
   if Bigint.is_zero g || Bigint.is_one g then t
   else Array.map (fun x -> Bigint.div x g) t
 
+(* Lexicographic entry-wise order; shorter vectors sort first.  Gives
+   constraint rows a stable total order for canonicalization. *)
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go j =
+      if j >= la then 0
+      else
+        let c = Bigint.compare a.(j) b.(j) in
+        if c <> 0 then c else go (j + 1)
+    in
+    go 0
+
 let pp fmt (t : t) =
   Format.fprintf fmt "[%a]" (Putil.pp_list "; " Bigint.pp) (Array.to_list t)
 

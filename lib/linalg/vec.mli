@@ -33,5 +33,9 @@ val content : t -> Bigint.t
     primitive; the zero vector is returned unchanged. *)
 val normalize : t -> t
 
+(** Total order: by length, then lexicographically entry-wise.  Used to sort
+    constraint rows into canonical form. *)
+val compare : t -> t -> int
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

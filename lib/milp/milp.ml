@@ -1,5 +1,5 @@
-(* Exact two-phase primal simplex over Q, plus branch-and-bound and
-   lexicographic minimization.
+(* Exact two-phase primal simplex over Q, plus incremental branch-and-bound
+   and lexicographic minimization.
 
    Internal form: minimize c·x over { x >= 0 | rows a_i·x + b_i >= 0 }.
    Free variables are handled by the classic split x = x+ - x-.
@@ -10,7 +10,15 @@
        basic_i = tab.(i).(n) + sum_j tab.(i).(j) * nonbasic_j
    and the objective (maximized internally) is
        z = obj.(n) + sum_j obj.(j) * nonbasic_j.
-   Bland's rule guarantees termination. *)
+   Bland's rule guarantees termination.
+
+   The incremental layer keeps dictionaries alive across solves: a
+   branch-and-bound child appends its one new bound row to a copy of the
+   parent's optimal dictionary and repairs primal feasibility with dual
+   simplex pivots instead of rebuilding from scratch, and [lexmin_order]
+   fixes coordinates on one living dictionary.  [set_warm false] restores the
+   historical cold-start behaviour (every node rebuilds); it is the reference
+   the property tests compare against. *)
 
 type lp_result =
   | Lp_optimal of Q.t * Q.t array
@@ -26,14 +34,28 @@ type budget = { max_nodes : int; time_limit_s : float option }
 
 let default_budget = { max_nodes = 200_000; time_limit_s = None }
 
+let warm_enabled = ref true
+let set_warm b = warm_enabled := b
+
 type dict = {
   mutable nonbasic : int array; (* variable ids of columns *)
   mutable basis : int array; (* variable ids of rows *)
   mutable tab : Q.t array array; (* m rows, n+1 cols (const last) *)
   mutable obj : Q.t array; (* n+1 cols *)
+  mutable next_id : int; (* first unused variable id (for appended slacks) *)
 }
 
+let copy_dict d =
+  {
+    d with
+    nonbasic = Array.copy d.nonbasic;
+    basis = Array.copy d.basis;
+    tab = Array.map Array.copy d.tab;
+    obj = Array.copy d.obj;
+  }
+
 let pivot d r e =
+  Stats.incr "milp.pivots";
   let n = Array.length d.nonbasic in
   let row = d.tab.(r) in
   let a = row.(e) in
@@ -54,17 +76,11 @@ let pivot d r e =
           if j = e then Q.mul f new_row.(e)
           else Q.add target.(j) (Q.mul f new_row.(j)))
   in
-  let new_row_const_part =
-    (* new_row currently maps: entering = inv*leaving - sum inv*row_j*nb_j -
-       inv*const; fix: we built coefficient for slot e as inv (leaving var),
-       others as -row_j*inv including const slot n. *)
-    new_row
-  in
   for i = 0 to Array.length d.tab - 1 do
     if i <> r then d.tab.(i) <- substitute d.tab.(i)
   done;
   d.obj <- substitute d.obj;
-  d.tab.(r) <- new_row_const_part;
+  d.tab.(r) <- new_row;
   let leaving = d.basis.(r) in
   d.basis.(r) <- d.nonbasic.(e);
   d.nonbasic.(e) <- leaving
@@ -109,10 +125,122 @@ let optimize d =
   in
   loop ()
 
+(* Dual simplex: restore primal feasibility of a dictionary whose objective
+   row is still dual-feasible (all reduced costs <= 0, i.e. the dictionary
+   was optimal before new rows were appended).  Bland-style tie-breaks:
+   leaving row = negative constant with the smallest basis id; entering
+   column minimizes (-obj_j)/row_j over row_j > 0, ties by smallest variable
+   id.  [`Stalled] is a safety valve: past [max_pivots] the caller abandons
+   the warm dictionary and re-solves cold. *)
+let dual_optimize ?(max_pivots = max_int) d =
+  let n = Array.length d.nonbasic in
+  let rec loop pivots =
+    if pivots > max_pivots then `Stalled
+    else begin
+      let m = Array.length d.basis in
+      let leave = ref (-1) in
+      for i = 0 to m - 1 do
+        if Q.sign d.tab.(i).(n) < 0
+           && (!leave < 0 || d.basis.(i) < d.basis.(!leave))
+        then leave := i
+      done;
+      if !leave < 0 then `Feasible
+      else begin
+        let r = !leave in
+        let row = d.tab.(r) in
+        let enter = ref (-1) in
+        let best = ref Q.zero in
+        for j = 0 to n - 1 do
+          if Q.sign row.(j) > 0 then begin
+            let ratio = Q.div (Q.neg d.obj.(j)) row.(j) in
+            if !enter < 0 || Q.compare ratio !best < 0
+               || (Q.equal ratio !best && d.nonbasic.(j) < d.nonbasic.(!enter))
+            then begin
+              enter := j;
+              best := ratio
+            end
+          end
+        done;
+        if !enter < 0 then
+          (* basic_r = const + sum row_j*nb_j with const < 0 and every
+             row_j <= 0: negative for all nonbasic >= 0, hence infeasible *)
+          `Infeasible
+        else begin
+          pivot d r !enter;
+          loop (pivots + 1)
+        end
+      end
+    end
+  in
+  loop 0
+
+let dual_pivot_cap d =
+  1000 + (20 * (Array.length d.basis + Array.length d.nonbasic))
+
+(* Install objective: maximize z = -c·x, expressing basic decision variables
+   through their rows.  Resets the objective of an existing dictionary, so a
+   living dictionary can be re-targeted (warm lexmin). *)
+let install_objective d ~nv (c : Q.t array) =
+  let n = Array.length d.nonbasic in
+  let obj = Array.make (n + 1) Q.zero in
+  let add_var vid coef =
+    if Q.is_zero coef then ()
+    else begin
+      match Array.find_index (fun v -> v = vid) d.nonbasic with
+      | Some j -> obj.(j) <- Q.add obj.(j) coef
+      | None -> (
+          match Array.find_index (fun b -> b = vid) d.basis with
+          | None -> assert false
+          | Some r ->
+              for j = 0 to n do
+                obj.(j) <- Q.add obj.(j) (Q.mul coef d.tab.(r).(j))
+              done)
+    end
+  in
+  for v = 0 to nv - 1 do
+    add_var v (Q.neg c.(v))
+  done;
+  d.obj <- obj
+
+let extract_point nv d =
+  let n = Array.length d.nonbasic in
+  let x = Array.make nv Q.zero in
+  Array.iteri (fun r b -> if b < nv then x.(b) <- d.tab.(r).(n)) d.basis;
+  x
+
+(* Append one standard-form row a·x + k >= 0 (over the nv standard decision
+   variables) to a dictionary, expressed over the current nonbasic set.  The
+   new slack enters the basis; its constant may be negative — the caller
+   repairs with {!dual_optimize}. *)
+let add_row_std d ~nv ((a : Q.t array), (k : Q.t)) =
+  let n = Array.length d.nonbasic in
+  let row = Array.make (n + 1) Q.zero in
+  row.(n) <- k;
+  for v = 0 to nv - 1 do
+    let coef = a.(v) in
+    if not (Q.is_zero coef) then begin
+      match Array.find_index (fun id -> id = v) d.nonbasic with
+      | Some j -> row.(j) <- Q.add row.(j) coef
+      | None -> (
+          match Array.find_index (fun id -> id = v) d.basis with
+          | None -> assert false (* decision vars never leave the system *)
+          | Some r ->
+              for j = 0 to n do
+                row.(j) <- Q.add row.(j) (Q.mul coef d.tab.(r).(j))
+              done)
+    end
+  done;
+  d.tab <- Array.append d.tab [| row |];
+  d.basis <- Array.append d.basis [| d.next_id |];
+  d.next_id <- d.next_id + 1
+
 (* Build the initial dictionary for: minimize c·x, x >= 0, rows r·x + k >= 0.
-   Slack variable ids follow decision ids.  Returns a primal-feasible
-   dictionary maximizing -c·x, or reports infeasibility. *)
-let solve_standard (nv : int) (rows : (Q.t array * Q.t) list) (c : Q.t array) =
+   Slack variable ids follow decision ids.  Returns a primal-optimal
+   dictionary for the installed objective, or reports infeasibility or
+   unboundedness.  This is the cold path — every call builds from scratch. *)
+let solve_standard_dict (nv : int) (rows : (Q.t array * Q.t) list)
+    (c : Q.t array) =
+  Stats.incr "milp.cold_builds";
   let m = List.length rows in
   let rows = Array.of_list rows in
   let tab =
@@ -126,6 +254,7 @@ let solve_standard (nv : int) (rows : (Q.t array * Q.t) list) (c : Q.t array) =
       basis = Array.init m (fun i -> nv + i);
       tab;
       obj = Array.make (nv + 1) Q.zero;
+      next_id = nv + m + 1 (* nv+m is reserved for the phase-1 auxiliary *);
     }
   in
   (* Phase 1 if some constant is negative. *)
@@ -202,40 +331,19 @@ let solve_standard (nv : int) (rows : (Q.t array * Q.t) list) (c : Q.t array) =
       end
     end
   in
-  if not feasible then Lp_infeasible
+  if not feasible then `Infeasible
   else begin
-    (* install objective: maximize z = -c·x, expressing basic vars via rows *)
-    let n = Array.length d.nonbasic in
-    let obj = Array.make (n + 1) Q.zero in
-    (* start with -c over decision variables, substituting basics *)
-    let add_var vid coef =
-      if Q.is_zero coef then ()
-      else begin
-        match Array.find_index (fun v -> v = vid) d.nonbasic with
-        | Some j -> obj.(j) <- Q.add obj.(j) coef
-        | None -> (
-            match Array.find_index (fun b -> b = vid) d.basis with
-            | None -> assert false
-            | Some r ->
-                for j = 0 to n do
-                  obj.(j) <- Q.add obj.(j) (Q.mul coef d.tab.(r).(j))
-                done)
-      end
-    in
-    for v = 0 to nv - 1 do
-      add_var v (Q.neg c.(v))
-    done;
-    d.obj <- obj;
-    match optimize d with
-    | `Unbounded -> Lp_unbounded
-    | `Optimal ->
-        let n = Array.length d.nonbasic in
-        let x = Array.make nv Q.zero in
-        Array.iteri
-          (fun r b -> if b < nv then x.(b) <- d.tab.(r).(n))
-          d.basis;
-        Lp_optimal (Q.neg d.obj.(n), x)
+    install_objective d ~nv c;
+    match optimize d with `Unbounded -> `Unbounded | `Optimal -> `Optimal d
   end
+
+let solve_standard nv rows c =
+  match solve_standard_dict nv rows c with
+  | `Infeasible -> Lp_infeasible
+  | `Unbounded -> Lp_unbounded
+  | `Optimal d ->
+      let n = Array.length d.nonbasic in
+      Lp_optimal (Q.neg d.obj.(n), extract_point nv d)
 
 (* Translate a Polyhedra.t (+ objective over its nvars) into standard form.
    With [nonneg:false] each variable is split into positive/negative parts. *)
@@ -266,19 +374,54 @@ let recover ~nonneg nv0 (x : Q.t array) =
   if nonneg then Array.sub x 0 nv0
   else Array.init nv0 (fun j -> Q.sub x.(j) x.(j + nv0))
 
+let widen_obj ~nonneg nv nv0 (objective : Q.t array) =
+  if nonneg then objective
+  else
+    Array.init nv (fun j ->
+        if j < nv0 then objective.(j) else Q.neg (objective.(j - nv0)))
+
+(* [lp] is a pure function of its arguments, so memoizing on the raw system
+   digest plus the objective returns exactly what re-solving would — the
+   codegen bound derivations and the verifier's range probes ask the same
+   rational LPs over and over across tuner candidates. *)
+let lp_cache : (string, lp_result) Hashtbl.t = Hashtbl.create 256
+
 let lp ?(nonneg = false) (sys : Polyhedra.t) (objective : Q.t array) =
   if Array.length objective <> sys.Polyhedra.nvars then
     invalid_arg "Milp.lp: objective length";
-  let nv, nv0, rows = to_standard ~nonneg sys in
-  let c =
-    if nonneg then objective
-    else
-      Array.init nv (fun j ->
-          if j < nv0 then objective.(j) else Q.neg objective.(j - nv0))
+  let solve () =
+    let nv, nv0, rows = to_standard ~nonneg sys in
+    let c = widen_obj ~nonneg nv nv0 objective in
+    match solve_standard nv rows c with
+    | Lp_optimal (v, x) -> Lp_optimal (v, recover ~nonneg nv0 x)
+    | (Lp_infeasible | Lp_unbounded) as r -> r
   in
-  match solve_standard nv rows c with
-  | Lp_optimal (v, x) -> Lp_optimal (v, recover ~nonneg nv0 x)
-  | (Lp_infeasible | Lp_unbounded) as r -> r
+  if not !warm_enabled then solve ()
+  else begin
+    let b = Buffer.create 64 in
+    Buffer.add_string b (if nonneg then "n:" else "f:");
+    Buffer.add_string b (Polyhedra.digest sys);
+    Array.iter
+      (fun q ->
+        Buffer.add_string b (Q.to_string q);
+        Buffer.add_char b ',')
+      objective;
+    let key = Buffer.contents b in
+    match Hashtbl.find_opt lp_cache key with
+    | Some r ->
+        Stats.incr "milp.lp_cache_hits";
+        (match r with
+        | Lp_optimal (v, x) -> Lp_optimal (v, Array.copy x)
+        | (Lp_infeasible | Lp_unbounded) as r -> r)
+    | None ->
+        Stats.incr "milp.lp_cache_misses";
+        let r = solve () in
+        if Hashtbl.length lp_cache > 100_000 then Hashtbl.reset lp_cache;
+        Hashtbl.add lp_cache key r;
+        (match r with
+        | Lp_optimal (v, x) -> Lp_optimal (v, Array.copy x)
+        | (Lp_infeasible | Lp_unbounded) as r -> r)
+  end
 
 (* ----------------------------- branch & bound ---------------------------- *)
 
@@ -297,91 +440,220 @@ let row_ge sys j (bound : Bigint.t) =
   coefs.(n) <- Bigint.neg bound;
   Polyhedra.ge coefs
 
-let ilp ?(nonneg = false) ?(budget = default_budget) (sys : Polyhedra.t)
+(* The same bound as {!row_le}/{!row_ge} in standard coordinates, for
+   appending directly to a living dictionary. *)
+let std_bound_row ~nonneg ~nv ~nv0 j ~ge (bound : Q.t) =
+  let a = Array.make nv Q.zero in
+  let s = if ge then Q.one else Q.minus_one in
+  a.(j) <- s;
+  if not nonneg then a.(nv0 + j) <- Q.neg s;
+  (a, if ge then Q.neg bound else bound)
+
+type bb_ctl = {
+  bud : budget;
+  nodes : int ref;
+  deadline : float option;
+  warm : bool;
+  nonneg : bool;
+  nv : int;
+  nv0 : int;
+  c_std : Q.t array;
+  objective : Vec.t;
+  mutable best : (Bigint.t * Bigint.t array) option;
+  mutable saw_unbounded : bool;
+}
+
+(* How a node obtains its LP relaxation's optimal dictionary:
+   - [Cold]: build and solve from scratch (the historical behaviour, and the
+     fallback whenever a warm dictionary goes stale);
+   - [Presolved d]: [d] is already optimal for this node's system (warm
+     lexmin hands the shared root dictionary to each coordinate's tree);
+   - [Pending d]: [d] is the parent's optimal dictionary plus one appended
+     bound row; a dual-simplex repair finishes the solve. *)
+type node_start = Cold | Presolved of dict | Pending of dict
+
+let rec bb_node ctl (sys : Polyhedra.t) start =
+  incr ctl.nodes;
+  Stats.incr "milp.bb_nodes";
+  if !(ctl.nodes) > ctl.bud.max_nodes then
+    raise
+      (Diag.Budget_exceeded
+         (Printf.sprintf
+            "Milp.ilp: branch-and-bound exceeded the %d-node budget"
+            ctl.bud.max_nodes));
+  (match ctl.deadline with
+  | Some dl when Sys.time () > dl ->
+      raise
+        (Diag.Budget_exceeded
+           (Printf.sprintf
+              "Milp.ilp: branch-and-bound exceeded the %.3fs time budget \
+               (%d nodes explored)"
+              (Option.get ctl.bud.time_limit_s)
+              !(ctl.nodes)))
+  | _ -> ());
+  let cold () =
+    let _, _, rows = to_standard ~nonneg:ctl.nonneg sys in
+    solve_standard_dict ctl.nv rows ctl.c_std
+  in
+  let solved =
+    match start with
+    | Cold -> cold ()
+    | Presolved d -> `Optimal d
+    | Pending d -> (
+        match dual_optimize ~max_pivots:(dual_pivot_cap d) d with
+        | `Feasible ->
+            Stats.incr "milp.warm_starts";
+            `Optimal d
+        | `Infeasible -> `Infeasible
+        | `Stalled ->
+            Stats.incr "milp.dual_stalls";
+            cold ())
+  in
+  match solved with
+  | `Infeasible -> ()
+  | `Unbounded ->
+      (* The relaxation is unbounded; if an integer point exists the ILP is
+         unbounded too (rational ray + integer point); we detect the ray
+         here and report unboundedness conservatively. *)
+      ctl.saw_unbounded <- true
+  | `Optimal d ->
+      let n = Array.length d.nonbasic in
+      let v = Q.neg d.obj.(n) in
+      let x = recover ~nonneg:ctl.nonneg ctl.nv0 (extract_point ctl.nv d) in
+      let lower = Q.ceil v in
+      let prune =
+        match ctl.best with
+        | Some (bv, _) -> Bigint.compare lower bv >= 0
+        | None -> false
+      in
+      if not prune then begin
+        match Array.find_index (fun q -> not (Q.is_integer q)) x with
+        | None ->
+            let xi = Array.map Q.to_bigint_exn x in
+            let value = Vec.dot ctl.objective xi in
+            (match ctl.best with
+            | Some (bv, _) when Bigint.compare value bv >= 0 -> ()
+            | _ -> ctl.best <- Some (value, xi))
+        | Some j ->
+            let f = Q.floor x.(j) in
+            let branch poly_row std_row =
+              let sys' = Polyhedra.add sys poly_row in
+              let start' =
+                if ctl.warm then begin
+                  let d' = copy_dict d in
+                  add_row_std d' ~nv:ctl.nv std_row;
+                  Pending d'
+                end
+                else Cold
+              in
+              bb_node ctl sys' start'
+            in
+            let fq = Q.of_bigint f in
+            let up = Bigint.add f Bigint.one in
+            branch (row_le sys j f)
+              (std_bound_row ~nonneg:ctl.nonneg ~nv:ctl.nv ~nv0:ctl.nv0 j
+                 ~ge:false fq);
+            branch (row_ge sys j up)
+              (std_bound_row ~nonneg:ctl.nonneg ~nv:ctl.nv ~nv0:ctl.nv0 j
+                 ~ge:true (Q.of_bigint up))
+      end
+
+let make_ctl ~nonneg ~warm ~budget (sys : Polyhedra.t) (objective : Vec.t) =
+  let nv, nv0, _ = to_standard ~nonneg sys in
+  let obj_q = Array.map Q.of_bigint objective in
+  {
+    bud = budget;
+    nodes = ref 0;
+    deadline =
+      (match budget.time_limit_s with
+      | None -> None
+      | Some dt -> Some (Sys.time () +. dt));
+    warm;
+    nonneg;
+    nv;
+    nv0;
+    c_std = widen_obj ~nonneg nv nv0 obj_q;
+    objective;
+    best = None;
+    saw_unbounded = false;
+  }
+
+let ctl_result ctl =
+  if ctl.saw_unbounded && ctl.best = None then Ilp_unbounded
+  else
+    match ctl.best with
+    | None -> Ilp_infeasible
+    | Some (v, x) -> Ilp_optimal (v, x)
+
+let ilp ?(nonneg = false) ?(budget = default_budget) ?warm (sys : Polyhedra.t)
     (objective : Vec.t) =
   if Array.length objective <> sys.Polyhedra.nvars then
     invalid_arg "Milp.ilp: objective length";
   Stats.incr "milp.solves";
-  let obj_q = Array.map Q.of_bigint objective in
-  let best : (Bigint.t * Bigint.t array) option ref = ref None in
-  let nodes = ref 0 in
-  let unbounded = ref false in
-  let deadline =
-    match budget.time_limit_s with
-    | None -> None
-    | Some dt -> Some (Sys.time () +. dt)
-  in
-  let rec go sys =
-    incr nodes;
-    Stats.incr "milp.bb_nodes";
-    if !nodes > budget.max_nodes then
-      raise
-        (Diag.Budget_exceeded
-           (Printf.sprintf
-              "Milp.ilp: branch-and-bound exceeded the %d-node budget"
-              budget.max_nodes));
-    (match deadline with
-    | Some d when Sys.time () > d ->
-        raise
-          (Diag.Budget_exceeded
-             (Printf.sprintf
-                "Milp.ilp: branch-and-bound exceeded the %.3fs time budget \
-                 (%d nodes explored)"
-                (Option.get budget.time_limit_s)
-                !nodes))
-    | _ -> ());
-    match lp ~nonneg sys obj_q with
-    | Lp_infeasible -> ()
-    | Lp_unbounded ->
-        (* The relaxation is unbounded; if an integer point exists the ILP is
-           unbounded too (rational ray + integer point); we detect the ray
-           here and report unboundedness conservatively. *)
-        unbounded := true
-    | Lp_optimal (v, x) ->
-        let lower = Q.ceil v in
-        let prune =
-          match !best with
-          | Some (bv, _) -> Bigint.compare lower bv >= 0
-          | None -> false
-        in
-        if not prune then begin
-          match Array.find_index (fun q -> not (Q.is_integer q)) x with
-          | None ->
-              let xi = Array.map Q.to_bigint_exn x in
-              let value = Vec.dot objective xi in
-              (match !best with
-              | Some (bv, _) when Bigint.compare value bv >= 0 -> ()
-              | _ -> best := Some (value, xi))
-          | Some j ->
-              let f = Q.floor x.(j) in
-              go (Polyhedra.add sys (row_le sys j f));
-              go (Polyhedra.add sys (row_ge sys j (Bigint.add f Bigint.one)))
-        end
-  in
-  go sys;
-  if !unbounded && !best = None then Ilp_unbounded
-  else match !best with None -> Ilp_infeasible | Some (v, x) -> Ilp_optimal (v, x)
+  let warm = match warm with Some b -> b | None -> !warm_enabled in
+  let ctl = make_ctl ~nonneg ~warm ~budget sys objective in
+  bb_node ctl sys Cold;
+  ctl_result ctl
 
-let feasible ?(nonneg = false) ?budget (sys : Polyhedra.t) =
-  match ilp ~nonneg ?budget sys (Vec.zero sys.Polyhedra.nvars) with
+let feasible ?(nonneg = false) ?budget ?warm (sys : Polyhedra.t) =
+  match ilp ~nonneg ?budget ?warm sys (Vec.zero sys.Polyhedra.nvars) with
   | Ilp_optimal (_, x) -> Some x
   | Ilp_infeasible -> None
   | Ilp_unbounded -> assert false (* zero objective is never unbounded *)
 
-let lexmin_order ?(nonneg = false) ?budget (sys : Polyhedra.t) order =
+(* Memoized integer feasibility: systems are canonicalized with integer
+   tightening (sound here — every caller's variables range over Z) and keyed
+   by digest, so the thousands of near-identical dependence/verify probes
+   answer from the table.  Budget overruns propagate uncached. *)
+let feasible_cache : (string, Bigint.t array option) Hashtbl.t =
+  Hashtbl.create 1024
+
+let clear_caches () =
+  Hashtbl.reset feasible_cache;
+  Hashtbl.reset lp_cache
+
+let feasible_cached ?(nonneg = false) ?budget (sys : Polyhedra.t) =
+  if not !warm_enabled then feasible ~nonneg ?budget sys
+  else
+    match Polyhedra.canon ~integer:true sys with
+    | None -> None (* canonicalization proved the system empty *)
+    | Some c -> (
+        let key = (if nonneg then "n:" else "f:") ^ Polyhedra.digest c in
+        match Hashtbl.find_opt feasible_cache key with
+        | Some r ->
+            Stats.incr "milp.feasible_cache_hits";
+            Option.map Array.copy r
+        | None ->
+            Stats.incr "milp.feasible_cache_misses";
+            let r = feasible ~nonneg ?budget c in
+            if Hashtbl.length feasible_cache > 100_000 then
+              Hashtbl.reset feasible_cache;
+            Hashtbl.add feasible_cache key (Option.map Array.copy r);
+            r)
+
+(* ------------------------ lexicographic minimum -------------------------- *)
+
+let lexmin_unbounded_error j =
+  Diag.Diagnostic
+    (Diag.errorf ~code:"unbounded"
+       "Milp.lexmin: coordinate %d is unbounded below (the system lacks a \
+        lower bound on it; callers must supply bounding constraints)"
+       j)
+
+(* Reference path: one independent cold ILP per coordinate. *)
+let lexmin_order_cold ~nonneg ?budget (sys : Polyhedra.t) order =
   let n = sys.Polyhedra.nvars in
   let rec fix sys = function
     | [] -> (
-        match feasible ~nonneg ?budget sys with
+        match feasible ~nonneg ?budget ~warm:false sys with
         | None -> None
         | Some x -> Some x)
     | j :: rest -> (
-        if j < 0 || j >= n then invalid_arg "Milp.lexmin_order: bad index";
         let obj = Vec.zero n in
         obj.(j) <- Bigint.one;
-        match ilp ~nonneg ?budget sys obj with
+        match ilp ~nonneg ?budget ~warm:false sys obj with
         | Ilp_infeasible -> None
-        | Ilp_unbounded -> failwith "Milp.lexmin: coordinate unbounded below"
+        | Ilp_unbounded -> raise (lexmin_unbounded_error j)
         | Ilp_optimal (v, _) ->
             let coefs = Vec.zero (n + 1) in
             coefs.(j) <- Bigint.one;
@@ -390,5 +662,105 @@ let lexmin_order ?(nonneg = false) ?budget (sys : Polyhedra.t) order =
   in
   fix sys order
 
-let lexmin ?nonneg ?budget sys =
-  lexmin_order ?nonneg ?budget sys (Putil.range sys.Polyhedra.nvars)
+(* Warm path: one living dictionary for the whole prefix chain.  Each
+   coordinate re-targets the dictionary's objective, primal-reoptimizes,
+   runs its branch-and-bound tree from that presolved root, then pins the
+   optimum with two appended rows and a dual repair.  Branch bounds explored
+   inside one coordinate's tree are never carried to the next — only the
+   x_j = v_j equalities are. *)
+let lexmin_order_warm ~nonneg ~budget (sys : Polyhedra.t) order =
+  Stats.incr "milp.solves";
+  let n = sys.Polyhedra.nvars in
+  let nv, nv0, _ = to_standard ~nonneg sys in
+  let base_sys = ref sys in
+  let base_dict : dict option ref = ref None in
+  (* Optimal root dictionary for the standard objective [c_std] over the
+     current base system, reusing the living dictionary when possible. *)
+  let root_for c_std =
+    match !base_dict with
+    | Some d -> (
+        Stats.incr "milp.warm_starts";
+        install_objective d ~nv c_std;
+        match optimize d with
+        | `Optimal -> `Optimal d
+        | `Unbounded -> `Unbounded)
+    | None -> (
+        let _, _, rows = to_standard ~nonneg !base_sys in
+        match solve_standard_dict nv rows c_std with
+        | `Optimal d ->
+            base_dict := Some d;
+            `Optimal d
+        | (`Infeasible | `Unbounded) as r -> r)
+  in
+  let run_bb objective root =
+    let ctl = make_ctl ~nonneg ~warm:true ~budget !base_sys objective in
+    bb_node ctl !base_sys (Presolved root);
+    ctl_result ctl
+  in
+  let fix_coord j v =
+    let coefs = Vec.zero (n + 1) in
+    coefs.(j) <- Bigint.one;
+    coefs.(n) <- Bigint.neg v;
+    base_sys := Polyhedra.add !base_sys (Polyhedra.eq coefs);
+    match !base_dict with
+    | None -> ()
+    | Some d -> (
+        let vq = Q.of_bigint v in
+        add_row_std d ~nv (std_bound_row ~nonneg ~nv ~nv0 j ~ge:true vq);
+        add_row_std d ~nv (std_bound_row ~nonneg ~nv ~nv0 j ~ge:false vq);
+        match dual_optimize ~max_pivots:(dual_pivot_cap d) d with
+        | `Feasible -> ()
+        | `Infeasible | `Stalled ->
+            (* the integer optimum is attainable, so this is only ever a
+               pivot stall; rebuild cold at the next coordinate *)
+            Stats.incr "milp.dual_stalls";
+            base_dict := None)
+  in
+  let coord_objective j =
+    let objective = Vec.zero n in
+    if j >= 0 then objective.(j) <- Bigint.one;
+    let obj_q = Array.map Q.of_bigint objective in
+    (objective, widen_obj ~nonneg nv nv0 obj_q)
+  in
+  let rec fix = function
+    | [] -> (
+        (* all coordinates pinned: any feasible point is the witness *)
+        let objective, c_std = coord_objective (-1) in
+        match root_for c_std with
+        | `Infeasible -> None
+        | `Unbounded -> assert false (* zero objective is never unbounded *)
+        | `Optimal root -> (
+            match run_bb objective root with
+            | Ilp_infeasible -> None
+            | Ilp_unbounded -> assert false
+            | Ilp_optimal (_, x) -> Some x))
+    | j :: rest -> (
+        let objective, c_std = coord_objective j in
+        match root_for c_std with
+        | `Infeasible -> None
+        | `Unbounded -> raise (lexmin_unbounded_error j)
+        | `Optimal root -> (
+            match run_bb objective root with
+            | Ilp_infeasible -> None
+            | Ilp_unbounded -> raise (lexmin_unbounded_error j)
+            | Ilp_optimal (v, _) ->
+                fix_coord j v;
+                fix rest))
+  in
+  fix order
+
+let lexmin_order ?(nonneg = false) ?budget ?warm (sys : Polyhedra.t) order =
+  let n = sys.Polyhedra.nvars in
+  List.iter
+    (fun j ->
+      if j < 0 || j >= n then invalid_arg "Milp.lexmin_order: bad index")
+    order;
+  let warm = match warm with Some b -> b | None -> !warm_enabled in
+  if warm then
+    lexmin_order_warm ~nonneg
+      ~budget:(Option.value budget ~default:default_budget)
+      sys order
+  else lexmin_order_cold ~nonneg ?budget sys order
+
+let lexmin ?nonneg ?budget ?warm sys =
+  lexmin_order ?nonneg ?budget ?warm sys (Putil.range sys.Polyhedra.nvars)

@@ -11,7 +11,23 @@
     paper).  Branch-and-bound terminates only on polyhedra whose integer
     optimum is attained in a bounded region; callers are expected to supply
     bounding constraints (the Pluto search bounds coefficients, the dependence
-    tester fixes structure parameters). *)
+    tester fixes structure parameters).
+
+    {2 Warm-started solving}
+
+    By default the solver is incremental: a branch-and-bound child inherits
+    its parent's optimal simplex dictionary, appends the one new bound row
+    and repairs feasibility with dual-simplex pivots, and {!lexmin_order}
+    fixes coordinates on one living dictionary instead of solving [n]
+    independent ILPs.  Warm and cold starts return the same optimal values
+    (exact arithmetic; the LP/ILP optimum is path-independent), though
+    witness points of degenerate optima may differ within the optimal class.
+    [set_warm false] — or [~warm:false] per call — forces the historical
+    cold-start behaviour; the property tests use it as the reference oracle.
+
+    Observability counters (see {!Stats}): [milp.solves], [milp.bb_nodes],
+    [milp.pivots], [milp.cold_builds], [milp.warm_starts],
+    [milp.dual_stalls], [milp.feasible_cache_hits]/[..._misses]. *)
 
 (** Result of rational linear programming. *)
 type lp_result =
@@ -39,26 +55,50 @@ type budget = { max_nodes : int; time_limit_s : float option }
 (** 200_000 nodes, no time limit. *)
 val default_budget : budget
 
-(** [ilp ?nonneg ?budget sys obj] minimizes the integer objective [obj·x]
-    over the integer points of [sys].
+(** [set_warm false] disables warm starts globally (every node re-solves
+    cold and {!feasible_cached} stops caching); [true] restores the default.
+    Benchmarks use it to measure the cold path. *)
+val set_warm : bool -> unit
+
+(** [ilp ?nonneg ?budget ?warm sys obj] minimizes the integer objective
+    [obj·x] over the integer points of [sys].  [warm] overrides the global
+    {!set_warm} toggle for this call.
     @raise Diag.Budget_exceeded when the branch-and-bound tree exceeds the
     budget's node or time limit. *)
-val ilp : ?nonneg:bool -> ?budget:budget -> Polyhedra.t -> Vec.t -> ilp_result
+val ilp :
+  ?nonneg:bool -> ?budget:budget -> ?warm:bool -> Polyhedra.t -> Vec.t ->
+  ilp_result
 
 (** [feasible ?nonneg sys] decides whether [sys] contains an integer point and
     returns a witness.
     @raise Diag.Budget_exceeded like {!ilp}. *)
-val feasible : ?nonneg:bool -> ?budget:budget -> Polyhedra.t -> Bigint.t array option
+val feasible :
+  ?nonneg:bool -> ?budget:budget -> ?warm:bool -> Polyhedra.t ->
+  Bigint.t array option
+
+(** [feasible_cached ?nonneg sys] is {!feasible} memoized on the canonical
+    form of [sys] (integer tightening — sound only when every variable is
+    integral, which holds for all dependence systems).  Budget overruns
+    propagate uncached; with [set_warm false] the cache is bypassed. *)
+val feasible_cached :
+  ?nonneg:bool -> ?budget:budget -> Polyhedra.t -> Bigint.t array option
+
+(** Drop all memoized feasibility results. *)
+val clear_caches : unit -> unit
 
 (** [lexmin ?nonneg sys] is the lexicographically smallest integer point of
     [sys] (minimizing variable 0 first, then variable 1, ...), or [None] if
     empty.
-    @raise Failure if some coordinate is unbounded below.
+    @raise Diag.Diagnostic with code ["unbounded"] if some coordinate is
+    unbounded below.
     @raise Diag.Budget_exceeded like {!ilp}. *)
-val lexmin : ?nonneg:bool -> ?budget:budget -> Polyhedra.t -> Bigint.t array option
+val lexmin :
+  ?nonneg:bool -> ?budget:budget -> ?warm:bool -> Polyhedra.t ->
+  Bigint.t array option
 
 (** [lexmin_order ?nonneg sys order] generalizes {!lexmin} to an explicit
     priority order over a subset of the variables; variables not listed are
     left unoptimized (any feasible value). *)
 val lexmin_order :
-  ?nonneg:bool -> ?budget:budget -> Polyhedra.t -> int list -> Bigint.t array option
+  ?nonneg:bool -> ?budget:budget -> ?warm:bool -> Polyhedra.t -> int list ->
+  Bigint.t array option

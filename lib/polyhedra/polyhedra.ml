@@ -112,30 +112,31 @@ let normalize_constr ~integer c =
       g := Bigint.gcd !g c.coefs.(j)
     done;
     let g = !g in
-    let c' =
-      if Bigint.is_one g then c
-      else
-        match c.kind with
-        | Eq ->
-            if not (Bigint.is_zero (Bigint.rem c.coefs.(n) g)) then
-              (* equality has no rational solution scaled this way only when
-                 the full row content differs; dividing the full row keeps
-                 rational semantics *)
-              { c with coefs = Vec.normalize c.coefs }
-            else
-              { c with coefs = Array.map (fun x -> Bigint.div x g) c.coefs }
-        | Ge ->
-            if integer then
-              { c with
-                coefs =
-                  Array.mapi
-                    (fun j x ->
-                      if j = n then Bigint.fdiv x g else Bigint.div x g)
-                    c.coefs
-              }
-            else { c with coefs = Vec.normalize c.coefs }
-    in
-    Ok (Some c')
+    if Bigint.is_one g then Ok (Some c)
+    else
+      match c.kind with
+      | Eq ->
+          if Bigint.is_zero (Bigint.rem c.coefs.(n) g) then
+            Ok (Some { c with coefs = Array.map (fun x -> Bigint.div x g) c.coefs })
+          else if integer then
+            (* g divides every variable term but not the constant, so the
+               left-hand side is ≡ k (mod g) with k ≠ 0 at every integer
+               point: the equality — and the whole system — is unsatisfiable.
+               (Over the rationals the row is still fine, hence the gate.) *)
+            Error ()
+          else Ok (Some { c with coefs = Vec.normalize c.coefs })
+      | Ge ->
+          if integer then
+            Ok
+              (Some
+                 { c with
+                   coefs =
+                     Array.mapi
+                       (fun j x ->
+                         if j = n then Bigint.fdiv x g else Bigint.div x g)
+                       c.coefs
+                 })
+          else Ok (Some { c with coefs = Vec.normalize c.coefs })
   end
 
 exception Empty
@@ -152,24 +153,91 @@ let simplify ?(integer = false) t =
     in
     (* Dedup; for inequalities with identical variable parts keep the tightest
        constant (largest lower bound means smallest constant ... for
-       row·x + k >= 0 the tightest is the smallest k). *)
-    let keep = ref [] in
-    let dominated c by =
-      c.kind = Ge && by.kind = Ge
-      && (let n = Array.length c.coefs - 1 in
-          let rec same j = j >= n || (Bigint.equal c.coefs.(j) by.coefs.(j) && same (j + 1)) in
-          same 0)
-      && Bigint.compare by.coefs.(Array.length by.coefs - 1)
-           c.coefs.(Array.length c.coefs - 1)
-         <= 0
+       row·x + k >= 0 the tightest is the smallest k).  One hash pass keyed by
+       the variable part (full row for equalities) instead of the old
+       quadratic pairwise scan — this runs after every Fourier–Motzkin step,
+       so projection chains no longer re-derive dominated rows. *)
+    let n = t.nvars in
+    let key c =
+      let b = Buffer.create 32 in
+      Buffer.add_char b (match c.kind with Eq -> 'e' | Ge -> 'g');
+      let upto = match c.kind with Eq -> n | Ge -> n - 1 in
+      for j = 0 to upto do
+        Buffer.add_string b (Bigint.to_string c.coefs.(j));
+        Buffer.add_char b ','
+      done;
+      Buffer.contents b
     in
-    List.iter
-      (fun c ->
-        if not (List.exists (fun k -> equal_constr k c || dominated c k) !keep)
-        then keep := c :: List.filter (fun k -> not (dominated k c)) !keep)
+    let items : (string, (int * constr) ref) Hashtbl.t = Hashtbl.create 64 in
+    let keys = ref [] in
+    List.iteri
+      (fun i c ->
+        let k = key c in
+        match Hashtbl.find_opt items k with
+        | None ->
+            Hashtbl.add items k (ref (i, c));
+            keys := k :: !keys
+        | Some r ->
+            (* same variable part: an equality duplicate is dropped, an
+               inequality survives as the strictly tighter of the two (the
+               tighter row keeps its own position) *)
+            let _, kept = !r in
+            if c.kind = Ge && Bigint.compare c.coefs.(n) kept.coefs.(n) < 0
+            then r := (i, c))
       cs;
-    Some { t with cs = List.rev !keep }
+    let survivors = List.rev_map (fun k -> !(Hashtbl.find items k)) !keys in
+    let survivors =
+      List.sort (fun (i, _) (j, _) -> Stdlib.compare i j) survivors
+    in
+    Some { t with cs = List.map snd survivors }
   with Empty -> None
+
+(* ---------------------------- canonical form ---------------------------- *)
+
+(* Equalities sort before inequalities; within a kind, rows are ordered by
+   their (normalized) coefficient vectors. *)
+let compare_constr a b =
+  match (a.kind, b.kind) with
+  | Eq, Ge -> -1
+  | Ge, Eq -> 1
+  | Eq, Eq | Ge, Ge -> Vec.compare a.coefs b.coefs
+
+(* An equality row is sign-ambiguous (c = 0 iff -c = 0); fix the sign so the
+   first non-zero variable coefficient is positive. *)
+let sign_fix_eq c =
+  match c.kind with
+  | Ge -> c
+  | Eq ->
+      let n = Array.length c.coefs - 1 in
+      let rec first j =
+        if j >= n then Bigint.sign c.coefs.(n)
+        else
+          let s = Bigint.sign c.coefs.(j) in
+          if s <> 0 then s else first (j + 1)
+      in
+      if first 0 < 0 then { c with coefs = Vec.neg c.coefs } else c
+
+let canon ?(integer = false) t =
+  match simplify ~integer t with
+  | None -> None
+  | Some s ->
+      let cs = List.map sign_fix_eq s.cs in
+      Some { s with cs = List.sort_uniq compare_constr cs }
+
+let digest t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (string_of_int t.nvars);
+  Buffer.add_char b '|';
+  List.iter
+    (fun c ->
+      Buffer.add_char b (match c.kind with Eq -> 'e' | Ge -> 'g');
+      Array.iter
+        (fun x ->
+          Buffer.add_string b (Bigint.to_string x);
+          Buffer.add_char b ',')
+        c.coefs)
+    t.cs;
+  Digest.to_hex (Digest.string (Buffer.contents b))
 
 (* Substitute variable [v] away using equality [e] (with nonzero coef on v)
    in constraint [c]: scale so the v-coefficients cancel, keeping the
@@ -246,6 +314,38 @@ let is_empty_rational t =
   | Some t' -> (
       (* all columns zero: constraints are constant; simplify decides *)
       match simplify t' with None -> true | Some _ -> false)
+
+(* Memoized rational emptiness, keyed by the digest of the canonical form so
+   syntactic permutations and rescalings of the same system share one entry.
+   The dependence tester and the verifier probe thousands of near-identical
+   systems; this cache answers the repeats without re-running elimination. *)
+let empty_cache : (string, bool) Hashtbl.t = Hashtbl.create 1024
+
+let empty_cache_enabled = ref true
+let set_empty_cache b = empty_cache_enabled := b
+let clear_caches () = Hashtbl.reset empty_cache
+
+let is_empty_cached ?(integer = false) t =
+  match canon ~integer t with
+  | None -> true (* canonicalization already proved the system empty *)
+  | Some c ->
+      if not !empty_cache_enabled then is_empty_rational c
+      else begin
+        let k =
+          (if integer then "i:" else "q:") ^ string_of_int c.nvars ^ digest c
+        in
+        match Hashtbl.find_opt empty_cache k with
+        | Some e ->
+            Stats.incr "poly.empty_cache_hits";
+            e
+        | None ->
+            Stats.incr "poly.empty_cache_misses";
+            let e = is_empty_rational c in
+            if Hashtbl.length empty_cache > 100_000 then
+              Hashtbl.reset empty_cache;
+            Hashtbl.add empty_cache k e;
+            e
+      end
 
 let bounds_on t v =
   List.fold_left

@@ -57,15 +57,31 @@ val rename : t -> int array -> t
 (** {1 Normalization} *)
 
 (** [normalize_constr ~integer c] divides by the content; with [integer:true],
-    inequality constants are additionally tightened by flooring (valid when
-    all variables are integral).  Returns [None] if the constraint is
-    trivially true, [Some (Error ())] if trivially false. *)
+    inequality constants are additionally tightened by flooring and an
+    equality whose variable-part gcd does not divide its constant is reported
+    as unsatisfiable (both valid only when all variables are integral).
+    Returns [Ok None] if the constraint is trivially true, [Error ()] if it is
+    unsatisfiable (proving the enclosing system empty). *)
 val normalize_constr : integer:bool -> constr -> (constr option, unit) result
 
 (** [simplify ?integer t] normalizes all constraints, removes syntactic
     duplicates and dominated inequalities.  Returns [None] if a constraint is
     trivially false. *)
 val simplify : ?integer:bool -> t -> t option
+
+(** [canon ?integer t] is {!simplify} followed by a canonical ordering: the
+    sign of each equality is fixed, rows are sorted (equalities first) and
+    exact duplicates removed.  Two systems describing the same constraint set
+    up to permutation, duplication and scaling canonicalize identically. *)
+val canon : ?integer:bool -> t -> t option
+
+(** [digest t] is a stable hex digest of the constraint set as stored.
+    Meaningful as an identity key after {!canon}. *)
+val digest : t -> string
+
+(** Total order on constraints used by {!canon}: equalities before
+    inequalities, then coefficient-lexicographic. *)
+val compare_constr : constr -> constr -> int
 
 (** {1 Projection and emptiness} *)
 
@@ -88,6 +104,21 @@ val eliminate_many : ?max_constrs:int -> t -> int list -> t option
     Rational emptiness implies integer emptiness; the converse is checked by
     the ILP layer where needed. *)
 val is_empty_rational : t -> bool
+
+(** [is_empty_cached ?integer t] is {!is_empty_rational} on the {!canon}-ical
+    form of [t], memoized globally by digest (counters
+    [poly.empty_cache_hits]/[poly.empty_cache_misses]).  With [integer:true]
+    the canonical form uses integer tightening, so the test may prove empty
+    systems that still have rational points — only sound when every variable
+    of [t] ranges over the integers. *)
+val is_empty_cached : ?integer:bool -> t -> bool
+
+(** [set_empty_cache false] disables the memoized emptiness cache (used by
+    benchmarks to measure the cold path); [true] re-enables it. *)
+val set_empty_cache : bool -> unit
+
+(** Drop all memoized emptiness results. *)
+val clear_caches : unit -> unit
 
 (** {1 Queries} *)
 

@@ -10,6 +10,18 @@
 
     Established keys (grep for callers before renaming):
     - ["milp.solves"], ["milp.bb_nodes"] — ILP calls / branch-and-bound nodes;
+    - ["milp.pivots"] — simplex pivots (primal and dual);
+    - ["milp.cold_builds"] — simplex dictionaries built from scratch;
+    - ["milp.warm_starts"] — branch-and-bound nodes and lexmin coordinates
+      served by re-optimizing an inherited dictionary;
+    - ["milp.dual_stalls"] — warm dictionaries abandoned after the
+      dual-simplex pivot cap (fell back to a cold solve);
+    - ["milp.feasible_cache_hits"] / ["milp.feasible_cache_misses"] — memoized
+      integer-feasibility probes;
+    - ["milp.lp_cache_hits"] / ["milp.lp_cache_misses"] — memoized rational
+      LP calls;
+    - ["poly.empty_cache_hits"] / ["poly.empty_cache_misses"] — memoized
+      emptiness tests on canonicalized systems;
     - ["fm.eliminations"], ["fm.rows_eliminated"] — Fourier–Motzkin steps and
       the rows they removed;
     - ["machine.simulations"], ["machine.l1_misses"], ["machine.l2_misses"],

@@ -72,10 +72,13 @@ let ge_1 (delta : Vec.t) =
 (* delta <= 0 *)
 let le_0 (delta : Vec.t) = Polyhedra.ge (Vec.neg delta)
 
-(* Integer witness of a system, or None when empty.  Rational emptiness is
-   tried first (cheap and conclusive); the ILP layer settles the rest. *)
+(* Integer witness of a system, or None when empty.  Canonical (memoized)
+   emptiness is tried first — integer tightening is sound because every
+   variable is an iteration counter or structure parameter — and the cached
+   ILP layer settles the rest. *)
 let witness sys =
-  if Polyhedra.is_empty_rational sys then None else Milp.feasible sys
+  if Polyhedra.is_empty_cached ~integer:true sys then None
+  else Milp.feasible_cached sys
 
 (* -------------------------------- reporting ------------------------------ *)
 
@@ -165,7 +168,7 @@ let check_dep_legality ~count ~failures ~lo ~hi (p : Ir.program)
        prefix := Polyhedra.add !prefix (Polyhedra.eq deltas.(k));
        (* once the all-equal prefix is empty every remaining obligation is
           vacuous: every pair is already strictly ordered *)
-       if Polyhedra.is_empty_rational !prefix then raise Exit
+       if Polyhedra.is_empty_cached ~integer:true !prefix then raise Exit
      done;
      obligation ~count ~failures ~what:(describe_dep d ^ " (ordering)")
        (fun () ->

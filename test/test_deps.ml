@@ -142,6 +142,26 @@ let test_satisfaction_row () =
   Alcotest.(check int) "dst coef" 1 (Bigint.to_int delta.(ms));
   Alcotest.(check int) "const" 5 (Bigint.to_int delta.(Array.length delta - 1))
 
+let test_parity_no_spurious_dep () =
+  (* a[2i] = a[2i+1]: every write/read candidate pair needs 2s ≡ 2t+1 (mod 2),
+     which integer normalization now refutes outright.  Before the
+     normalize_constr fix the parity-contradicted equality survived into the
+     rational phase, every such system reached branch-and-bound, and a
+     starved ILP budget turned the Budget_exceeded into a conservative —
+     spurious — dependence.  Assert both the answer (no dependences) and the
+     mechanism (the ILP layer is never consulted). *)
+  let p =
+    Frontend.parse_program ~name:"<parity>"
+      "double a[M];\nfor (i = 0; i < N; i++)\n  a[2*i] = a[2*i + 1];\n"
+  in
+  Polyhedra.clear_caches ();
+  Milp.clear_caches ();
+  Stats.reset ();
+  let ds = Deps.compute p in
+  Alcotest.(check int) "no dependences" 0 (List.length ds);
+  Alcotest.(check int) "no ILP solves needed" 0 (Stats.counter "milp.solves");
+  Alcotest.(check int) "no B&B nodes" 0 (Stats.counter "milp.bb_nodes")
+
 let suite =
   ( "deps",
     [
@@ -153,4 +173,6 @@ let suite =
       Alcotest.test_case "ordering strictness" `Quick test_ordering_strictness;
       Alcotest.test_case "seidel structure" `Quick test_seidel_dep_structure;
       Alcotest.test_case "satisfaction row" `Quick test_satisfaction_row;
+      Alcotest.test_case "parity access needs no ILP" `Quick
+        test_parity_no_spurious_dep;
     ] )

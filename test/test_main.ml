@@ -5,6 +5,7 @@ let () =
       Test_linalg.suite;
       Test_polyhedra.suite;
       Test_milp.suite;
+      Test_solver_substrate.suite;
       Test_frontend.suite;
       Test_deps.suite;
       Test_pluto.suite;

@@ -88,10 +88,21 @@ let test_lexmin () =
   | None -> Alcotest.fail "expected a point"
 
 let test_lexmin_unbounded () =
+  (* both the warm and cold paths must raise the structured diagnostic, not a
+     raw Failure — the driver ladder only knows how to absorb Diag errors *)
   let sys = Polyhedra.of_constrs 1 [ Polyhedra.ge_ints [ -1; 0 ] ] in
-  Alcotest.check_raises "unbounded below"
-    (Failure "Milp.lexmin: coordinate unbounded below") (fun () ->
-      ignore (Milp.lexmin sys))
+  List.iter
+    (fun warm ->
+      match Milp.lexmin ~warm sys with
+      | exception Diag.Diagnostic d ->
+          Alcotest.(check string)
+            (Printf.sprintf "diagnostic code (warm=%b)" warm)
+            "unbounded" d.Diag.code
+      | exception e ->
+          Alcotest.failf "expected Diag.Diagnostic, got %s"
+            (Printexc.to_string e)
+      | _ -> Alcotest.fail "expected an unbounded diagnostic")
+    [ true; false ]
 
 (* ---- property: ILP agrees with brute force on random bounded systems ---- *)
 

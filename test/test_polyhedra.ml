@@ -226,6 +226,70 @@ let prop_simplify_preserves =
       done;
       !ok)
 
+let test_integer_eq_parity () =
+  (* 2x - 2y = 1 has rational solutions but no integer ones: with
+     [~integer:true] normalization must prove the system empty (the old code
+     kept the row, and the contradiction survived all the way to the ILP) *)
+  let sys =
+    Polyhedra.of_constrs 2 [ Polyhedra.eq_ints [ 2; -2; -1 ] ]
+  in
+  (match Polyhedra.simplify ~integer:true sys with
+  | None -> ()
+  | Some _ -> Alcotest.fail "integer-infeasible equality not detected");
+  (* over the rationals the row is satisfiable and must be kept *)
+  (match Polyhedra.simplify sys with
+  | Some s ->
+      Alcotest.(check int) "rational keeps the row" 1
+        (List.length s.Polyhedra.cs)
+  | None -> Alcotest.fail "rationally satisfiable system reported empty");
+  match Polyhedra.canon ~integer:true sys with
+  | None -> ()
+  | Some _ -> Alcotest.fail "canon missed the parity contradiction"
+
+let test_canon_digest_stable () =
+  (* permuted, duplicated and rescaled presentations of the same constraint
+     set canonicalize to the same digest *)
+  let c1 = Polyhedra.ge_ints [ 1; 0; 0 ] in
+  let c2 = Polyhedra.ge_ints [ 0; 1; 3 ] in
+  let e = Polyhedra.eq_ints [ 1; -1; 0 ] in
+  let e_flipped = Polyhedra.eq_ints [ -1; 1; 0 ] in
+  let c2_scaled = Polyhedra.ge_ints [ 0; 4; 12 ] in
+  let a = Polyhedra.of_constrs 2 [ c1; c2; e ] in
+  let b = Polyhedra.of_constrs 2 [ e_flipped; c2_scaled; c1; c2; c1 ] in
+  let dg t =
+    match Polyhedra.canon t with
+    | None -> Alcotest.fail "unexpected empty"
+    | Some c -> Polyhedra.digest c
+  in
+  Alcotest.(check string) "same canonical digest" (dg a) (dg b);
+  let different = Polyhedra.of_constrs 2 [ c1; c2 ] in
+  Alcotest.(check bool) "different set, different digest" false
+    (String.equal (dg a) (dg different))
+
+let test_empty_cache_agrees () =
+  Polyhedra.clear_caches ();
+  Stats.reset ();
+  let sys =
+    Polyhedra.of_constrs 2
+      [
+        Polyhedra.ge_ints [ 1; 0; 0 ];
+        Polyhedra.ge_ints [ 0; 1; 0 ];
+        Polyhedra.ge_ints [ -1; -1; -1 ] (* x + y <= -1: empty with x,y>=0 *);
+      ]
+  in
+  Alcotest.(check bool) "empty (cold)" true (Polyhedra.is_empty_rational sys);
+  Alcotest.(check bool) "empty (cached, miss)" true
+    (Polyhedra.is_empty_cached sys);
+  Alcotest.(check bool) "empty (cached, hit)" true
+    (Polyhedra.is_empty_cached sys);
+  Alcotest.(check bool) "cache hit recorded" true
+    (Stats.counter "poly.empty_cache_hits" >= 1);
+  let nonempty = box2 0 5 in
+  Alcotest.(check bool) "nonempty (cached)" false
+    (Polyhedra.is_empty_cached nonempty);
+  Alcotest.(check bool) "nonempty agrees with cold" false
+    (Polyhedra.is_empty_rational nonempty)
+
 let suite =
   ( "polyhedra",
     [
@@ -237,6 +301,9 @@ let suite =
       Alcotest.test_case "eliminate (equality pivot)" `Quick test_eliminate_equality;
       Alcotest.test_case "insert/drop vars" `Quick test_insert_drop_vars;
       Alcotest.test_case "bounds_on" `Quick test_bounds_on;
+      Alcotest.test_case "integer equality parity" `Quick test_integer_eq_parity;
+      Alcotest.test_case "canonical digest stability" `Quick test_canon_digest_stable;
+      Alcotest.test_case "emptiness cache" `Quick test_empty_cache_agrees;
       QCheck_alcotest.to_alcotest prop_projection_sound;
       QCheck_alcotest.to_alcotest prop_projection_rationally_tight;
       QCheck_alcotest.to_alcotest prop_simplify_preserves;

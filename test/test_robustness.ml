@@ -256,6 +256,33 @@ let test_crash_freedom_fuzz () =
           (Printexc.to_string e) !src
   done
 
+let test_lexmin_unbounded_is_structured () =
+  (* an unbounded lexmin coordinate used to escape as a raw [Failure],
+     blowing through the never-crash contract; it must now surface as a
+     structured [Diag.Diagnostic] so [Driver]'s attempt wrapper can absorb
+     it into the degradation ladder *)
+  let sys = Polyhedra.of_constrs 1 [ Polyhedra.ge_ints [ -1; 0 ] ] in
+  List.iter
+    (fun warm ->
+      match Milp.lexmin ~warm sys with
+      | exception Diag.Diagnostic d ->
+          Alcotest.(check string) "code" "unbounded" d.Diag.code;
+          Alcotest.(check bool) "is an error" true (Diag.is_error d)
+      | exception Failure msg ->
+          Alcotest.failf "raw Failure escaped (warm=%b): %s" warm msg
+      | exception e ->
+          Alcotest.failf "unexpected exception (warm=%b): %s" warm
+            (Printexc.to_string e)
+      | _ -> Alcotest.fail "expected the unbounded diagnostic")
+    [ true; false ];
+  (* and the driver's exception wall converts it into a per-rung diagnostic
+     rather than letting it propagate *)
+  match
+    Driver.attempt ~what:"probe" (fun () -> ignore (Milp.lexmin sys))
+  with
+  | Ok () -> Alcotest.fail "expected an error result"
+  | Error d -> Alcotest.(check string) "driver code" "unbounded" d.Diag.code
+
 let suite =
   ( "robustness",
     [
@@ -275,5 +302,7 @@ let suite =
       Alcotest.test_case "ladder: degrade to identity" `Quick
         test_ladder_degrades_to_identity;
       Alcotest.test_case "ladder: --strict" `Quick test_strict_disables_ladder;
+      Alcotest.test_case "lexmin unbounded is structured" `Quick
+        test_lexmin_unbounded_is_structured;
       Alcotest.test_case "crash-freedom fuzz" `Slow test_crash_freedom_fuzz;
     ] )

@@ -1,0 +1,186 @@
+(* Solver-substrate properties: the incremental (warm-started) solver paths
+   and the canonical emptiness cache must agree with the cold reference.
+
+   Random systems are drawn from the shared fuzz seed ([Gen.seed_of_env], so
+   PLUTO_FUZZ_SEED reproduces a failure), each over 3 variables inside a
+   [-5,5] box with a handful of random rows — the same shape the dependence
+   tester produces, small enough to brute-force mentally but rich enough to
+   hit degenerate optima, parity-infeasible equalities and empty systems. *)
+
+let nvars = 3
+
+let rand_system rng =
+  let ri lo hi = lo + Random.State.int rng (hi - lo + 1) in
+  let box =
+    List.concat_map
+      (fun j ->
+        [
+          Polyhedra.ge_ints
+            (List.init (nvars + 1) (fun q ->
+                 if q = j then 1 else if q = nvars then 5 else 0));
+          Polyhedra.ge_ints
+            (List.init (nvars + 1) (fun q ->
+                 if q = j then -1 else if q = nvars then 5 else 0));
+        ])
+      (Putil.range nvars)
+  in
+  let ncons = ri 1 5 in
+  let rows =
+    List.init ncons (fun _ ->
+        let coefs = Vec.init (nvars + 1) (fun _ -> Bigint.of_int (ri (-4) 4)) in
+        if ri 0 7 = 0 then Polyhedra.eq coefs else Polyhedra.ge coefs)
+  in
+  Polyhedra.of_constrs nvars (box @ rows)
+
+let rand_objective rng =
+  let ri lo hi = lo + Random.State.int rng (hi - lo + 1) in
+  Vec.init nvars (fun _ -> Bigint.of_int (ri (-3) 3))
+
+let iterations = 200
+
+let with_rng f =
+  let rng = Gen.state_of_seed (Gen.seed_of_env ()) in
+  for i = 1 to iterations do
+    f i rng
+  done
+
+(* rational emptiness must agree with ILP-based emptiness in the only
+   directions that are sound: rationally empty => no integer point, and an
+   integer witness => rationally non-empty (and actually inside) *)
+let test_emptiness_agreement () =
+  with_rng (fun i rng ->
+      let sys = rand_system rng in
+      let rat_empty = Polyhedra.is_empty_rational sys in
+      let cached_empty = Polyhedra.is_empty_cached sys in
+      Alcotest.(check bool)
+        (Printf.sprintf "cached = cold rational emptiness (#%d)" i)
+        rat_empty cached_empty;
+      match Milp.feasible ~warm:false sys with
+      | None -> ()
+      | Some w ->
+          Alcotest.(check bool)
+            (Printf.sprintf "witness inside (#%d)" i)
+            true (Polyhedra.sat_point sys w);
+          Alcotest.(check bool)
+            (Printf.sprintf "integer witness refutes rational emptiness (#%d)" i)
+            false rat_empty)
+
+(* the integer-tightened cached test may prove MORE systems empty than the
+   rational one, but never a system holding an integer point; and whenever it
+   says non-empty the ILP must agree with the plain path *)
+let test_integer_emptiness_sound () =
+  with_rng (fun i rng ->
+      let sys = rand_system rng in
+      let int_empty = Polyhedra.is_empty_cached ~integer:true sys in
+      let witness = Milp.feasible ~warm:false sys in
+      if int_empty then
+        Alcotest.(check bool)
+          (Printf.sprintf "integer-tightened emptiness is sound (#%d)" i)
+          true (witness = None);
+      match Milp.feasible_cached sys with
+      | None ->
+          Alcotest.(check bool)
+            (Printf.sprintf "feasible_cached agrees on emptiness (#%d)" i)
+            true (witness = None)
+      | Some w ->
+          Alcotest.(check bool)
+            (Printf.sprintf "feasible_cached witness inside (#%d)" i)
+            true (Polyhedra.sat_point sys w);
+          Alcotest.(check bool)
+            (Printf.sprintf "feasible_cached agrees on non-emptiness (#%d)" i)
+            true (witness <> None))
+
+(* warm-started branch-and-bound returns the same optimum as the cold path,
+   and its witness lies in the same optimal class (inside the system,
+   achieving the same value) *)
+let test_warm_ilp_matches_cold () =
+  with_rng (fun i rng ->
+      let sys = rand_system rng in
+      let obj = rand_objective rng in
+      let cold = Milp.ilp ~warm:false sys obj in
+      let warm = Milp.ilp ~warm:true sys obj in
+      match (cold, warm) with
+      | Milp.Ilp_infeasible, Milp.Ilp_infeasible -> ()
+      | Milp.Ilp_optimal (vc, _), Milp.Ilp_optimal (vw, xw) ->
+          Alcotest.(check string)
+            (Printf.sprintf "same optimum (#%d)" i)
+            (Bigint.to_string vc) (Bigint.to_string vw);
+          Alcotest.(check bool)
+            (Printf.sprintf "warm witness inside (#%d)" i)
+            true (Polyhedra.sat_point sys xw);
+          Alcotest.(check string)
+            (Printf.sprintf "warm witness achieves the optimum (#%d)" i)
+            (Bigint.to_string vc)
+            (Bigint.to_string (Vec.dot obj xw))
+      | _ ->
+          Alcotest.failf "warm/cold disagree on feasibility (#%d): %s vs %s" i
+            (match cold with
+            | Milp.Ilp_optimal _ -> "optimal"
+            | Milp.Ilp_infeasible -> "infeasible"
+            | Milp.Ilp_unbounded -> "unbounded")
+            (match warm with
+            | Milp.Ilp_optimal _ -> "optimal"
+            | Milp.Ilp_infeasible -> "infeasible"
+            | Milp.Ilp_unbounded -> "unbounded"))
+
+(* a full-order lexmin pins every coordinate, so the answer is unique: warm
+   and cold must return bit-identical vectors *)
+let test_warm_lexmin_matches_cold () =
+  with_rng (fun i rng ->
+      let sys = rand_system rng in
+      let cold = Milp.lexmin ~warm:false sys in
+      let warm = Milp.lexmin ~warm:true sys in
+      match (cold, warm) with
+      | None, None -> ()
+      | Some xc, Some xw ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "identical lexmin (#%d)" i)
+            (Array.to_list (Array.map Bigint.to_string xc))
+            (Array.to_list (Array.map Bigint.to_string xw))
+      | _ -> Alcotest.failf "warm/cold disagree on lexmin feasibility (#%d)" i)
+
+(* end to end: the whole compiler must emit byte-identical code with the
+   incremental solver on and off, and the warm path must actually avoid cold
+   dictionary builds *)
+let test_compile_identical_and_cheaper () =
+  let p = Kernels.program Kernels.matmul in
+  let render r = Putil.string_of_format Codegen.print_c r.Driver.code in
+  let run () =
+    Polyhedra.clear_caches ();
+    Milp.clear_caches ();
+    Stats.reset ();
+    let code = render (Driver.compile p) in
+    (code, Stats.counter "milp.cold_builds", Stats.counter "milp.warm_starts")
+  in
+  let warm_code, warm_builds, warm_hits = run () in
+  Milp.set_warm false;
+  Polyhedra.set_empty_cache false;
+  let cold_code, cold_builds, cold_run_hits =
+    Fun.protect
+      ~finally:(fun () ->
+        Milp.set_warm true;
+        Polyhedra.set_empty_cache true)
+      run
+  in
+  Alcotest.(check string) "byte-identical generated code" cold_code warm_code;
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer cold builds (%d warm vs %d cold)" warm_builds
+       cold_builds)
+    true
+    (warm_builds < cold_builds);
+  Alcotest.(check bool) "warm run used warm starts" true (warm_hits > 0);
+  Alcotest.(check int) "cold run never warm-starts" 0 cold_run_hits
+
+let suite =
+  ( "solver-substrate",
+    [
+      Alcotest.test_case "rational emptiness vs ILP" `Quick
+        test_emptiness_agreement;
+      Alcotest.test_case "integer-tightened emptiness sound" `Quick
+        test_integer_emptiness_sound;
+      Alcotest.test_case "warm B&B = cold B&B" `Quick test_warm_ilp_matches_cold;
+      Alcotest.test_case "warm lexmin = cold lexmin" `Quick
+        test_warm_lexmin_matches_cold;
+      Alcotest.test_case "compile identical, fewer cold builds" `Quick
+        test_compile_identical_and_cheaper;
+    ] )
