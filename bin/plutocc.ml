@@ -53,16 +53,84 @@ exception Cli_error of Diag.t
 
 let cli_error fmt = Printf.ksprintf (fun m -> raise (Cli_error (Diag.error ~code:"cli" m))) fmt
 
-let run file output show_deps show_transform no_tile tile_size no_parallel
+(* --batch: every positional file through [Batch.run] on the worker pool.
+   [-o] names an output directory; per-file diagnostics render to stderr;
+   the manifest (status, rung, diagnostics, timings per file plus aggregated
+   counters) goes to --batch-manifest as JSON. *)
+let run_batch ~files ~output ~options ~strict ~verify ~jobs ~batch_manifest
+    ~batch_timeout ~cache_dir =
+  let m =
+    Batch.run ~options ~strict ~verify ~jobs ?task_timeout_s:batch_timeout
+      ?cache_dir ?out_dir:output files
+  in
+  List.iter
+    (fun (e : Batch.entry) ->
+      render e.Batch.e_diags;
+      Format.eprintf "%s: %s (%s, %.2fs)@." e.Batch.e_file
+        (Batch.status_name e.Batch.e_status)
+        e.Batch.e_rung e.Batch.e_elapsed_s)
+    m.Batch.m_entries;
+  (match batch_manifest with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Batch.manifest_to_json m)));
+  (* without -o the generated code still has somewhere to go: stdout, each
+     file prefixed so the concatenation stays attributable *)
+  if output = None then
+    List.iter
+      (fun (e : Batch.entry) ->
+        match e.Batch.e_code with
+        | None -> ()
+        | Some code ->
+            Format.printf "/* %s */@.%s" e.Batch.e_file code;
+            Format.print_flush ())
+      m.Batch.m_entries;
+  Batch.exit_code m
+
+let run files output show_deps show_transform no_tile tile_size no_parallel
     wavefront no_intra_reorder no_input_deps unroll_jam check params_spec
     simulate cores native strict verify break_schedule tune tune_report jobs
-    tune_budget stats cold_solver =
+    tune_budget stats cold_solver batch batch_manifest batch_timeout cache_dir =
   if cold_solver then begin
     Milp.set_warm false;
     Polyhedra.set_empty_cache false
   end;
+  Store.set_dir cache_dir;
+  let options =
+    {
+      Driver.default_options with
+      Driver.tile = not no_tile;
+      tile_size;
+      unroll_jam;
+      parallelize = not no_parallel;
+      wavefront;
+      intra_reorder = not no_intra_reorder;
+      auto =
+        {
+          Pluto.Auto.default_config with
+          Pluto.Auto.input_deps = not no_input_deps;
+        };
+    }
+  in
   let code =
     try
+    if batch then
+      run_batch ~files ~output ~options ~strict ~verify ~jobs ~batch_manifest
+        ~batch_timeout ~cache_dir
+    else
+    match files with
+    | [] | _ :: _ :: _ ->
+        render
+          [
+            Diag.error ~code:"cli"
+              "multiple input files require --batch (single-file mode takes \
+               exactly one)";
+          ];
+        1
+    | [ file ] -> (
     let src = read_file file in
     match parse_params params_spec with
     | Error ds ->
@@ -75,22 +143,6 @@ let run file output show_deps show_transform no_tile tile_size no_parallel
             1
         | Ok (program, parse_warns) -> (
             render ~src parse_warns;
-            let options =
-              {
-                Driver.default_options with
-                Driver.tile = not no_tile;
-                tile_size;
-                unroll_jam;
-                parallelize = not no_parallel;
-                wavefront;
-                intra_reorder = not no_intra_reorder;
-                auto =
-                  {
-                    Pluto.Auto.default_config with
-                    Pluto.Auto.input_deps = not no_input_deps;
-                  };
-              }
-            in
             let compiled =
               if not tune then Driver.compile_robust ~options ~strict program
               else begin
@@ -262,7 +314,7 @@ let run file output show_deps show_transform no_tile tile_size no_parallel
                 end;
                 if !check_failed || !verify_failed then 1
                 else if Driver.degraded compile_warns then 2
-                else 0))
+                else 0)))
   with
   | Cli_error d ->
       render [ d ];
@@ -285,15 +337,20 @@ let run file output show_deps show_transform no_tile tile_size no_parallel
   if stats then prerr_endline (Stats.to_json ());
   code
 
-let file_arg =
+let files_arg =
   Arg.(
-    required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input C-subset file.")
+    non_empty & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:"Input C-subset file(s).  More than one requires $(b,--batch).")
 
 let output_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Write generated C here (default: stdout).")
+    & info [ "o"; "output" ] ~docv:"OUT"
+        ~doc:
+          "Write generated C here (default: stdout).  With $(b,--batch) this \
+           names a directory; each FILE becomes OUT/$(i,base).pluto.c.")
 
 let show_deps_arg =
   Arg.(value & flag & info [ "show-deps" ] ~doc:"Print the dependence graph to stderr.")
@@ -410,7 +467,50 @@ let jobs_arg =
   Arg.(
     value & opt int 1
     & info [ "jobs" ] ~docv:"N"
-        ~doc:"Evaluate tuning candidates on N forked workers.")
+        ~doc:
+          "Fan work out over N forked workers: tuning candidates with \
+           $(b,--tune), input files with $(b,--batch).")
+
+let batch_arg =
+  Arg.(
+    value & flag
+    & info [ "batch" ]
+        ~doc:
+          "Compile every FILE (concurrently with $(b,--jobs)).  A file that \
+           crashes its worker or exceeds $(b,--batch-timeout) is reported \
+           and the rest of the batch is unaffected.  Exit status: 1 if any \
+           file failed, else 2 if any file needed a fallback scheduling \
+           rung, else 0.")
+
+let batch_manifest_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "batch-manifest" ] ~docv:"FILE"
+        ~doc:
+          "With $(b,--batch): write a JSON manifest (per-file status, \
+           scheduling rung, diagnostics and timings, plus aggregated \
+           counters) here.")
+
+let batch_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "batch-timeout" ] ~docv:"S"
+        ~doc:
+          "With $(b,--batch): wall-clock budget per file, in seconds; a \
+           file exceeding it fails with a pool-timeout diagnostic.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist solver results (ILP/LP answers, emptiness tests) in DIR \
+           so they survive across processes and runs; entries are keyed by \
+           canonical constraint-system digests and versioned, so a stale or \
+           corrupt entry is silently recomputed.")
 
 let tune_budget_arg =
   Arg.(
@@ -448,11 +548,12 @@ let cmd =
   let info = Cmd.info "plutocc" ~version:"1.0" ~doc in
   Cmd.v info
     Term.(
-      const run $ file_arg $ output_arg $ show_deps_arg $ show_transform_arg
+      const run $ files_arg $ output_arg $ show_deps_arg $ show_transform_arg
       $ no_tile_arg $ tile_size_arg $ no_parallel_arg $ wavefront_arg
       $ no_intra_arg $ no_input_deps_arg $ unroll_jam_arg $ check_arg
       $ params_arg $ simulate_arg $ cores_arg $ native_arg $ strict_arg
       $ verify_arg $ break_schedule_arg $ tune_arg $ tune_report_arg
-      $ jobs_arg $ tune_budget_arg $ stats_arg $ cold_solver_arg)
+      $ jobs_arg $ tune_budget_arg $ stats_arg $ cold_solver_arg $ batch_arg
+      $ batch_manifest_arg $ batch_timeout_arg $ cache_dir_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,103 @@
+#!/bin/sh
+# Batch-compilation smoke test.
+#
+# Compiles examples/*.c twice through `plutocc --batch` with a persistent
+# --cache-dir and fails if:
+#   - the warm rerun's generated C is not bit-identical to the cold run's, or
+#   - the warm rerun does not do strictly fewer ILP solves than the cold run
+#     (the persistent solver store is silently disabled), or
+#   - the warm run's counters exceed the ceilings in
+#     ci/batch-smoke-ceiling.json, or
+#   - solver counters differ between --jobs 1 and --jobs 4 on the same
+#     inputs (lost or double-counted worker stats).
+#
+# Run from anywhere; uses `dune exec` so it works in CI and locally.
+set -eu
+
+cd "$(dirname "$0")/.."
+ceiling_file=ci/batch-smoke-ceiling.json
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+batch() {
+  # $1 = output dir, $2 = stderr capture; remaining args appended
+  out="$1"; err="$2"; shift 2
+  dune exec bin/plutocc.exe -- --batch examples/*.c -o "$work/$out" \
+    --batch-manifest "$work/$out.json" --stats "$@" 2> "$work/$err"
+}
+
+counter() {
+  sed -n 's/.*"'"$1"'": \([0-9][0-9]*\).*/\1/p' "$2" | head -n 1
+}
+
+status=0
+
+batch cold cold.err --cache-dir "$work/cache" --jobs 2
+batch warm warm.err --cache-dir "$work/cache" --jobs 2
+
+if diff -r "$work/cold" "$work/warm" > /dev/null; then
+  echo "batch-smoke: ok: warm rerun output is bit-identical"
+else
+  echo "batch-smoke: FAIL: warm rerun output differs from cold run" >&2
+  status=1
+fi
+
+cold_solves=$(counter "milp.solves" "$work/cold.err")
+warm_solves=$(counter "milp.solves" "$work/warm.err")
+warm_hits=$(counter "store.hits" "$work/warm.err")
+if [ -z "$cold_solves" ] || [ -z "$warm_solves" ]; then
+  echo "batch-smoke: FAIL: milp.solves missing from --stats output" >&2
+  status=1
+elif [ "$warm_solves" -ge "$cold_solves" ]; then
+  echo "batch-smoke: FAIL: warm milp.solves = $warm_solves not below cold $cold_solves" >&2
+  status=1
+else
+  echo "batch-smoke: ok: milp.solves $cold_solves cold -> $warm_solves warm"
+fi
+if [ -z "$warm_hits" ] || [ "$warm_hits" -eq 0 ]; then
+  echo "batch-smoke: FAIL: warm run had no store hits" >&2
+  status=1
+else
+  echo "batch-smoke: ok: store.hits = $warm_hits on the warm run"
+fi
+
+for name in "milp.solves" "store.misses"; do
+  # a counter never incremented is absent from the JSON: that is 0
+  actual=$(counter "$name" "$work/warm.err")
+  actual=${actual:-0}
+  ceiling=$(counter "$name" "$ceiling_file")
+  if [ -z "$ceiling" ]; then
+    echo "batch-smoke: FAIL: no ceiling for $name in $ceiling_file" >&2
+    status=1
+  elif [ "$actual" -gt "$ceiling" ]; then
+    echo "batch-smoke: FAIL: warm $name = $actual exceeds ceiling $ceiling" >&2
+    status=1
+  else
+    echo "batch-smoke: ok: warm $name = $actual (ceiling $ceiling)"
+  fi
+done
+
+# --jobs must not change solver totals (worker stats are merged, every file
+# starts from empty in-memory caches); no cache dir so scheduling cannot
+# change store hits either.
+batch j1 j1.err --jobs 1
+batch j4 j4.err --jobs 4
+for name in "milp.solves" "milp.cold_builds" "milp.pivots" \
+            "poly.empty_cache_misses" "fm.eliminations"; do
+  a=$(counter "$name" "$work/j1.err")
+  b=$(counter "$name" "$work/j4.err")
+  if [ "${a:-absent}" != "${b:-absent}" ]; then
+    echo "batch-smoke: FAIL: $name differs across --jobs: $a (jobs=1) vs $b (jobs=4)" >&2
+    status=1
+  else
+    echo "batch-smoke: ok: $name = $a under both --jobs 1 and --jobs 4"
+  fi
+done
+if diff -r "$work/j1" "$work/j4" > /dev/null; then
+  echo "batch-smoke: ok: --jobs 1 and --jobs 4 outputs are bit-identical"
+else
+  echo "batch-smoke: FAIL: output differs between --jobs 1 and --jobs 4" >&2
+  status=1
+fi
+
+exit $status

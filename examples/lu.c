@@ -1,0 +1,10 @@
+/* LU decomposition without pivoting (the paper's Figure 2).
+   Try:  plutocc --batch examples/*.c -o out/ --cache-dir .pluto-cache */
+double a[N][N];
+for (k = 0; k < N; k++) {
+  for (j = k + 1; j < N; j++)
+    a[k][j] = a[k][j] / a[k][k];
+  for (i = k + 1; i < N; i++)
+    for (j = k + 1; j < N; j++)
+      a[i][j] = a[i][j] - a[i][k] * a[k][j];
+}

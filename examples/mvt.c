@@ -1,0 +1,9 @@
+/* Matrix-vector transpose sequence (the paper's Figure 11).
+   Try:  plutocc --batch examples/*.c --batch-manifest manifest.json */
+double A[N][N], x1[N], x2[N], y1[N], y2[N];
+for (i = 0; i < N; i++)
+  for (j = 0; j < N; j++)
+    x1[i] = x1[i] + A[i][j] * y1[j];
+for (k = 0; k < N; k++)
+  for (l = 0; l < N; l++)
+    x2[k] = x2[k] + A[l][k] * y2[l];

@@ -1,0 +1,249 @@
+(** Batch compilation: many source files through {!Driver.compile_robust},
+    fanned out over the shared {!Pool} ([plutocc --batch]).
+
+    Each file is one pool task: it is parsed, scheduled down the
+    graceful-degradation ladder, rendered to C, and the result crosses the
+    fork boundary as pure data (the rendered string plus diagnostics).  A
+    crashing or timed-out worker costs exactly one entry — the pool's
+    structured failure becomes that file's error diagnostic and every other
+    file is unaffected.
+
+    Every task clears the in-memory solver caches before compiling, so
+    cross-file amortization happens only through the persistent {!Store}
+    ([--cache-dir]); consequently [--stats] solver totals are identical for
+    [--jobs 1] and [--jobs N] on the same inputs (the forked and sequential
+    paths see the same — empty — starting caches). *)
+
+type status = Success | Degraded | Failed
+
+type entry = {
+  e_file : string;
+  e_status : status;
+  e_rung : string;  (** "auto" | "feautrier" | "identity" | "none" *)
+  e_diags : Diag.t list;
+  e_code : string option;  (** rendered C, absent on failure *)
+  e_output : string option;  (** where the parent wrote it, if [out_dir] *)
+  e_elapsed_s : float;
+  e_retried : bool;  (** a crashed worker attempt preceded this result *)
+}
+
+type manifest = {
+  m_jobs : int;
+  m_cache_dir : string option;
+  m_entries : entry list;
+  m_elapsed_s : float;
+  m_counters : (string * int) list;  (** aggregated across all workers *)
+}
+
+(* What a worker ships back: pure data only (no closures, no Codegen.t). *)
+type task_result = {
+  t_code : string option;
+  t_diags : Diag.t list;
+  t_rung : string;
+}
+
+let rung_of ds =
+  (* identity implies the feautrier rung also failed — check it first *)
+  if Diag.has_code ds "degraded-identity" then "identity"
+  else if Diag.has_code ds "degraded-feautrier" then "feautrier"
+  else "auto"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let compile_one ~options ~strict ~verify ((name, src) : string * string) :
+    task_result =
+  (* cross-file sharing goes through the persistent store only: start every
+     file from empty in-memory caches, exactly as a freshly forked worker
+     would, so counters do not depend on --jobs *)
+  Milp.clear_caches ();
+  Polyhedra.clear_caches ();
+  match Driver.compile_source_robust ~options ~strict ~verify ~name src with
+  | Error ds -> { t_code = None; t_diags = ds; t_rung = "none" }
+  | Ok (r, warns) ->
+      let code =
+        Format.asprintf "%a" (fun fmt c -> Codegen.print_c fmt c) r.Driver.code
+      in
+      { t_code = Some code; t_diags = warns; t_rung = rung_of warns }
+
+let entry_of_outcome file (o : task_result Pool.outcome) =
+  match o.Pool.value with
+  | Ok t ->
+      let status =
+        match t.t_code with
+        | None -> Failed
+        | Some _ -> if Driver.degraded t.t_diags then Degraded else Success
+      in
+      {
+        e_file = file;
+        e_status = status;
+        e_rung = t.t_rung;
+        e_diags = t.t_diags;
+        e_code = t.t_code;
+        e_output = None;
+        e_elapsed_s = o.Pool.elapsed_s;
+        e_retried = o.Pool.retried;
+      }
+  | Error d ->
+      {
+        e_file = file;
+        e_status = Failed;
+        e_rung = "none";
+        e_diags = [ d ];
+        e_code = None;
+        e_output = None;
+        e_elapsed_s = o.Pool.elapsed_s;
+        e_retried = o.Pool.retried;
+      }
+
+let error_entry file d =
+  {
+    e_file = file;
+    e_status = Failed;
+    e_rung = "none";
+    e_diags = [ d ];
+    e_code = None;
+    e_output = None;
+    e_elapsed_s = 0.0;
+    e_retried = false;
+  }
+
+let ensure_dir dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  go dir
+
+let output_name file = Filename.remove_extension (Filename.basename file) ^ ".pluto.c"
+
+let write_output out_dir e =
+  match (out_dir, e.e_code) with
+  | Some dir, Some code ->
+      ensure_dir dir;
+      let path = Filename.concat dir (output_name e.e_file) in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc code);
+      { e with e_output = Some path }
+  | _ -> e
+
+let run ?(options = Driver.default_options) ?(strict = false)
+    ?(verify = false) ?(jobs = 1) ?task_timeout_s ?cache_dir ?out_dir
+    (files : string list) : manifest =
+  let t0 = Unix.gettimeofday () in
+  Store.set_dir cache_dir;
+  (* read sources in the parent: an unreadable file is a structured entry,
+     not a worker crash, and tasks ship self-contained data to workers *)
+  let inputs =
+    List.map
+      (fun file ->
+        match read_file file with
+        | src -> Ok (file, src)
+        | exception Sys_error msg ->
+            Error (file, Diag.errorf ~code:"io" "%s" msg))
+      files
+  in
+  let pool_tasks =
+    List.filter_map (function Ok t -> Some t | Error _ -> None) inputs
+  in
+  let outcomes =
+    Pool.map ~jobs ?task_timeout_s
+      ~f:(compile_one ~options ~strict ~verify)
+      pool_tasks
+  in
+  let rec assemble inputs outcomes acc =
+    match (inputs, outcomes) with
+    | [], [] -> List.rev acc
+    | Error (f, d) :: tl, os -> assemble tl os (error_entry f d :: acc)
+    | Ok (f, _) :: tl, o :: os -> assemble tl os (entry_of_outcome f o :: acc)
+    | _ -> assert false (* one outcome per pool task, in order *)
+  in
+  let entries = assemble inputs outcomes [] in
+  let entries = List.map (write_output out_dir) entries in
+  {
+    m_jobs = jobs;
+    m_cache_dir = cache_dir;
+    m_entries = entries;
+    m_elapsed_s = Unix.gettimeofday () -. t0;
+    m_counters = Stats.counters ();
+  }
+
+(* Exit-code policy, mirroring single-file mode: 1 if anything failed hard,
+   2 if everything compiled but some file needed a fallback rung, else 0. *)
+let exit_code m =
+  if List.exists (fun e -> e.e_status = Failed) m.m_entries then 1
+  else if List.exists (fun e -> e.e_status = Degraded) m.m_entries then 2
+  else 0
+
+(* ------------------------------ manifest JSON ----------------------------- *)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let status_name = function
+  | Success -> "ok"
+  | Degraded -> "degraded"
+  | Failed -> "error"
+
+let diag_to_json (d : Diag.t) =
+  Printf.sprintf "{\"severity\": %s, \"code\": %s, \"message\": %s}"
+    (json_string (Diag.severity_name d.Diag.sev))
+    (json_string d.Diag.code)
+    (json_string d.Diag.message)
+
+let entry_to_json e =
+  Printf.sprintf
+    "{\"file\": %s, \"status\": %s, \"rung\": %s, \"output\": %s, \
+     \"elapsed_s\": %.6f, \"retried\": %b, \"diagnostics\": [%s]}"
+    (json_string e.e_file)
+    (json_string (status_name e.e_status))
+    (json_string e.e_rung)
+    (match e.e_output with None -> "null" | Some p -> json_string p)
+    e.e_elapsed_s e.e_retried
+    (String.concat ", " (List.map diag_to_json e.e_diags))
+
+let manifest_to_json m =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" m.m_jobs);
+  Buffer.add_string b
+    (Printf.sprintf "  \"cache_dir\": %s,\n"
+       (match m.m_cache_dir with None -> "null" | Some d -> json_string d));
+  Buffer.add_string b (Printf.sprintf "  \"elapsed_s\": %.6f,\n" m.m_elapsed_s);
+  Buffer.add_string b "  \"entries\": [\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b ("    " ^ entry_to_json e))
+    m.m_entries;
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"stats\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "%s: %d" (json_string k) v))
+    (List.sort compare m.m_counters);
+  Buffer.add_string b "}\n}\n";
+  Buffer.contents b

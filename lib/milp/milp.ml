@@ -415,7 +415,14 @@ let lp ?(nonneg = false) (sys : Polyhedra.t) (objective : Q.t array) =
         | (Lp_infeasible | Lp_unbounded) as r -> r)
     | None ->
         Stats.incr "milp.lp_cache_misses";
-        let r = solve () in
+        let r =
+          match (Store.read ~kind:"milp-lp" ~key : lp_result option) with
+          | Some r -> r
+          | None ->
+              let r = solve () in
+              Store.write ~kind:"milp-lp" ~key r;
+              r
+        in
         if Hashtbl.length lp_cache > 100_000 then Hashtbl.reset lp_cache;
         Hashtbl.add lp_cache key r;
         (match r with
@@ -625,7 +632,18 @@ let feasible_cached ?(nonneg = false) ?budget (sys : Polyhedra.t) =
             Option.map Array.copy r
         | None ->
             Stats.incr "milp.feasible_cache_misses";
-            let r = feasible ~nonneg ?budget c in
+            let r =
+              match
+                (Store.read ~kind:"milp-feasible" ~key
+                  : Bigint.t array option option)
+              with
+              | Some r -> r
+              | None ->
+                  (* budget overruns raise here and propagate uncached *)
+                  let r = feasible ~nonneg ?budget c in
+                  Store.write ~kind:"milp-feasible" ~key r;
+                  r
+            in
             if Hashtbl.length feasible_cache > 100_000 then
               Hashtbl.reset feasible_cache;
             Hashtbl.add feasible_cache key (Option.map Array.copy r);

@@ -36,7 +36,11 @@ type lp_result =
   | Lp_unbounded
 
 (** [lp ?nonneg sys obj] minimizes [obj·x] over the rational points of [sys].
-    [obj] has length [sys.nvars]. *)
+    [obj] has length [sys.nvars].  Memoized on (system digest, objective)
+    unless [set_warm false]; with the persistent {!Store} enabled
+    ([--cache-dir]) memoized answers additionally survive across processes.
+    Codegen's LP-redundancy pruning ({!Codegen.prune_lp}) issues all its
+    probes through here, so code generation shares both caches. *)
 val lp : ?nonneg:bool -> Polyhedra.t -> Q.t array -> lp_result
 
 (** Result of integer linear programming. *)
@@ -79,7 +83,10 @@ val feasible :
 (** [feasible_cached ?nonneg sys] is {!feasible} memoized on the canonical
     form of [sys] (integer tightening — sound only when every variable is
     integral, which holds for all dependence systems).  Budget overruns
-    propagate uncached; with [set_warm false] the cache is bypassed. *)
+    propagate uncached; with [set_warm false] the cache is bypassed.  With
+    the persistent {!Store} enabled ([--cache-dir]), in-memory misses
+    consult and populate the on-disk store, so feasibility answers survive
+    across processes. *)
 val feasible_cached :
   ?nonneg:bool -> ?budget:budget -> Polyhedra.t -> Bigint.t array option
 

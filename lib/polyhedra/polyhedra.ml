@@ -318,12 +318,18 @@ let is_empty_rational t =
 (* Memoized rational emptiness, keyed by the digest of the canonical form so
    syntactic permutations and rescalings of the same system share one entry.
    The dependence tester and the verifier probe thousands of near-identical
-   systems; this cache answers the repeats without re-running elimination. *)
+   systems; this cache answers the repeats without re-running elimination.
+   When the persistent {!Store} is enabled (plutocc --cache-dir), an
+   in-memory miss additionally consults the on-disk store before falling
+   back to elimination, so repeated compilations across processes — batch
+   workers, CI reruns — amortize the work too. *)
 let empty_cache : (string, bool) Hashtbl.t = Hashtbl.create 1024
 
 let empty_cache_enabled = ref true
 let set_empty_cache b = empty_cache_enabled := b
 let clear_caches () = Hashtbl.reset empty_cache
+
+let store_kind = "poly-empty"
 
 let is_empty_cached ?(integer = false) t =
   match canon ~integer t with
@@ -340,7 +346,14 @@ let is_empty_cached ?(integer = false) t =
             e
         | None ->
             Stats.incr "poly.empty_cache_misses";
-            let e = is_empty_rational c in
+            let e =
+              match (Store.read ~kind:store_kind ~key:k : bool option) with
+              | Some e -> e
+              | None ->
+                  let e = is_empty_rational c in
+                  Store.write ~kind:store_kind ~key:k e;
+                  e
+            in
             if Hashtbl.length empty_cache > 100_000 then
               Hashtbl.reset empty_cache;
             Hashtbl.add empty_cache k e;

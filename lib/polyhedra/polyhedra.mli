@@ -110,7 +110,12 @@ val is_empty_rational : t -> bool
     [poly.empty_cache_hits]/[poly.empty_cache_misses]).  With [integer:true]
     the canonical form uses integer tightening, so the test may prove empty
     systems that still have rational points — only sound when every variable
-    of [t] ranges over the integers. *)
+    of [t] ranges over the integers.
+
+    When the persistent {!Store} is enabled ([Store.set_dir]; the CLI's
+    [--cache-dir]), an in-memory miss consults the on-disk store before
+    re-running elimination and persists fresh answers, so the cache survives
+    across processes (batch workers, repeated [plutocc] runs). *)
 val is_empty_cached : ?integer:bool -> t -> bool
 
 (** [set_empty_cache false] disables the memoized emptiness cache (used by

@@ -1,0 +1,254 @@
+(* See pool.mli.  The design target is crash isolation: a worker that dies,
+   hangs past its budget, or writes a truncated payload must surface as a
+   structured per-task error (and one retry), never as a parent exception.
+
+   Protocol: each worker is a [Unix.fork] with a dedicated pipe.  The worker
+   resets {!Stats}, runs the task under an optional SIGALRM budget, marshals
+   [(result, stats snapshot)] up the pipe and hard-exits with [Unix._exit]
+   (so the parent's buffered output is never flushed twice).  The parent
+   drains every worker's pipe with [select] *before* reaping it — a payload
+   larger than the pipe buffer (batch workers ship whole generated C files)
+   would otherwise deadlock worker-write against parent-wait — and then
+   parses the accumulated bytes with [Marshal.from_string], mapping any
+   parse failure or abnormal exit to the structured crash path. *)
+
+type 'r outcome = {
+  value : ('r, Diag.t) result;
+  retried : bool;
+  elapsed_s : float;
+}
+
+(* What crosses the pipe: the task's own result or a structured failure,
+   plus the worker's stats delta. *)
+type wire_error = Wire_exn of string | Wire_timeout of float
+
+exception Task_timeout
+
+(* Run [f] under a SIGALRM wall-clock budget ([None]/[<= 0] = unlimited). *)
+let with_timeout ~seconds f =
+  match seconds with
+  | Some s when s > 0.0 ->
+      let old =
+        Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Task_timeout))
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          ignore (Unix.alarm 0);
+          Sys.set_signal Sys.sigalrm old)
+        (fun () ->
+          ignore (Unix.alarm (max 1 (int_of_float (Float.ceil s))));
+          f ())
+  | _ -> f ()
+
+let timeout_diag s =
+  Diag.errorf ~code:"pool-timeout"
+    "worker task exceeded its %gs wall-clock budget" s
+
+let exn_diag msg = Diag.errorf ~code:"worker-exception" "worker task raised: %s" msg
+
+let crash_diag ~attempts status =
+  let how =
+    match status with
+    | Some (Unix.WEXITED n) -> Printf.sprintf "exited with code %d" n
+    | Some (Unix.WSIGNALED s) -> Printf.sprintf "killed by signal %d" s
+    | Some (Unix.WSTOPPED s) -> Printf.sprintf "stopped by signal %d" s
+    | None -> "produced no parseable result"
+  in
+  Diag.errorf ~code:"worker-crashed"
+    "worker %s without a complete result payload (%d attempt%s)" how attempts
+    (if attempts = 1 then "" else "s")
+
+let of_wire = function
+  | Ok v -> Ok v
+  | Error (Wire_exn msg) -> Error (exn_diag msg)
+  | Error (Wire_timeout s) ->
+      Stats.incr "pool.timeouts";
+      Error (timeout_diag s)
+
+(* ------------------------------ sequential ------------------------------- *)
+
+(* jobs <= 1: run in-process, but with the same stats accounting as a forked
+   worker (reset before the task, merge the delta after), so per-task
+   counters read by [f] and the parent's totals are mode-independent. *)
+let run_sequential ?task_timeout_s ~f x =
+  let parent = Stats.snapshot () in
+  Stats.reset ();
+  let t0 = Unix.gettimeofday () in
+  let res =
+    match with_timeout ~seconds:task_timeout_s (fun () -> f x) with
+    | v -> Ok v
+    | exception Task_timeout ->
+        Error (Wire_timeout (Option.value task_timeout_s ~default:0.0))
+    | exception ((Out_of_memory | Sys.Break) as e) ->
+        let task = Stats.snapshot () in
+        Stats.reset ();
+        Stats.merge parent;
+        Stats.merge task;
+        raise e
+    | exception e -> Error (Wire_exn (Printexc.to_string e))
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let task = Stats.snapshot () in
+  Stats.reset ();
+  Stats.merge parent;
+  Stats.merge task;
+  { value = of_wire res; retried = false; elapsed_s = elapsed }
+
+(* ------------------------------- fork pool ------------------------------- *)
+
+type 'a running = {
+  r_idx : int;
+  r_task : 'a;
+  r_attempts : int; (* attempts already spent, including this one *)
+  r_pid : int;
+  r_fd : Unix.file_descr;
+  r_buf : Buffer.t;
+  r_t0 : float;
+}
+
+let spawn ?task_timeout_s ~f (idx, task, attempts) =
+  let r, w = Unix.pipe ~cloexec:false () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (* worker *)
+      Unix.close r;
+      Stats.reset ();
+      let res =
+        match with_timeout ~seconds:task_timeout_s (fun () -> f task) with
+        | v -> Ok v
+        | exception Task_timeout ->
+            Error (Wire_timeout (Option.value task_timeout_s ~default:0.0))
+        | exception e -> Error (Wire_exn (Printexc.to_string e))
+      in
+      (try
+         let oc = Unix.out_channel_of_descr w in
+         Marshal.to_channel oc (res, Stats.snapshot ()) [];
+         flush oc
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close w;
+      Stats.incr "pool.spawned";
+      {
+        r_idx = idx;
+        r_task = task;
+        r_attempts = attempts + 1;
+        r_pid = pid;
+        r_fd = r;
+        r_buf = Buffer.create 4096;
+        r_t0 = Unix.gettimeofday ();
+      }
+
+let map ~jobs ?task_timeout_s ?(retries = 1) ~f tasks =
+  let n = List.length tasks in
+  Stats.add "pool.tasks" n;
+  if jobs <= 1 then List.map (run_sequential ?task_timeout_s ~f) tasks
+  else begin
+    let pending = Queue.create () in
+    List.iteri (fun i x -> Queue.add (i, x, 0) pending) tasks;
+    let results : (int, 'r outcome) Hashtbl.t = Hashtbl.create n in
+    let running = ref [] in
+    let finalize w status =
+      let elapsed = Unix.gettimeofday () -. w.r_t0 in
+      let payload =
+        match
+          (Marshal.from_string (Buffer.contents w.r_buf) 0
+            : ('r, wire_error) result * Stats.snapshot)
+        with
+        | p -> Some p
+        | exception _ -> None
+      in
+      match payload with
+      | Some (res, snap) ->
+          Stats.merge snap;
+          Hashtbl.replace results w.r_idx
+            { value = of_wire res; retried = w.r_attempts > 1; elapsed_s = elapsed }
+      | None ->
+          (* dead worker / truncated payload: structured diagnostic, and one
+             retry on a fresh worker *)
+          Stats.incr "pool.crashes";
+          if w.r_attempts <= retries then begin
+            Stats.incr "pool.retries";
+            Queue.add (w.r_idx, w.r_task, w.r_attempts) pending
+          end
+          else
+            Hashtbl.replace results w.r_idx
+              {
+                value = Error (crash_diag ~attempts:w.r_attempts status);
+                retried = w.r_attempts > 1;
+                elapsed_s = elapsed;
+              }
+    in
+    let chunk = Bytes.create 65536 in
+    let step () =
+      let fds = List.map (fun w -> w.r_fd) !running in
+      match Unix.select fds [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+          List.iter
+            (fun fd ->
+              let w = List.find (fun w -> w.r_fd = fd) !running in
+              let nread =
+                match Unix.read fd chunk 0 (Bytes.length chunk) with
+                | n -> n
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> -1
+              in
+              if nread > 0 then Buffer.add_subbytes w.r_buf chunk 0 nread
+              else if nread = 0 then begin
+                (* EOF: the worker closed its pipe (exit or crash); reap it *)
+                Unix.close fd;
+                let status =
+                  match Unix.waitpid [] w.r_pid with
+                  | _, st -> Some st
+                  | exception Unix.Unix_error _ -> None
+                in
+                running := List.filter (fun w' -> w' != w) !running;
+                finalize w status
+              end)
+            ready
+    in
+    while (not (Queue.is_empty pending)) || !running <> [] do
+      while (not (Queue.is_empty pending)) && List.length !running < jobs do
+        running := spawn ?task_timeout_s ~f (Queue.pop pending) :: !running
+      done;
+      if !running <> [] then step ()
+    done;
+    List.mapi (fun i _ -> Hashtbl.find results i) tasks
+  end
+
+(* --------------------------- temp directories ---------------------------- *)
+
+(* mkdtemp-style: create a fresh directory directly and atomically (mkdir
+   fails with EEXIST instead of racing a name probe), retrying with a new
+   name on collision.  This replaces the temp_file/remove/mkdir dance whose
+   TOCTOU window let concurrent batch/tune runs collide. *)
+let temp_counter = ref 0
+
+let fresh_temp_dir ?(prefix = "pluto") () =
+  let base = Filename.get_temp_dir_name () in
+  let rec create tries =
+    if tries > 1000 then
+      failwith "Pool.fresh_temp_dir: cannot create a fresh temporary directory"
+    else begin
+      incr temp_counter;
+      let name =
+        Printf.sprintf "%s.%d.%d.%06x" prefix (Unix.getpid ()) !temp_counter
+          (Hashtbl.hash (Unix.gettimeofday (), !temp_counter) land 0xFFFFFF)
+      in
+      let dir = Filename.concat base name in
+      match Unix.mkdir dir 0o700 with
+      | () -> dir
+      | exception Unix.Unix_error ((Unix.EEXIST | Unix.EINTR), _, _) ->
+          create (tries + 1)
+    end
+  in
+  create 0
+
+let with_temp_dir ?prefix f =
+  let dir = fresh_temp_dir ?prefix () in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)

@@ -1,0 +1,59 @@
+(** Reusable crash-isolated worker pool over [Unix.fork].
+
+    Extracted from the autotuner and generalized so every layer that fans
+    work out across processes — the tuner's candidate evaluations, the batch
+    compilation driver, tests — shares one pool with one failure story:
+
+    - a worker that dies (signal, [_exit], OOM-kill) or writes a truncated
+      payload yields a structured {!Diag.t} (code ["worker-crashed"]) and
+      one retry on a fresh worker — never a parent exception;
+    - a task exceeding the per-task SIGALRM wall-clock budget yields code
+      ["pool-timeout"];
+    - an exception raised by the task function yields code
+      ["worker-exception"] (deterministic failures are not retried);
+    - the in-flight set is bounded by [jobs]; remaining work queues.
+
+    Workers ship a {!Stats.snapshot} alongside their result and the parent
+    merges it, so counters and timers ([--stats]) are accurate regardless of
+    [jobs].  The sequential path ([jobs <= 1]) uses the same reset/merge
+    accounting, so a task can read its own per-task counters in either mode
+    and totals are mode-independent.
+
+    Results are keyed by task index and returned in input order: scheduling
+    cannot affect what the caller sees.  Task inputs and outputs cross the
+    fork boundary via [Marshal], so both must be pure data (no closures, no
+    custom blocks); keep payloads self-contained.
+
+    Counters: ["pool.tasks"], ["pool.spawned"], ["pool.crashes"],
+    ["pool.retries"], ["pool.timeouts"]. *)
+
+type 'r outcome = {
+  value : ('r, Diag.t) result;
+      (** the task's result, or the structured failure described above *)
+  retried : bool;  (** at least one crashed attempt preceded this outcome *)
+  elapsed_s : float;  (** wall-clock of the final attempt *)
+}
+
+(** [map ~jobs ?task_timeout_s ?retries ~f tasks] — run [f] on every task,
+    at most [jobs] concurrently on forked workers ([jobs <= 1] runs
+    in-process), each under [task_timeout_s] seconds of wall clock (omit or
+    [<= 0] = unlimited).  Crashed tasks are retried on a fresh worker up to
+    [retries] times (default 1).  Outcomes are in input order. *)
+val map :
+  jobs:int ->
+  ?task_timeout_s:float ->
+  ?retries:int ->
+  f:('a -> 'r) ->
+  'a list ->
+  'r outcome list
+
+(** [with_temp_dir ?prefix f] — run [f dir] on a freshly created private
+    temporary directory, removing it afterwards.  The directory is created
+    atomically ([mkdir] with a fresh name, retried on [EEXIST]) — the
+    mkdtemp discipline — so concurrent processes can never race a
+    probe-then-create window. *)
+val with_temp_dir : ?prefix:string -> (string -> 'a) -> 'a
+
+(** [fresh_temp_dir ?prefix ()] — just the atomic creation; the caller owns
+    cleanup. *)
+val fresh_temp_dir : ?prefix:string -> unit -> string

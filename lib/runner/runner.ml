@@ -7,13 +7,7 @@ let cc_default = "gcc"
 
 let available () = Sys.command "which gcc > /dev/null 2> /dev/null" = 0
 
-let with_temp_dir f =
-  let dir = Filename.temp_file "pluto_native" "" in
-  Sys.remove dir;
-  Unix.mkdir dir 0o755;
-  Fun.protect
-    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
-    (fun () -> f dir)
+let with_temp_dir f = Pool.with_temp_dir ~prefix:"pluto_native" f
 
 let read_lines path =
   let ic = open_in path in

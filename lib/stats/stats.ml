@@ -30,6 +30,34 @@ let counters () =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters_tbl []
   |> List.sort compare
 
+(* A snapshot is plain data (no closures), so it survives Marshal across the
+   fork boundary: workers reset, do their task, snapshot, and ship the
+   snapshot up the result pipe for the parent to merge. *)
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_timers : (string * float * int) list;
+}
+
+let snapshot () =
+  {
+    snap_counters =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters_tbl [];
+    snap_timers =
+      Hashtbl.fold (fun k (t, n) acc -> (k, t, n) :: acc) timers_tbl [];
+  }
+
+let merge s =
+  List.iter (fun (k, v) -> add k v) s.snap_counters;
+  List.iter
+    (fun (k, t, n) ->
+      match Hashtbl.find_opt timers_tbl k with
+      | Some (t0, n0) -> Hashtbl.replace timers_tbl k (t0 +. t, n0 + n)
+      | None -> Hashtbl.replace timers_tbl k (t, n))
+    s.snap_timers
+
+let snapshot_counter s k =
+  match List.assoc_opt k s.snap_counters with Some v -> v | None -> 0
+
 let timers () =
   Hashtbl.fold (fun k (t, n) acc -> (k, t, n) :: acc) timers_tbl []
   |> List.sort compare

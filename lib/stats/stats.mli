@@ -27,6 +27,14 @@
     - ["machine.simulations"], ["machine.l1_misses"], ["machine.l2_misses"],
       ["machine.mem_accesses"] — performance-model cache events;
     - ["tune.evaluated"], ["tune.cache_hits"], ["tune.pruned"] — autotuner;
+    - ["pool.tasks"], ["pool.spawned"], ["pool.crashes"], ["pool.retries"],
+      ["pool.timeouts"] — the shared fork worker pool ([lib/pool]; spawned
+      counts forked workers only, so it is the one family of counters that
+      legitimately differs between [--jobs 1] and [--jobs N]);
+    - ["store.hits"] / ["store.misses"] / ["store.writes"] /
+      ["store.evictions"] — the persistent on-disk solver store
+      ([--cache-dir]; an eviction is a corrupt or version-skewed entry
+      deleted and recomputed);
     - timers ["pass.deps"], ["pass.transform"], ["pass.codegen"]. *)
 
 (** Forget all counters and timers (tests and the tuner's workers use this to
@@ -48,6 +56,25 @@ val counter : string -> int
 
 (** All counters, sorted by name. *)
 val counters : unit -> (string * int) list
+
+(** {2 Cross-process aggregation}
+
+    A {!snapshot} is plain marshalable data.  The worker-pool protocol is:
+    the forked worker calls {!reset} first (dropping the counters inherited
+    from the parent's address space), runs its task, ships [snapshot ()]
+    with the result, and the parent {!merge}s it — so [--stats] totals are
+    identical whether a task ran in-process or on a forked worker. *)
+
+type snapshot
+
+(** Capture every counter and timer as a marshalable value. *)
+val snapshot : unit -> snapshot
+
+(** Add a snapshot's counters and timers into the live tables. *)
+val merge : snapshot -> unit
+
+(** Read one counter out of a snapshot (0 when absent). *)
+val snapshot_counter : snapshot -> string -> int
 
 (** All timers, sorted by name: (name, total seconds, calls). *)
 val timers : unit -> (string * float * int) list

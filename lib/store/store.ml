@@ -1,0 +1,82 @@
+(* See store.mli.  One file per entry; an entry is the marshaled triple
+   (stamp, key, value) where stamp = version ^ ":" ^ kind.  The stamp and the
+   full key string are verified on every read, so a file written by a
+   different substrate version, a different call site, or a colliding digest
+   is detected and treated as an eviction + miss — never misread as a value
+   of the wrong type. *)
+
+let version = "pluto-store-v1"
+
+let dir_ref : string option ref = ref None
+
+let set_dir d = dir_ref := d
+let dir () = !dir_ref
+let enabled () = !dir_ref <> None
+
+let rec mkdir_p d =
+  if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let stamp kind = version ^ ":" ^ kind
+
+let path dir kind key =
+  Filename.concat dir
+    (Printf.sprintf "%s-%s.store" kind
+       (Digest.to_hex (Digest.string (stamp kind ^ "\x00" ^ key))))
+
+let evict file =
+  Stats.incr "store.evictions";
+  try Sys.remove file with Sys_error _ -> ()
+
+let read ~kind ~key =
+  match !dir_ref with
+  | None -> None
+  | Some dir -> (
+      let file = path dir kind key in
+      match open_in_bin file with
+      | exception Sys_error _ ->
+          Stats.incr "store.misses";
+          None
+      | ic -> (
+          let entry =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                match (Marshal.from_channel ic : string * string * Obj.t) with
+                | s, k, v ->
+                    if String.equal s (stamp kind) && String.equal k key then
+                      Some v
+                    else None
+                | exception _ -> None)
+          in
+          match entry with
+          | Some v ->
+              Stats.incr "store.hits";
+              Some (Obj.obj v)
+          | None ->
+              (* stale version, digest collision, or a corrupt/truncated
+                 file: drop it and report a miss *)
+              Stats.incr "store.misses";
+              evict file;
+              None))
+
+let write ~kind ~key value =
+  match !dir_ref with
+  | None -> ()
+  | Some dir -> (
+      try
+        mkdir_p dir;
+        let file = path dir kind key in
+        let tmp = Filename.temp_file ~temp_dir:dir ".store" ".tmp" in
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            Marshal.to_channel oc
+              ((stamp kind, key, Obj.repr value) : string * string * Obj.t)
+              []);
+        Sys.rename tmp file;
+        Stats.incr "store.writes"
+      with Sys_error _ -> () (* persistence is best-effort *))

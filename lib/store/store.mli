@@ -1,0 +1,47 @@
+(** Versioned persistent cache store for the solver substrate.
+
+    The in-memory memo tables of {!Polyhedra} ([is_empty_cached]) and
+    {!Milp} ([feasible_cached], [lp]) die with the process; this store lets
+    them survive across processes — repeated [plutocc] runs, the batch
+    driver's forked workers, CI reruns — so a warm rerun answers repeated
+    integer-emptiness/feasibility/LP probes from disk instead of re-solving.
+
+    Layout: one file per entry under the configured directory, written with
+    the same Marshal + atomic-rename discipline as the autotuner's eval
+    cache (partial writes are invisible; concurrent writers race benignly —
+    last rename wins, and every racer wrote the same value because entries
+    are pure functions of their key).  Every entry embeds a substrate
+    version stamp and its full (un-hashed) key; a version mismatch, digest
+    collision, or corrupt/truncated file is detected on read, counted as an
+    eviction, deleted, and reported as a miss — corruption can never produce
+    a wrong answer, only wasted work.
+
+    Counters (see {!Stats}): ["store.hits"], ["store.misses"],
+    ["store.evictions"], ["store.writes"].
+
+    The store is process-global and disabled by default; [plutocc
+    --cache-dir DIR] enables it.  Callers must use distinct [kind] strings
+    per value type: the type of the marshaled value is trusted only because
+    (version, kind, key) triples are written by exactly one call site. *)
+
+(** Substrate version stamp baked into every entry.  Bump it whenever the
+    semantics of any cached value changes (canonical form, solver behaviour,
+    value representation): old entries then read as misses. *)
+val version : string
+
+(** [set_dir (Some dir)] enables the store (the directory is created on
+    first write); [set_dir None] disables it. *)
+val set_dir : string option -> unit
+
+val dir : unit -> string option
+val enabled : unit -> bool
+
+(** [read ~kind ~key] — the stored value, or [None] on any miss (disabled
+    store, absent entry, version mismatch, corruption).  The value type is
+    whatever [write] stored under this [kind]; each [kind] must be used at a
+    single monomorphic type. *)
+val read : kind:string -> key:string -> 'a option
+
+(** [write ~kind ~key v] — persist [v] (best-effort: I/O errors are
+    swallowed; an unwritable directory degrades to a pure in-memory run). *)
+val write : kind:string -> key:string -> 'a -> unit

@@ -404,71 +404,22 @@ let evaluate ~options ~machine ~params_vec ~candidate_time_s program cand :
 
 (* ----------------------------- worker pool ------------------------------- *)
 
-(* [Unix.fork] pool: each worker evaluates one candidate, marshals the small
-   numeric payload up a pipe and hard-exits ([Unix._exit], so the parent's
-   buffered output is never flushed twice).  Results are keyed by candidate
-   index, so scheduling order cannot affect the report. *)
+(* Candidate evaluations fan out over the shared {!Pool}.  A worker crash or
+   truncated payload comes back as a structured [Diag.t] (after one retry on a
+   fresh worker) and is folded into the candidate's failure slot, so the
+   search keeps its historical "a bad candidate never kills the search"
+   contract.  Timeouts stay inside [evaluate] ([with_wall_budget]), which
+   distinguishes a slow candidate from a crashed worker. *)
 let run_pool ~jobs (tasks : (int * candidate) list) (eval : candidate -> payload)
     : (int * payload) list =
-  if jobs <= 1 then List.map (fun (i, c) -> (i, eval c)) tasks
-  else begin
-    let pending = Queue.create () in
-    List.iter (fun t -> Queue.add t pending) tasks;
-    let running : (int, int * Unix.file_descr) Hashtbl.t = Hashtbl.create 8 in
-    let results = ref [] in
-    let spawn (idx, cand) =
-      let r, w = Unix.pipe () in
-      flush stdout;
-      flush stderr;
-      match Unix.fork () with
-      | 0 ->
-          (* worker *)
-          Unix.close r;
-          let result =
-            try eval cand
-            with e ->
-              (infinity, 0.0, false, Some ("worker: " ^ Printexc.to_string e))
-          in
-          (try
-             let oc = Unix.out_channel_of_descr w in
-             Marshal.to_channel oc (result : payload) [];
-             flush oc
-           with _ -> ());
-          Unix._exit 0
-      | pid ->
-          Unix.close w;
-          Hashtbl.replace running pid (idx, r)
-    in
-    let reap () =
-      match Unix.wait () with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | pid, status -> (
-          match Hashtbl.find_opt running pid with
-          | None -> () (* not one of ours *)
-          | Some (idx, fd) ->
-              Hashtbl.remove running pid;
-              let ic = Unix.in_channel_of_descr fd in
-              let payload =
-                match (Marshal.from_channel ic : payload) with
-                | p -> (
-                    match status with
-                    | Unix.WEXITED 0 -> p
-                    | _ ->
-                        (infinity, 0.0, false, Some "worker exited abnormally"))
-                | exception _ ->
-                    (infinity, 0.0, false, Some "worker produced no result")
-              in
-              close_in_noerr ic;
-              results := (idx, payload) :: !results)
-    in
-    while (not (Queue.is_empty pending)) || Hashtbl.length running > 0 do
-      while (not (Queue.is_empty pending)) && Hashtbl.length running < jobs do
-        spawn (Queue.pop pending)
-      done;
-      if Hashtbl.length running > 0 then reap ()
-    done;
-    !results
-  end
+  let outcomes = Pool.map ~jobs ~f:(fun (_, c) -> eval c) tasks in
+  List.map2
+    (fun (i, _) (o : payload Pool.outcome) ->
+      match o.Pool.value with
+      | Ok p -> (i, p)
+      | Error d ->
+          (i, (infinity, 0.0, false, Some ("worker: " ^ d.Diag.message))))
+    tasks outcomes
 
 (* ------------------------------- search ---------------------------------- *)
 

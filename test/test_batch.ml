@@ -1,0 +1,146 @@
+(* Batch compilation over the worker pool: end-to-end manifests, crash/parse
+   isolation, the persistent solver store (warm reruns: identical output,
+   strictly fewer solves; corruption = miss), and jobs-independence of the
+   solver counters. *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Two real kernels written as .c inputs under [dir]. *)
+let make_inputs dir =
+  let j = Filename.concat dir "jacobi.c" in
+  let m = Filename.concat dir "matmul.c" in
+  write_file j Kernels.jacobi_1d.Kernels.source;
+  write_file m Kernels.matmul.Kernels.source;
+  [ j; m ]
+
+let counter_of name = match List.assoc_opt name (Stats.counters ()) with
+  | Some v -> v
+  | None -> 0
+
+let codes (m : Batch.manifest) =
+  List.map (fun (e : Batch.entry) -> e.Batch.e_code) m.Batch.m_entries
+
+let statuses (m : Batch.manifest) =
+  List.map (fun (e : Batch.entry) -> e.Batch.e_status) m.Batch.m_entries
+
+(* run_batch with per-run counters: reset, run, return (manifest, counters
+   with the pool's own bookkeeping filtered out). *)
+let run_counted ?cache_dir ?out_dir ~jobs files =
+  Stats.reset ();
+  let m = Batch.run ~jobs ?cache_dir ?out_dir files in
+  let cs =
+    List.filter
+      (fun (k, _) -> not (Astring.String.is_prefix ~affix:"pool." k))
+      (Stats.counters ())
+  in
+  Store.set_dir None;
+  (m, List.sort compare cs)
+
+let test_end_to_end () =
+  Pool.with_temp_dir ~prefix:"batch_test" (fun dir ->
+      let files = make_inputs dir in
+      let out_dir = Filename.concat dir "out" in
+      let m, _ = run_counted ~out_dir ~jobs:2 files in
+      Alcotest.(check int) "one entry per file" 2
+        (List.length m.Batch.m_entries);
+      Alcotest.(check bool) "all succeed" true
+        (List.for_all (fun s -> s = Batch.Success) (statuses m));
+      Alcotest.(check int) "exit code 0" 0 (Batch.exit_code m);
+      List.iter
+        (fun (e : Batch.entry) ->
+          (match e.Batch.e_output with
+          | None -> Alcotest.fail "output not written"
+          | Some p ->
+              Alcotest.(check bool) ("written: " ^ p) true (Sys.file_exists p));
+          Alcotest.(check string) "rung" "auto" e.Batch.e_rung)
+        m.Batch.m_entries;
+      let json = Batch.manifest_to_json m in
+      List.iter
+        (fun frag ->
+          Alcotest.(check bool) ("manifest has " ^ frag) true
+            (Astring.String.is_infix ~affix:frag json))
+        [ "\"entries\""; "\"status\": \"ok\""; "\"stats\""; "jacobi.c" ])
+
+(* One unparseable file costs exactly its own entry. *)
+let test_bad_file_isolated () =
+  Pool.with_temp_dir ~prefix:"batch_test" (fun dir ->
+      let bad = Filename.concat dir "bad.c" in
+      write_file bad "this is not a loop nest @@;";
+      let good = Filename.concat dir "good.c" in
+      write_file good Kernels.jacobi_1d.Kernels.source;
+      let missing = Filename.concat dir "absent.c" in
+      let m, _ = run_counted ~jobs:2 [ bad; good; missing ] in
+      (match statuses m with
+      | [ Batch.Failed; Batch.Success; Batch.Failed ] -> ()
+      | _ -> Alcotest.fail "expected failed/ok/failed");
+      let bad_entry = List.hd m.Batch.m_entries in
+      Alcotest.(check bool) "bad file has diagnostics" true
+        (bad_entry.Batch.e_diags <> []);
+      Alcotest.(check int) "exit code 1" 1 (Batch.exit_code m))
+
+(* Warm --cache-dir rerun: bit-identical generated code, strictly fewer ILP
+   solves, and actual store hits. *)
+let test_warm_rerun () =
+  Pool.with_temp_dir ~prefix:"batch_test" (fun dir ->
+      let files = make_inputs dir in
+      let cache_dir = Filename.concat dir "cache" in
+      let cold_m, cold_c = run_counted ~cache_dir ~jobs:1 files in
+      let warm_m, warm_c = run_counted ~cache_dir ~jobs:1 files in
+      Alcotest.(check bool) "bit-identical code" true
+        (codes cold_m = codes warm_m);
+      let get cs k = match List.assoc_opt k cs with Some v -> v | None -> 0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "fewer solves warm (%d) than cold (%d)"
+           (get warm_c "milp.solves") (get cold_c "milp.solves"))
+        true
+        (get warm_c "milp.solves" < get cold_c "milp.solves");
+      Alcotest.(check bool) "cold run wrote the store" true
+        (get cold_c "store.writes" > 0);
+      Alcotest.(check bool) "warm run hit the store" true
+        (get warm_c "store.hits" > 0);
+      Alcotest.(check int) "cold run had no hits" 0 (get cold_c "store.hits"))
+
+(* A corrupted store entry is an eviction and a recompute, never an error or
+   a wrong answer. *)
+let test_corrupt_store_entry () =
+  Pool.with_temp_dir ~prefix:"batch_test" (fun dir ->
+      let files = make_inputs dir in
+      let cache_dir = Filename.concat dir "cache" in
+      let cold_m, _ = run_counted ~cache_dir ~jobs:1 files in
+      Array.iter
+        (fun f -> write_file (Filename.concat cache_dir f) "garbage")
+        (Sys.readdir cache_dir);
+      let again_m, again_c = run_counted ~cache_dir ~jobs:1 files in
+      Alcotest.(check bool) "identical code after corruption" true
+        (codes cold_m = codes again_m);
+      Alcotest.(check bool) "all succeed" true
+        (List.for_all (fun s -> s = Batch.Success) (statuses again_m));
+      Alcotest.(check bool) "corrupt entries evicted" true
+        (match List.assoc_opt "store.evictions" again_c with
+        | Some n -> n > 0
+        | None -> false))
+
+(* Solver counters and generated code do not depend on --jobs: every file
+   starts from empty in-memory caches in both modes. *)
+let test_jobs_independence () =
+  Pool.with_temp_dir ~prefix:"batch_test" (fun dir ->
+      let files = make_inputs dir in
+      let m1, c1 = run_counted ~jobs:1 files in
+      let m4, c4 = run_counted ~jobs:4 files in
+      Alcotest.(check bool) "identical code" true (codes m1 = codes m4);
+      Alcotest.(check bool) "identical solver counters" true (c1 = c4))
+
+let suite =
+  ( "batch",
+    [
+      Alcotest.test_case "end to end with manifest" `Quick test_end_to_end;
+      Alcotest.test_case "bad file is isolated" `Quick test_bad_file_isolated;
+      Alcotest.test_case "warm cache rerun" `Quick test_warm_rerun;
+      Alcotest.test_case "corrupt store entry is a miss" `Quick
+        test_corrupt_store_entry;
+      Alcotest.test_case "jobs-independent counters" `Quick
+        test_jobs_independence;
+    ] )

@@ -5,14 +5,12 @@ let plutocc = "../bin/plutocc.exe"
 let available () = Sys.file_exists plutocc
 
 let with_source f =
-  let dir = Filename.temp_file "plutocc" "" in
-  Sys.remove dir;
-  Unix.mkdir dir 0o755;
-  let src = Filename.concat dir "k.c" in
-  let oc = open_out src in
-  output_string oc Kernels.jacobi_1d.Kernels.source;
-  close_out oc;
-  f dir src
+  Pool.with_temp_dir ~prefix:"plutocc" (fun dir ->
+      let src = Filename.concat dir "k.c" in
+      let oc = open_out src in
+      output_string oc Kernels.jacobi_1d.Kernels.source;
+      close_out oc;
+      f dir src)
 
 let run cmd = Sys.command (cmd ^ " > /dev/null 2> /dev/null")
 

@@ -177,6 +177,38 @@ let test_mod_guards_for_nonunimodular () =
   Alcotest.(check bool) "mod guards present" true
     (List.exists has_mod r.Driver.code.Codegen.body)
 
+(* Bound-pruning LP probes route through the memoized (and, with a cache
+   dir, persistent) Milp.lp: the pruned ASTs must be identical whether the
+   answers come from the solver, the in-memory cache, or the on-disk store. *)
+let test_prune_lp_cache_transparent () =
+  let render k = Putil.string_of_format Codegen.print_c (Driver.compile (Kernels.program k)).Driver.code in
+  let k = Kernels.jacobi_1d in
+  let reference =
+    Fun.protect
+      ~finally:(fun () -> Milp.set_warm true)
+      (fun () ->
+        Milp.set_warm false;
+        Milp.clear_caches ();
+        Polyhedra.clear_caches ();
+        render k)
+  in
+  Pool.with_temp_dir ~prefix:"codegen_store" (fun dir ->
+      Fun.protect
+        ~finally:(fun () -> Store.set_dir None)
+        (fun () ->
+          Store.set_dir (Some dir);
+          Milp.clear_caches ();
+          Polyhedra.clear_caches ();
+          let populate = render k in
+          Alcotest.(check string) "cached = uncached" reference populate;
+          (* memoized answers now on disk; a fresh in-memory state must
+             reproduce the AST from the store alone *)
+          Milp.clear_caches ();
+          Polyhedra.clear_caches ();
+          let from_store = render k in
+          Alcotest.(check string) "store-backed = uncached" reference
+            from_store))
+
 let kernels_under_test =
   [ Kernels.jacobi_1d; Kernels.lu; Kernels.mvt; Kernels.seidel; Kernels.matmul; Kernels.mm2 ]
 
@@ -196,4 +228,6 @@ let suite =
         Alcotest.test_case "expression printing" `Quick test_min_max_floord_printing;
         Alcotest.test_case "empty statement" `Quick test_empty_statement_dropped;
         Alcotest.test_case "stride/mod guards" `Quick test_mod_guards_for_nonunimodular;
+        Alcotest.test_case "prune_lp cache-transparent" `Quick
+          test_prune_lp_cache_transparent;
       ] )

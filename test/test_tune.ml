@@ -17,19 +17,7 @@ let outcome_sig (o : Tune.outcome) =
 
 let report_sig (r : Tune.report) = List.map outcome_sig r.Tune.r_outcomes
 
-let with_temp_dir f =
-  let dir = Filename.temp_file "tune" "" in
-  Sys.remove dir;
-  Unix.mkdir dir 0o755;
-  Fun.protect
-    ~finally:(fun () ->
-      if Sys.file_exists dir then begin
-        Array.iter
-          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
-          (Sys.readdir dir);
-        try Unix.rmdir dir with Unix.Unix_error _ -> ()
-      end)
-    (fun () -> f dir)
+let with_temp_dir f = Pool.with_temp_dir ~prefix:"tune" f
 
 (* ----------------------------- candidate space ---------------------------- *)
 
