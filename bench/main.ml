@@ -530,6 +530,69 @@ let batch_throughput () =
       Printf.printf "  generated code identical across all runs: %b\n"
         (seq = par && par = cold && cold = warm))
 
+(* ------------------------- store resilience ------------------------------ *)
+
+(* The cost of surviving infrastructure faults: the kernel corpus compiled
+   against the sharded solver store fault-free and then under a seeded
+   fault schedule (failed/crashed publishes, corrupt reads, SIGKILLed
+   workers — lib/fault).  Output must be bit-identical either way; the
+   delta is pure retry/recompute overhead.  Afterwards [Store.gc] heals the
+   crash orphans and a warm run shows the surviving cache still pays. *)
+let store_resilience () =
+  section "Store resilience: batch compilation under injected faults";
+  Pool.with_temp_dir ~prefix:"pluto_bench_chaos" (fun dir ->
+      let files =
+        List.map
+          (fun (k : Kernels.t) ->
+            let path = Filename.concat dir (k.Kernels.name ^ ".c") in
+            let oc = open_out path in
+            output_string oc k.Kernels.source;
+            close_out oc;
+            path)
+          Kernels.all
+      in
+      let n = List.length files in
+      let run label ?config ~cache_dir () =
+        Milp.clear_caches ();
+        Polyhedra.clear_caches ();
+        Stats.reset ();
+        Fault.install config;
+        let t0 = Unix.gettimeofday () in
+        let m = Batch.run ~jobs:4 ~cache_dir files in
+        let dt = Unix.gettimeofday () -. t0 in
+        Fault.install None;
+        Store.set_dir None;
+        let c name =
+          match List.assoc_opt name (Stats.counters ()) with
+          | Some v -> v
+          | None -> 0
+        in
+        Printf.printf
+          "  %-26s %5.1f files/s  %5d injected  %4d retries  %4d write fails\n%!"
+          label
+          (float n /. dt)
+          (c "fault.injected") (c "pool.retries") (c "store.write_failures");
+        List.map (fun (e : Batch.entry) -> e.Batch.e_code) m.Batch.m_entries
+      in
+      Printf.printf "  %d kernels, jobs=4, shared sharded store:\n" n;
+      let clean = run "fault-free" ~cache_dir:(Filename.concat dir "c0") () in
+      let config =
+        {
+          Fault.seed = 20080613;
+          Fault.rate = 0.05;
+          Fault.only = [];
+          Fault.fail_at = [ ("pool.worker.kill", [ 1 ]) ];
+        }
+      in
+      let chaos_cache = Filename.concat dir "c1" in
+      let faulted = run "5% fault rate + kill" ~config ~cache_dir:chaos_cache () in
+      Store.set_dir (Some chaos_cache);
+      Store.gc ~max_tmp_age_s:0.0 ();
+      let warm = run "after gc, warm survivor" ~cache_dir:chaos_cache () in
+      Store.set_dir None;
+      Printf.printf "  generated code identical across all runs: %b\n"
+        (clean = faulted && faulted = warm))
+
 let statistics () =
   section "System statistics (all kernels)";
   Printf.printf "%-16s %5s %5s %5s %5s %5s %6s %6s %6s %5s\n" "kernel" "stmts"
@@ -612,6 +675,7 @@ let () =
   ablation_auto_scheduler ();
   solver_substrate ();
   batch_throughput ();
+  store_resilience ();
   statistics ();
   bechamel_compile_times ();
   write_results "BENCH_results.json";

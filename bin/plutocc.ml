@@ -53,6 +53,25 @@ exception Cli_error of Diag.t
 
 let cli_error fmt = Printf.ksprintf (fun m -> raise (Cli_error (Diag.error ~code:"cli" m))) fmt
 
+(* "64M", "512k", "2G" or plain bytes. *)
+let parse_size spec =
+  let s = String.trim spec in
+  let n = String.length s in
+  if n = 0 then cli_error "--cache-size: empty size"
+  else
+    let mult, digits =
+      match s.[n - 1] with
+      | 'k' | 'K' -> (1024, String.sub s 0 (n - 1))
+      | 'm' | 'M' -> (1024 * 1024, String.sub s 0 (n - 1))
+      | 'g' | 'G' -> (1024 * 1024 * 1024, String.sub s 0 (n - 1))
+      | _ -> (1, s)
+    in
+    match int_of_string_opt (String.trim digits) with
+    | Some v when v > 0 -> v * mult
+    | _ ->
+        cli_error "--cache-size: %S is not a positive size (try 64M, 512K, 2G)"
+          spec
+
 (* --batch: every positional file through [Batch.run] on the worker pool.
    [-o] names an output directory; per-file diagnostics render to stderr;
    the manifest (status, rung, diagnostics, timings per file plus aggregated
@@ -93,7 +112,8 @@ let run_batch ~files ~output ~options ~strict ~verify ~jobs ~batch_manifest
 let run files output show_deps show_transform no_tile tile_size no_parallel
     wavefront no_intra_reorder no_input_deps unroll_jam check params_spec
     simulate cores native strict verify break_schedule tune tune_report jobs
-    tune_budget stats cold_solver batch batch_manifest batch_timeout cache_dir =
+    tune_budget stats cold_solver batch batch_manifest batch_timeout cache_dir
+    cache_size =
   if cold_solver then begin
     Milp.set_warm false;
     Polyhedra.set_empty_cache false
@@ -117,6 +137,9 @@ let run files output show_deps show_transform no_tile tile_size no_parallel
   in
   let code =
     try
+    (match cache_size with
+    | None -> ()
+    | Some spec -> Store.set_budget (Some (parse_size spec)));
     if batch then
       run_batch ~files ~output ~options ~strict ~verify ~jobs ~batch_manifest
         ~batch_timeout ~cache_dir
@@ -334,6 +357,9 @@ let run files output show_deps show_transform no_tile tile_size no_parallel
           ];
         1
   in
+  (* never exit while the store sits over its budget (idempotent; the batch
+     path already ran it before assembling the manifest) *)
+  Store.evict_to_budget ();
   if stats then prerr_endline (Stats.to_json ());
   code
 
@@ -508,9 +534,22 @@ let cache_dir_arg =
     & info [ "cache-dir" ] ~docv:"DIR"
         ~doc:
           "Persist solver results (ILP/LP answers, emptiness tests) in DIR \
-           so they survive across processes and runs; entries are keyed by \
-           canonical constraint-system digests and versioned, so a stale or \
-           corrupt entry is silently recomputed.")
+           so they survive across processes and runs; entries are sharded \
+           into 256 hash-prefix subdirectories, keyed by canonical \
+           constraint-system digests, checksummed and versioned, so a stale \
+           or corrupt entry is silently recomputed.  Orphaned temp files \
+           from crashed runs are garbage-collected at startup.")
+
+let cache_size_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-size" ] ~docv:"BYTES"
+        ~doc:
+          "Byte budget for $(b,--cache-dir) (suffixes K/M/G accepted, e.g. \
+           64M).  When the store grows past the budget, least-recently-used \
+           entries are evicted; recency is tracked across processes, so any \
+           number of concurrent runs can share one budgeted cache.")
 
 let tune_budget_arg =
   Arg.(
@@ -554,6 +593,7 @@ let cmd =
       $ params_arg $ simulate_arg $ cores_arg $ native_arg $ strict_arg
       $ verify_arg $ break_schedule_arg $ tune_arg $ tune_report_arg
       $ jobs_arg $ tune_budget_arg $ stats_arg $ cold_solver_arg $ batch_arg
-      $ batch_manifest_arg $ batch_timeout_arg $ cache_dir_arg)
+      $ batch_manifest_arg $ batch_timeout_arg $ cache_dir_arg
+      $ cache_size_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -12,7 +12,10 @@
     cross-file amortization happens only through the persistent {!Store}
     ([--cache-dir]); consequently [--stats] solver totals are identical for
     [--jobs 1] and [--jobs N] on the same inputs (the forked and sequential
-    paths see the same — empty — starting caches). *)
+    paths see the same — empty — starting caches).  With [cache_size]
+    ([--cache-size]) the store's LRU eviction keeps the cache directory
+    under the byte budget; the final eviction pass runs before the manifest
+    is assembled. *)
 
 type status = Success | Degraded | Failed
 
@@ -135,10 +138,13 @@ let write_output out_dir e =
   | _ -> e
 
 let run ?(options = Driver.default_options) ?(strict = false)
-    ?(verify = false) ?(jobs = 1) ?task_timeout_s ?cache_dir ?out_dir
-    (files : string list) : manifest =
+    ?(verify = false) ?(jobs = 1) ?task_timeout_s ?cache_dir ?cache_size
+    ?out_dir (files : string list) : manifest =
   let t0 = Unix.gettimeofday () in
   Store.set_dir cache_dir;
+  (match cache_size with
+  | Some _ -> Store.set_budget cache_size
+  | None -> ());
   (* read sources in the parent: an unreadable file is a structured entry,
      not a worker crash, and tasks ship self-contained data to workers *)
   let inputs =
@@ -167,6 +173,8 @@ let run ?(options = Driver.default_options) ?(strict = false)
   in
   let entries = assemble inputs outcomes [] in
   let entries = List.map (write_output out_dir) entries in
+  (* the run never publishes a manifest while the store is over budget *)
+  Store.evict_to_budget ();
   {
     m_jobs = jobs;
     m_cache_dir = cache_dir;

@@ -1,6 +1,7 @@
 (* See pool.mli.  The design target is crash isolation: a worker that dies,
    hangs past its budget, or writes a truncated payload must surface as a
-   structured per-task error (and one retry), never as a parent exception.
+   structured per-task error (and bounded retries), never as a parent
+   exception.
 
    Protocol: each worker is a [Unix.fork] with a dedicated pipe.  The worker
    resets {!Stats}, runs the task under an optional SIGALRM budget, marshals
@@ -10,7 +11,19 @@
    larger than the pipe buffer (batch workers ship whole generated C files)
    would otherwise deadlock worker-write against parent-wait — and then
    parses the accumulated bytes with [Marshal.from_string], mapping any
-   parse failure or abnormal exit to the structured crash path. *)
+   parse failure or abnormal exit to the structured crash path.
+
+   Crashed tasks are requeued with exponential backoff
+   (retry_backoff_s * 2^(attempt-1)); a retry whose start time would fall
+   past the optional overall deadline is not attempted and the task fails
+   with code "pool-deadline".
+
+   Fault injection ({!Fault}): the parent decides per spawn whether the
+   child should SIGKILL itself ("pool.worker.kill") or truncate its payload
+   ("pool.payload.truncate") — decided parent-side so the per-site call
+   index advances once per spawn and retries draw fresh decisions — and the
+   pipe-read path can be hit with EINTR storms ("pool.read.eintr"), which
+   are retried like real EINTRs. *)
 
 type 'r outcome = {
   value : ('r, Diag.t) result;
@@ -56,6 +69,13 @@ let crash_diag ~attempts status =
   in
   Diag.errorf ~code:"worker-crashed"
     "worker %s without a complete result payload (%d attempt%s)" how attempts
+    (if attempts = 1 then "" else "s")
+
+let deadline_diag ~attempts deadline_s =
+  Diag.errorf ~code:"pool-deadline"
+    "worker crashed and the retry would start past the pool's %gs deadline \
+     (%d attempt%s)"
+    deadline_s attempts
     (if attempts = 1 then "" else "s")
 
 let of_wire = function
@@ -106,8 +126,21 @@ type 'a running = {
   r_t0 : float;
 }
 
-let spawn ?task_timeout_s ~f (idx, task, attempts) =
+(* A task waiting to (re)start; [p_ready_at] is 0 for first attempts and
+   now + backoff for retries. *)
+type 'a pending = {
+  p_idx : int;
+  p_task : 'a;
+  p_attempts : int;
+  p_ready_at : float;
+}
+
+let spawn ?task_timeout_s ~f (p : _ pending) =
   let r, w = Unix.pipe ~cloexec:false () in
+  (* fault decisions are drawn in the parent, one per spawn, so a retry of
+     a killed worker is a fresh draw rather than a guaranteed repeat *)
+  let kill_child = Fault.fire "pool.worker.kill" in
+  let truncate_payload = Fault.fire "pool.payload.truncate" in
   flush stdout;
   flush stderr;
   match Unix.fork () with
@@ -115,16 +148,23 @@ let spawn ?task_timeout_s ~f (idx, task, attempts) =
       (* worker *)
       Unix.close r;
       Stats.reset ();
+      if kill_child then Unix.kill (Unix.getpid ()) Sys.sigkill;
       let res =
-        match with_timeout ~seconds:task_timeout_s (fun () -> f task) with
+        match with_timeout ~seconds:task_timeout_s (fun () -> f p.p_task) with
         | v -> Ok v
         | exception Task_timeout ->
             Error (Wire_timeout (Option.value task_timeout_s ~default:0.0))
         | exception e -> Error (Wire_exn (Printexc.to_string e))
       in
       (try
+         let payload = Marshal.to_string (res, Stats.snapshot ()) [] in
+         let payload =
+           if truncate_payload then
+             String.sub payload 0 (String.length payload / 2)
+           else payload
+         in
          let oc = Unix.out_channel_of_descr w in
-         Marshal.to_channel oc (res, Stats.snapshot ()) [];
+         output_string oc payload;
          flush oc
        with _ -> ());
       Unix._exit 0
@@ -132,22 +172,29 @@ let spawn ?task_timeout_s ~f (idx, task, attempts) =
       Unix.close w;
       Stats.incr "pool.spawned";
       {
-        r_idx = idx;
-        r_task = task;
-        r_attempts = attempts + 1;
+        r_idx = p.p_idx;
+        r_task = p.p_task;
+        r_attempts = p.p_attempts + 1;
         r_pid = pid;
         r_fd = r;
         r_buf = Buffer.create 4096;
         r_t0 = Unix.gettimeofday ();
       }
 
-let map ~jobs ?task_timeout_s ?(retries = 1) ~f tasks =
+let map ~jobs ?task_timeout_s ?(retries = 1) ?(retry_backoff_s = 0.05)
+    ?retry_deadline_s ~f tasks =
   let n = List.length tasks in
   Stats.add "pool.tasks" n;
   if jobs <= 1 then List.map (run_sequential ?task_timeout_s ~f) tasks
   else begin
-    let pending = Queue.create () in
-    List.iteri (fun i x -> Queue.add (i, x, 0) pending) tasks;
+    let t_start = Unix.gettimeofday () in
+    let deadline = Option.map (fun s -> t_start +. s) retry_deadline_s in
+    let pending =
+      ref
+        (List.mapi
+           (fun i x -> { p_idx = i; p_task = x; p_attempts = 0; p_ready_at = 0.0 })
+           tasks)
+    in
     let results : (int, 'r outcome) Hashtbl.t = Hashtbl.create n in
     let running = ref [] in
     let finalize w status =
@@ -166,37 +213,71 @@ let map ~jobs ?task_timeout_s ?(retries = 1) ~f tasks =
           Hashtbl.replace results w.r_idx
             { value = of_wire res; retried = w.r_attempts > 1; elapsed_s = elapsed }
       | None ->
-          (* dead worker / truncated payload: structured diagnostic, and one
-             retry on a fresh worker *)
+          (* dead worker / truncated payload: structured diagnostic, and a
+             bounded number of backed-off retries on fresh workers *)
           Stats.incr "pool.crashes";
-          if w.r_attempts <= retries then begin
+          let now = Unix.gettimeofday () in
+          let backoff =
+            retry_backoff_s *. (2.0 ** float_of_int (w.r_attempts - 1))
+          in
+          let ready_at = now +. backoff in
+          let within_deadline =
+            match deadline with None -> true | Some d -> ready_at <= d
+          in
+          if w.r_attempts <= retries && within_deadline then begin
             Stats.incr "pool.retries";
-            Queue.add (w.r_idx, w.r_task, w.r_attempts) pending
+            if backoff > 0.0 then Stats.incr "pool.backoff_waits";
+            pending :=
+              {
+                p_idx = w.r_idx;
+                p_task = w.r_task;
+                p_attempts = w.r_attempts;
+                p_ready_at = ready_at;
+              }
+              :: !pending
           end
           else
             Hashtbl.replace results w.r_idx
               {
-                value = Error (crash_diag ~attempts:w.r_attempts status);
+                value =
+                  (if within_deadline then
+                     Error (crash_diag ~attempts:w.r_attempts status)
+                   else
+                     Error
+                       (deadline_diag ~attempts:w.r_attempts
+                          (Option.get retry_deadline_s)));
                 retried = w.r_attempts > 1;
                 elapsed_s = elapsed;
               }
     in
     let chunk = Bytes.create 65536 in
-    let step () =
+    (* EINTR (real or injected) is a retry, never end-of-stream; any other
+       read error means the payload can't complete — treat it as EOF so the
+       truncated-payload crash path takes over. *)
+    let rec read_pipe fd =
+      if Fault.fire "pool.read.eintr" then begin
+        Stats.incr "pool.eintr_retries";
+        read_pipe fd
+      end
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | n -> n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+            Stats.incr "pool.eintr_retries";
+            read_pipe fd
+        | exception Unix.Unix_error _ -> 0
+    in
+    let step timeout =
       let fds = List.map (fun w -> w.r_fd) !running in
-      match Unix.select fds [] [] (-1.0) with
+      match Unix.select fds [] [] timeout with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | ready, _, _ ->
           List.iter
             (fun fd ->
               let w = List.find (fun w -> w.r_fd = fd) !running in
-              let nread =
-                match Unix.read fd chunk 0 (Bytes.length chunk) with
-                | n -> n
-                | exception Unix.Unix_error (Unix.EINTR, _, _) -> -1
-              in
+              let nread = read_pipe fd in
               if nread > 0 then Buffer.add_subbytes w.r_buf chunk 0 nread
-              else if nread = 0 then begin
+              else begin
                 (* EOF: the worker closed its pipe (exit or crash); reap it *)
                 Unix.close fd;
                 let status =
@@ -209,11 +290,40 @@ let map ~jobs ?task_timeout_s ?(retries = 1) ~f tasks =
               end)
             ready
     in
-    while (not (Queue.is_empty pending)) || !running <> [] do
-      while (not (Queue.is_empty pending)) && List.length !running < jobs do
-        running := spawn ?task_timeout_s ~f (Queue.pop pending) :: !running
-      done;
-      if !running <> [] then step ()
+    while !pending <> [] || !running <> [] do
+      let now = Unix.gettimeofday () in
+      let ready, waiting =
+        List.partition (fun p -> p.p_ready_at <= now) !pending
+      in
+      (* oldest attempts first, in index order, for deterministic spawning *)
+      let ready =
+        List.sort (fun a b -> compare (a.p_ready_at, a.p_idx) (b.p_ready_at, b.p_idx)) ready
+      in
+      let rec launch = function
+        | p :: rest when List.length !running < jobs ->
+            running := spawn ?task_timeout_s ~f p :: !running;
+            launch rest
+        | rest -> rest
+      in
+      let leftover = launch ready in
+      pending := leftover @ waiting;
+      let next_retry_in =
+        match waiting with
+        | [] -> None
+        | _ :: _ ->
+            let earliest =
+              List.fold_left (fun a p -> Float.min a p.p_ready_at) infinity
+                waiting
+            in
+            Some (Float.max 0.001 (earliest -. now))
+      in
+      if !running <> [] then
+        step (match next_retry_in with None -> -1.0 | Some s -> s)
+      else
+        (* nothing in flight: sleep until the first backed-off retry is due *)
+        match next_retry_in with
+        | Some s -> Unix.sleepf s
+        | None -> ()
     done;
     List.mapi (fun i _ -> Hashtbl.find results i) tasks
   end

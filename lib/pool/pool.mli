@@ -5,12 +5,18 @@
     compilation driver, tests — shares one pool with one failure story:
 
     - a worker that dies (signal, [_exit], OOM-kill) or writes a truncated
-      payload yields a structured {!Diag.t} (code ["worker-crashed"]) and
-      one retry on a fresh worker — never a parent exception;
+      payload yields a structured {!Diag.t} (code ["worker-crashed"]) after
+      its retries are exhausted — never a parent exception;
+    - crashed tasks are retried on fresh workers with exponential backoff
+      ([retry_backoff_s * 2^(attempt-1)]); a retry that would start past
+      the optional overall [retry_deadline_s] is abandoned with code
+      ["pool-deadline"];
     - a task exceeding the per-task SIGALRM wall-clock budget yields code
       ["pool-timeout"];
     - an exception raised by the task function yields code
       ["worker-exception"] (deterministic failures are not retried);
+    - an [EINTR]'d pipe read (real, or injected via {!Fault} site
+      ["pool.read.eintr"]) is retried, never mistaken for end-of-stream;
     - the in-flight set is bounded by [jobs]; remaining work queues.
 
     Workers ship a {!Stats.snapshot} alongside their result and the parent
@@ -24,8 +30,14 @@
     fork boundary via [Marshal], so both must be pure data (no closures, no
     custom blocks); keep payloads self-contained.
 
+    Fault injection ({!Fault}): per spawn, the parent draws whether the
+    child SIGKILLs itself (site ["pool.worker.kill"]) or truncates its
+    result payload (["pool.payload.truncate"]); both exercise exactly the
+    crash/retry machinery above.
+
     Counters: ["pool.tasks"], ["pool.spawned"], ["pool.crashes"],
-    ["pool.retries"], ["pool.timeouts"]. *)
+    ["pool.retries"], ["pool.backoff_waits"], ["pool.timeouts"],
+    ["pool.eintr_retries"]. *)
 
 type 'r outcome = {
   value : ('r, Diag.t) result;
@@ -34,15 +46,20 @@ type 'r outcome = {
   elapsed_s : float;  (** wall-clock of the final attempt *)
 }
 
-(** [map ~jobs ?task_timeout_s ?retries ~f tasks] — run [f] on every task,
-    at most [jobs] concurrently on forked workers ([jobs <= 1] runs
-    in-process), each under [task_timeout_s] seconds of wall clock (omit or
-    [<= 0] = unlimited).  Crashed tasks are retried on a fresh worker up to
-    [retries] times (default 1).  Outcomes are in input order. *)
+(** [map ~jobs ?task_timeout_s ?retries ?retry_backoff_s ?retry_deadline_s
+    ~f tasks] — run [f] on every task, at most [jobs] concurrently on
+    forked workers ([jobs <= 1] runs in-process), each under
+    [task_timeout_s] seconds of wall clock (omit or [<= 0] = unlimited).
+    Crashed tasks are retried on a fresh worker up to [retries] times
+    (default 1), delayed by [retry_backoff_s * 2^(attempt-1)] seconds
+    (default base 0.05); with [retry_deadline_s], no retry is started after
+    that many seconds from the call.  Outcomes are in input order. *)
 val map :
   jobs:int ->
   ?task_timeout_s:float ->
   ?retries:int ->
+  ?retry_backoff_s:float ->
+  ?retry_deadline_s:float ->
   f:('a -> 'r) ->
   'a list ->
   'r outcome list

@@ -44,6 +44,8 @@ let run ?(cc = cc_default) ?(cflags = [ "-O2" ]) ?(openmp = true) ?timeout_s
         let src = Filename.concat dir "gen.c" in
         let exe = Filename.concat dir "gen" in
         let out = Filename.concat dir "out" in
+        (* fault site: the generated source never reaches the disk *)
+        Fault.sys_error "runner.write_src";
         let oc = open_out src in
         let fmt = Format.formatter_of_out_channel oc in
         Codegen.print_c ~instrument:true fmt code;
@@ -59,7 +61,8 @@ let run ?(cc = cc_default) ?(cflags = [ "-O2" ]) ?(openmp = true) ?timeout_s
             (if openmp then "-fopenmp" else "")
             defines exe src dir
         in
-        if Sys.command cmd <> 0 then
+        let cc_rc = if Fault.fire "runner.cc.fail" then 127 else Sys.command cmd in
+        if cc_rc <> 0 then
           failwith
             (Printf.sprintf "Runner: C compilation failed:\n%s"
                (stderr_excerpt (dir ^ "/cc.err")));
@@ -70,8 +73,10 @@ let run ?(cc = cc_default) ?(cflags = [ "-O2" ]) ?(openmp = true) ?timeout_s
           | _ -> ""
         in
         let rc =
-          Sys.command
-            (Printf.sprintf "%s%s > %s 2> %s/run.err" run_prefix exe out dir)
+          if Fault.fire "runner.run.fail" then 1
+          else
+            Sys.command
+              (Printf.sprintf "%s%s > %s 2> %s/run.err" run_prefix exe out dir)
         in
         if rc = 124 && run_prefix <> "" then
           failwith

@@ -28,13 +28,24 @@
       ["machine.mem_accesses"] — performance-model cache events;
     - ["tune.evaluated"], ["tune.cache_hits"], ["tune.pruned"] — autotuner;
     - ["pool.tasks"], ["pool.spawned"], ["pool.crashes"], ["pool.retries"],
-      ["pool.timeouts"] — the shared fork worker pool ([lib/pool]; spawned
-      counts forked workers only, so it is the one family of counters that
-      legitimately differs between [--jobs 1] and [--jobs N]);
+      ["pool.timeouts"], ["pool.backoff_waits"], ["pool.eintr_retries"] —
+      the shared fork worker pool ([lib/pool]; spawned counts forked
+      workers only, so it is the one family of counters that legitimately
+      differs between [--jobs 1] and [--jobs N]; backoff_waits counts
+      retries that waited out an exponential-backoff delay, eintr_retries
+      counts interrupted pipe reads that were resumed);
     - ["store.hits"] / ["store.misses"] / ["store.writes"] /
       ["store.evictions"] — the persistent on-disk solver store
       ([--cache-dir]; an eviction is a corrupt or version-skewed entry
       deleted and recomputed);
+    - ["store.write_failures"] — publishes abandoned because an I/O step
+      failed (the tmp file is cleaned up and the result simply not cached);
+    - ["store.lru_evictions"] — entries removed to fit the [--cache-size]
+      byte budget; ["store.gc_orphans"] — files collected by {!Store.gc}
+      (orphaned tmps from crashed writers, stale lock and legacy files);
+    - ["fault.injected"] and per-site ["fault.<site>"] — faults fired by
+      the deterministic injection harness ([lib/fault], [PLUTO_FAULT_*]);
+      always 0 unless a fault config is installed;
     - timers ["pass.deps"], ["pass.transform"], ["pass.codegen"]. *)
 
 (** Forget all counters and timers (tests and the tuner's workers use this to

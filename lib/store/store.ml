@@ -1,15 +1,23 @@
-(* See store.mli.  One file per entry; an entry is the marshaled triple
-   (stamp, key, value) where stamp = version ^ ":" ^ kind.  The stamp and the
-   full key string are verified on every read, so a file written by a
-   different substrate version, a different call site, or a colliding digest
-   is detected and treated as an eviction + miss — never misread as a value
-   of the wrong type. *)
+(* See store.mli.  Layout: DIR/ab/kind-<digest>.store, ab = first two hex
+   digits of the digest (256-way sharding).  An entry file is
+   MD5(payload) ^ payload where payload marshals (stamp, key, value) and
+   stamp = version ^ ":" ^ kind; checksum, stamp and key are all verified
+   on read, so any corruption or skew is an eviction + miss, never a wrong
+   answer.  Publish is tmp → fsync → rename; every failure path removes the
+   tmp.  LRU recency is a sidecar ".touch" file per entry (entries are
+   immutable, so their own mtime is the write time, used as fallback). *)
 
-let version = "pluto-store-v1"
+let version = "pluto-store-v2"
 
 let dir_ref : string option ref = ref None
+let budget_ref : int option ref = ref None
 
-let set_dir d = dir_ref := d
+(* Bytes written since the last eviction check; budget-relative threshold
+   keeps the full-store scan off the per-write path. *)
+let bytes_since_check = ref 0
+
+let set_budget b = budget_ref := b
+let budget () = !budget_ref
 let dir () = !dir_ref
 let enabled () = !dir_ref <> None
 
@@ -22,61 +30,317 @@ let rec mkdir_p d =
 let stamp kind = version ^ ":" ^ kind
 
 let path dir kind key =
-  Filename.concat dir
-    (Printf.sprintf "%s-%s.store" kind
-       (Digest.to_hex (Digest.string (stamp kind ^ "\x00" ^ key))))
+  let digest = Digest.to_hex (Digest.string (stamp kind ^ "\x00" ^ key)) in
+  Filename.concat
+    (Filename.concat dir (String.sub digest 0 2))
+    (Printf.sprintf "%s-%s.store" kind digest)
+
+let touch_path file = file ^ ".touch"
+
+(* Bump the entry's LRU timestamp (best-effort; created on first use). *)
+let touch file =
+  let t = touch_path file in
+  try Unix.utimes t 0.0 0.0
+  with Unix.Unix_error _ -> (
+    try close_out (open_out_bin t) with Sys_error _ -> ())
+
+(* ------------------------------- traversal ------------------------------- *)
+
+let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+let is_shard name = String.length name = 2 && String.for_all is_hex name
+
+(* Apply [f] to every file in the store root and in each shard directory. *)
+let iter_files dir f =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.iter
+        (fun name ->
+          let p = Filename.concat dir name in
+          if is_shard name && try Sys.is_directory p with Sys_error _ -> false
+          then
+            match Sys.readdir p with
+            | exception Sys_error _ -> ()
+            | files -> Array.iter (fun fn -> f (Filename.concat p fn)) files
+          else f p)
+        names
+
+(* --------------------------------- read ---------------------------------- *)
 
 let evict file =
   Stats.incr "store.evictions";
-  try Sys.remove file with Sys_error _ -> ()
+  (try Sys.remove file with Sys_error _ -> ());
+  try Sys.remove (touch_path file) with Sys_error _ -> ()
+
+let read_file_bytes file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let read ~kind ~key =
   match !dir_ref with
   | None -> None
   | Some dir -> (
       let file = path dir kind key in
-      match open_in_bin file with
+      match
+        Fault.sys_error "store.read.open";
+        read_file_bytes file
+      with
       | exception Sys_error _ ->
           Stats.incr "store.misses";
           None
-      | ic -> (
-          let entry =
-            Fun.protect
-              ~finally:(fun () -> close_in_noerr ic)
-              (fun () ->
-                match (Marshal.from_channel ic : string * string * Obj.t) with
+      | raw -> (
+          (* fault site: bit rot / torn read between disk and us *)
+          let raw = Fault.mangle "store.read.corrupt" raw in
+          let value =
+            if String.length raw < 16 then None
+            else
+              let sum = String.sub raw 0 16 in
+              let payload = String.sub raw 16 (String.length raw - 16) in
+              if not (String.equal sum (Digest.string payload)) then None
+              else
+                match
+                  (Marshal.from_string payload 0 : string * string * Obj.t)
+                with
                 | s, k, v ->
                     if String.equal s (stamp kind) && String.equal k key then
                       Some v
                     else None
-                | exception _ -> None)
+                | exception _ -> None
           in
-          match entry with
+          match value with
           | Some v ->
               Stats.incr "store.hits";
+              touch file;
               Some (Obj.obj v)
           | None ->
-              (* stale version, digest collision, or a corrupt/truncated
-                 file: drop it and report a miss *)
+              (* checksum failure, stale version, digest collision, or a
+                 corrupt/truncated file: drop it and report a miss *)
               Stats.incr "store.misses";
               evict file;
               None))
+
+(* ------------------------------- eviction -------------------------------- *)
+
+(* (size, LRU time) of an entry; recency is the touch file's mtime, falling
+   back to the entry's own (= write time) when the touch is missing. *)
+let entry_info file =
+  match Unix.stat file with
+  | exception Unix.Unix_error _ -> None
+  | st ->
+      let lru =
+        match Unix.stat (touch_path file) with
+        | t -> t.Unix.st_mtime
+        | exception Unix.Unix_error _ -> st.Unix.st_mtime
+      in
+      Some (st.Unix.st_size, lru)
+
+let usage_bytes () =
+  match !dir_ref with
+  | None -> 0
+  | Some dir ->
+      let total = ref 0 in
+      iter_files dir (fun f ->
+          if Filename.check_suffix f ".store" then
+            match Unix.stat f with
+            | st -> total := !total + st.Unix.st_size
+            | exception Unix.Unix_error _ -> ());
+      !total
+
+(* Concurrent evictors coordinate through an O_EXCL lock file; a lock older
+   than [stale_lock_age_s] belongs to a dead evictor and is taken over, so
+   a crash while evicting cannot wedge the store. *)
+let stale_lock_age_s = 60.0
+
+let with_evict_lock dir f =
+  let lock = Filename.concat dir ".evict.lock" in
+  let try_create () =
+    match
+      Unix.openfile lock
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL; Unix.O_CLOEXEC ]
+        0o644
+    with
+    | fd ->
+        Unix.close fd;
+        true
+    | exception Unix.Unix_error _ -> false
+  in
+  let acquired =
+    try_create ()
+    ||
+    (* stale-lock takeover *)
+    match Unix.stat lock with
+    | st when Unix.gettimeofday () -. st.Unix.st_mtime > stale_lock_age_s ->
+        (try Sys.remove lock with Sys_error _ -> ());
+        try_create ()
+    | _ | (exception Unix.Unix_error _) -> false
+  in
+  if acquired then
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove lock with Sys_error _ -> ())
+      f
+
+let evict_to_budget_locked dir budget =
+  let entries = ref [] in
+  let total = ref 0 in
+  iter_files dir (fun f ->
+      if Filename.check_suffix f ".store" then
+        match entry_info f with
+        | Some (size, lru) ->
+            entries := (f, size, lru) :: !entries;
+            total := !total + size
+        | None -> ());
+  if !total > budget then begin
+    let oldest_first =
+      List.sort (fun (_, _, a) (_, _, b) -> compare a b) !entries
+    in
+    ignore
+      (List.fold_left
+         (fun total (f, size, _) ->
+           if total <= budget then total
+           else begin
+             (try Sys.remove f with Sys_error _ -> ());
+             (try Sys.remove (touch_path f) with Sys_error _ -> ());
+             Stats.incr "store.lru_evictions";
+             total - size
+           end)
+         !total oldest_first)
+  end
+
+let evict_to_budget () =
+  match (!dir_ref, !budget_ref) with
+  | Some dir, Some b ->
+      bytes_since_check := 0;
+      with_evict_lock dir (fun () -> evict_to_budget_locked dir b)
+  | _ -> ()
+
+let maybe_evict dir =
+  match !budget_ref with
+  | None -> ()
+  | Some b ->
+      if !bytes_since_check >= max (b / 8) 65536 then begin
+        bytes_since_check := 0;
+        with_evict_lock dir (fun () -> evict_to_budget_locked dir b)
+      end
+
+(* --------------------------------- write --------------------------------- *)
+
+(* Simulated process death mid-publish (fault site "store.write.crash"):
+   the tmp file is deliberately left behind, exactly as SIGKILL would —
+   the GC, not the failure path, must clean it up. *)
+exception Crashed
+
+let tmp_counter = ref 0
+
+let write_entry dir kind key data =
+  let file = path dir kind key in
+  let shard = Filename.dirname file in
+  mkdir_p shard;
+  incr tmp_counter;
+  let tmp =
+    Filename.concat shard
+      (Printf.sprintf ".w%d.%d.tmp" (Unix.getpid ()) !tmp_counter)
+  in
+  Fault.unix_error "store.write.open" Unix.ENOSPC "open";
+  let fd =
+    Unix.openfile tmp
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+      0o644
+  in
+  let closed = ref false in
+  let close_fd () =
+    if not !closed then begin
+      closed := true;
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end
+  in
+  let len = String.length data in
+  try
+    if Fault.fire "store.write.crash" then begin
+      ignore (Unix.write_substring fd data 0 (len / 2));
+      close_fd ();
+      raise Crashed
+    end;
+    if Fault.fire "store.write.partial" then begin
+      ignore (Unix.write_substring fd data 0 (len / 2));
+      raise (Unix.Unix_error (Unix.ENOSPC, "write", tmp))
+    end;
+    let rec put pos =
+      if pos < len then
+        put (pos + Unix.write_substring fd data pos (len - pos))
+    in
+    put 0;
+    Fault.unix_error "store.write.fsync" Unix.EIO "fsync";
+    Unix.fsync fd;
+    close_fd ();
+    Fault.sys_error "store.write.rename";
+    Sys.rename tmp file;
+    touch file
+  with
+  | Crashed -> raise Crashed
+  | e ->
+      (* any failure after the tmp exists must not leak it *)
+      close_fd ();
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
 
 let write ~kind ~key value =
   match !dir_ref with
   | None -> ()
   | Some dir -> (
-      try
-        mkdir_p dir;
-        let file = path dir kind key in
-        let tmp = Filename.temp_file ~temp_dir:dir ".store" ".tmp" in
-        let oc = open_out_bin tmp in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () ->
-            Marshal.to_channel oc
-              ((stamp kind, key, Obj.repr value) : string * string * Obj.t)
-              []);
-        Sys.rename tmp file;
-        Stats.incr "store.writes"
-      with Sys_error _ -> () (* persistence is best-effort *))
+      match
+        let payload =
+          Marshal.to_string
+            ((stamp kind, key, Obj.repr value) : string * string * Obj.t)
+            []
+        in
+        let data = Digest.string payload ^ payload in
+        write_entry dir kind key data;
+        String.length data
+      with
+      | written ->
+          Stats.incr "store.writes";
+          bytes_since_check := !bytes_since_check + written;
+          maybe_evict dir
+      | exception Crashed -> ()
+      | exception (Sys_error _ | Unix.Unix_error _) ->
+          Stats.incr "store.write_failures")
+
+(* ----------------------------------- gc ----------------------------------- *)
+
+let gc_with_dir ?(max_tmp_age_s = 600.0) dir =
+  let now = Unix.gettimeofday () in
+  let collect f =
+    match Sys.remove f with
+    | () -> Stats.incr "store.gc_orphans"
+    | exception Sys_error _ -> ()
+  in
+  iter_files dir (fun f ->
+      if Filename.check_suffix f ".tmp" then begin
+        (* a live writer's tmp is seconds old; an older one is orphaned *)
+        match Unix.stat f with
+        | st when now -. st.Unix.st_mtime >= max_tmp_age_s -> collect f
+        | _ | (exception Unix.Unix_error _) -> ()
+      end
+      else if
+        Filename.check_suffix f ".store"
+        && String.equal (Filename.dirname f) dir
+      then
+        (* pre-shard (v1) flat entry: unreachable under the sharded layout *)
+        collect f
+      else if
+        Filename.check_suffix f ".touch"
+        && not (Sys.file_exists (Filename.chop_suffix f ".touch"))
+      then collect f)
+
+let gc ?max_tmp_age_s () =
+  match !dir_ref with
+  | None -> ()
+  | Some dir -> gc_with_dir ?max_tmp_age_s dir
+
+let set_dir d =
+  dir_ref := d;
+  bytes_since_check := 0;
+  (* startup self-healing: collect what crashed processes left behind *)
+  if d <> None then gc ()

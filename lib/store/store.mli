@@ -1,4 +1,4 @@
-(** Versioned persistent cache store for the solver substrate.
+(** Sharded, self-healing persistent cache store for the solver substrate.
 
     The in-memory memo tables of {!Polyhedra} ([is_empty_cached]) and
     {!Milp} ([feasible_cached], [lp]) die with the process; this store lets
@@ -6,18 +6,47 @@
     driver's forked workers, CI reruns — so a warm rerun answers repeated
     integer-emptiness/feasibility/LP probes from disk instead of re-solving.
 
-    Layout: one file per entry under the configured directory, written with
-    the same Marshal + atomic-rename discipline as the autotuner's eval
-    cache (partial writes are invisible; concurrent writers race benignly —
-    last rename wins, and every racer wrote the same value because entries
-    are pure functions of their key).  Every entry embeds a substrate
-    version stamp and its full (un-hashed) key; a version mismatch, digest
-    collision, or corrupt/truncated file is detected on read, counted as an
-    eviction, deleted, and reported as a miss — corruption can never produce
-    a wrong answer, only wasted work.
+    {2 Layout}
+
+    Entries live in 256 hash-prefix shard subdirectories
+    ([DIR/ab/kind-<digest>.store], [ab] = first two hex digits of the
+    digest), so a hot store never piles hundreds of thousands of files into
+    one directory.  An entry file is [MD5(payload) ^ payload] where the
+    payload marshals [(version-stamp, full key, value)]; the checksum, the
+    stamp and the un-hashed key are all verified on read, so bit rot, a
+    torn read, a version skew or a digest collision is detected, counted as
+    an eviction, deleted and reported as a miss — corruption can never
+    produce a wrong answer, only wasted work.
+
+    {2 Crash safety}
+
+    Publishing an entry is write-to-private-tmp → [fsync] → [rename]: a
+    reader can never observe a partial entry.  Every failure path deletes
+    the tmp file (counted in ["store.write_failures"]); a writer that dies
+    mid-publish leaves an orphaned [.tmp] which the startup/on-demand
+    garbage collector ({!gc}, run automatically by {!set_dir}) removes once
+    it is old enough to be provably dead.  Concurrent writers race
+    benignly — last rename wins, and every racer wrote the same value
+    because entries are pure functions of their key.
+
+    {2 Eviction}
+
+    With a byte budget ({!set_budget}; [plutocc --cache-size]) the store
+    evicts least-recently-used entries whenever its footprint exceeds the
+    budget.  Recency is tracked by an atime-style sidecar touch file per
+    entry (bumped on every hit — entry files themselves are immutable), and
+    eviction runs under an on-disk lock with stale-lock takeover, so any
+    number of concurrent processes can share one budgeted cache directory.
 
     Counters (see {!Stats}): ["store.hits"], ["store.misses"],
-    ["store.evictions"], ["store.writes"].
+    ["store.writes"], ["store.write_failures"], ["store.evictions"]
+    (corrupt/stale entries dropped on read), ["store.lru_evictions"]
+    (budget), ["store.gc_orphans"] (tmp/touch/legacy files collected).
+
+    Fault injection ({!Fault}) is threaded through every syscall boundary
+    in this module (sites ["store.read.*"], ["store.write.*"]); the chaos
+    suite drives compilations through hundreds of seeded fault schedules
+    and asserts that none of them can change an answer.
 
     The store is process-global and disabled by default; [plutocc
     --cache-dir DIR] enables it.  Callers must use distinct [kind] strings
@@ -30,18 +59,45 @@
 val version : string
 
 (** [set_dir (Some dir)] enables the store (the directory is created on
-    first write); [set_dir None] disables it. *)
+    first write) and runs a startup {!gc}; [set_dir None] disables it. *)
 val set_dir : string option -> unit
 
 val dir : unit -> string option
 val enabled : unit -> bool
 
+(** [set_budget (Some bytes)] caps the store's on-disk footprint: writes
+    trigger LRU eviction down to the budget (checked every
+    [~budget/8] written bytes, and exactly by {!evict_to_budget}).
+    [set_budget None] disables eviction. *)
+val set_budget : int option -> unit
+
+val budget : unit -> int option
+
 (** [read ~kind ~key] — the stored value, or [None] on any miss (disabled
-    store, absent entry, version mismatch, corruption).  The value type is
-    whatever [write] stored under this [kind]; each [kind] must be used at a
-    single monomorphic type. *)
+    store, absent entry, checksum/version/key mismatch, I/O error).  A hit
+    refreshes the entry's LRU touch file.  The value type is whatever
+    [write] stored under this [kind]; each [kind] must be used at a single
+    monomorphic type. *)
 val read : kind:string -> key:string -> 'a option
 
-(** [write ~kind ~key v] — persist [v] (best-effort: I/O errors are
-    swallowed; an unwritable directory degrades to a pure in-memory run). *)
+(** [write ~kind ~key v] — persist [v] crash-safely (best-effort: an I/O
+    failure deletes the tmp file, counts ["store.write_failures"] and
+    degrades to a pure in-memory run). *)
 val write : kind:string -> key:string -> 'a -> unit
+
+(** [gc ?max_tmp_age_s ()] — remove orphaned [.tmp] files older than
+    [max_tmp_age_s] seconds (default 600: a live writer's tmp is seconds
+    old, a crashed writer's is forever), touch files whose entry is gone,
+    and legacy pre-shard entries at the store root.  Safe to run
+    concurrently with readers and writers. *)
+val gc : ?max_tmp_age_s:float -> unit -> unit
+
+(** Run LRU eviction now, bringing the footprint under the budget (no-op
+    without a directory or budget).  Batch runs call this once at the end
+    so a manifest is never published over budget. *)
+val evict_to_budget : unit -> unit
+
+(** Total size in bytes of all entry files currently in the store (0 when
+    disabled).  Touch files and tmps are not counted — the budget governs
+    payload bytes. *)
+val usage_bytes : unit -> int

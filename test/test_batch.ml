@@ -110,9 +110,16 @@ let test_corrupt_store_entry () =
       let files = make_inputs dir in
       let cache_dir = Filename.concat dir "cache" in
       let cold_m, _ = run_counted ~cache_dir ~jobs:1 files in
-      Array.iter
-        (fun f -> write_file (Filename.concat cache_dir f) "garbage")
-        (Sys.readdir cache_dir);
+      (* entries live in 2-hex-digit shard subdirectories *)
+      let rec smash dir =
+        Array.iter
+          (fun name ->
+            let p = Filename.concat dir name in
+            if Sys.is_directory p then smash p
+            else if Filename.check_suffix p ".store" then write_file p "garbage")
+          (Sys.readdir dir)
+      in
+      smash cache_dir;
       let again_m, again_c = run_counted ~cache_dir ~jobs:1 files in
       Alcotest.(check bool) "identical code after corruption" true
         (codes cold_m = codes again_m);

@@ -118,6 +118,69 @@ let test_temp_dirs () =
       Alcotest.(check bool) "exists inside" true (Sys.is_directory dir));
   Alcotest.(check bool) "removed after" false (Sys.file_exists !remembered)
 
+(* Fault-injected worker SIGKILL and truncated result payloads are both
+   "worker died without a payload": retried on a fresh worker (whose fault
+   draw advances past the schedule) and bit-identical to the clean run. *)
+let test_injected_kill_and_truncation () =
+  List.iter
+    (fun site ->
+      Fun.protect
+        ~finally:(fun () -> Fault.install None)
+        (fun () ->
+          Fault.install
+            (Some { Fault.none with Fault.fail_at = [ (site, [ 1 ]) ] });
+          let out = Pool.map ~jobs:2 ~f:(fun x -> x * 2) [ 3; 4 ] in
+          Alcotest.(check bool)
+            (site ^ ": results intact") true
+            (values out = [ Ok 6; Ok 8 ]);
+          Alcotest.(check bool)
+            (site ^ ": first task retried") true
+            ((List.hd out).Pool.retried)))
+    [ "pool.worker.kill"; "pool.payload.truncate" ]
+
+(* An EINTR storm on the parent's pipe reads never turns into a lost result:
+   every interrupted read is retried and counted. *)
+let test_eintr_storm () =
+  Fun.protect
+    ~finally:(fun () -> Fault.install None)
+    (fun () ->
+      Fault.install
+        (Some
+           {
+             Fault.none with
+             Fault.seed = 7;
+             Fault.rate = 0.9;
+             Fault.only = [ "pool.read" ];
+           });
+      let before = counter_of "pool.eintr_retries" in
+      let out = Pool.map ~jobs:2 ~f:(fun x -> x + 100) [ 1; 2; 3; 4 ] in
+      Alcotest.(check bool)
+        "all results survive the storm" true
+        (values out = [ Ok 101; Ok 102; Ok 103; Ok 104 ]);
+      Alcotest.(check bool)
+        "interrupted reads counted" true
+        (counter_of "pool.eintr_retries" > before))
+
+(* A worker that always dies stops being retried once the backoff deadline
+   is exhausted, yielding the dedicated structured diagnostic. *)
+let test_retry_deadline () =
+  let f x = if x = 0 then Unix._exit 7 else x in
+  let t0 = Unix.gettimeofday () in
+  let out =
+    Pool.map ~jobs:2 ~retries:50 ~retry_backoff_s:0.2 ~retry_deadline_s:0.3 ~f
+      [ 0; 1 ]
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    "deadline surfaces as pool-deadline" true
+    (values out = [ Error "pool-deadline"; Ok 1 ]);
+  Alcotest.(check bool)
+    (Printf.sprintf "gave up near the deadline (%.2fs)" elapsed)
+    true (elapsed < 5.0);
+  Alcotest.(check bool)
+    "backoff waits counted" true
+    (counter_of "pool.backoff_waits" > 0)
+
 let suite =
   ( "pool",
     [
@@ -132,4 +195,9 @@ let suite =
         test_stats_merge;
       Alcotest.test_case "temp dirs are atomic and cleaned" `Quick
         test_temp_dirs;
+      Alcotest.test_case "injected kill and truncation retried" `Quick
+        test_injected_kill_and_truncation;
+      Alcotest.test_case "eintr storm loses nothing" `Quick test_eintr_storm;
+      Alcotest.test_case "retry deadline is structured" `Quick
+        test_retry_deadline;
     ] )
