@@ -38,6 +38,21 @@ let cells : cell list ref = ref []
 let record ~figure ~series ~x_label ~x sim =
   cells := { figure; series; x_label; x; sim } :: !cells
 
+(* Scalar measurements that are not machine simulations (compile wall-clock,
+   solver counters, ...): written into the same JSON array as objects with a
+   "metric" key, so consumers can tell the two shapes apart. *)
+type metric = {
+  m_figure : string;
+  m_series : string;
+  m_metric : string;
+  m_value : float;
+}
+
+let metrics : metric list ref = ref []
+
+let record_metric ~figure ~series ~metric v =
+  metrics := { m_figure = figure; m_series = series; m_metric = metric; m_value = v } :: !metrics
+
 let json_escape s =
   String.concat ""
     (List.map
@@ -63,9 +78,17 @@ let write_results path =
             c.sim.Machine.cycles c.sim.Machine.l1_misses
             c.sim.Machine.l2_misses)
         (List.rev !cells);
+      List.iter
+        (fun m ->
+          Printf.fprintf oc
+            ",\n  {\"figure\": \"%s\", \"series\": \"%s\", \"metric\": \
+             \"%s\", \"value\": %.6f}"
+            (json_escape m.m_figure) (json_escape m.m_series)
+            (json_escape m.m_metric) m.m_value)
+        (List.rev !metrics);
       output_string oc "\n]\n");
   Printf.printf "\nmachine-readable results written to %s (%d cells)\n" path
-    (List.length !cells)
+    (List.length !cells + List.length !metrics)
 
 (* print a table: rows indexed by [xs] (printed with [pp_x]), one column per
    scheme, cell = simulated GFLOPS; every cell is also [record]ed *)
@@ -593,6 +616,91 @@ let store_resilience () =
       Printf.printf "  generated code identical across all runs: %b\n"
         (clean = faulted && faulted = warm))
 
+(* ------------------------ fast scheduling path ---------------------------- *)
+
+(* A/B of the fast fusion/dimension-matching rung (lib/core/fastmatch)
+   against the exact ILP over the whole kernel corpus: scheduling-time ILP
+   solves (the dependence-analysis feasibility probes are warmed out of the
+   count first), compile_robust wall-clock, the fast path's verdict, and
+   the simulated performance of both results.  The fastpath differential
+   suite holds accepted schedules to bit-identical execution; this section
+   shows what taking the fast rung saves and costs. *)
+let fast_scheduling () =
+  section "Fast scheduling path: fusion + dimension matching vs exact ILP";
+  let nofast = { Driver.default_options with Driver.fast_schedule = false } in
+  let run options p =
+    (* warm the dependence-analysis probe memos so milp.solves below counts
+       only what the scheduling rungs spend *)
+    ignore (Deps.compute p : Deps.t list);
+    Stats.reset ();
+    let t0 = Unix.gettimeofday () in
+    match Driver.compile_robust ~options p with
+    | Ok (r, ds) ->
+        let dt = Unix.gettimeofday () -. t0 in
+        let solves =
+          match List.assoc_opt "milp.solves" (Stats.counters ()) with
+          | Some v -> v
+          | None -> 0
+        in
+        (r, ds, dt, solves)
+    | Error _ -> failwith "compile_robust failed on a corpus kernel"
+  in
+  Printf.printf "%-16s %8s | %7s %7s | %9s %9s | %8s %8s\n" "kernel" "verdict"
+    "solves" "solves" "time" "time" "GFLOPS" "GFLOPS";
+  Printf.printf "%-16s %8s | %7s %7s | %9s %9s | %8s %8s\n" "" "" "fast" "ilp"
+    "fast" "ilp" "fast" "ilp";
+  let fast_solves = ref 0 and ilp_solves = ref 0 in
+  let fast_time = ref 0.0 and ilp_time = ref 0.0 in
+  List.iter
+    (fun (k : Kernels.t) ->
+      let p = Kernels.program k in
+      let fr, fds, ft, fs = run Driver.default_options p in
+      let ir, _, it, is = run nofast p in
+      let verdict =
+        if Diag.has_code fds "fastpath-accepted" then "accept" else "reject"
+      in
+      let params = Kernels.params_vector p k.Kernels.bench_params in
+      let g series (r : Driver.result) =
+        let sim =
+          Machine.simulate Machine.default_machine r.Driver.code ~params
+        in
+        record ~figure:"fastpath" ~series ~x_label:k.Kernels.name ~x:0 sim;
+        sim.Machine.gflops
+      in
+      let fg = g "fast-on" fr and ig = g "fast-off" ir in
+      List.iter
+        (fun (metric, v) ->
+          record_metric ~figure:"fastpath" ~series:k.Kernels.name ~metric v)
+        [
+          ("ilp_solves_fast", float fs);
+          ("ilp_solves_ilp", float is);
+          ("compile_s_fast", ft);
+          ("compile_s_ilp", it);
+          ("accepted", if verdict = "accept" then 1.0 else 0.0);
+        ];
+      fast_solves := !fast_solves + fs;
+      ilp_solves := !ilp_solves + is;
+      fast_time := !fast_time +. ft;
+      ilp_time := !ilp_time +. it;
+      Printf.printf
+        "%-16s %8s | %7d %7d | %8.3fs %8.3fs | %8.3f %8.3f\n%!" k.Kernels.name
+        verdict fs is ft it fg ig)
+    Kernels.all;
+  let ratio a b = if a = 0 then Float.infinity else float b /. float a in
+  Printf.printf
+    "%-16s %8s | %7d %7d | %8.3fs %8.3fs |   (solve cut %.1fx, wall %.2fx)\n"
+    "total" "" !fast_solves !ilp_solves !fast_time !ilp_time
+    (ratio !fast_solves !ilp_solves)
+    (if !fast_time > 0.0 then !ilp_time /. !fast_time else Float.infinity);
+  record_metric ~figure:"fastpath" ~series:"total" ~metric:"ilp_solves_fast"
+    (float !fast_solves);
+  record_metric ~figure:"fastpath" ~series:"total" ~metric:"ilp_solves_ilp"
+    (float !ilp_solves);
+  record_metric ~figure:"fastpath" ~series:"total" ~metric:"compile_s_fast"
+    !fast_time;
+  record_metric ~figure:"fastpath" ~series:"total" ~metric:"compile_s_ilp"
+    !ilp_time
+
 let statistics () =
   section "System statistics (all kernels)";
   Printf.printf "%-16s %5s %5s %5s %5s %5s %6s %6s %6s %5s\n" "kernel" "stmts"
@@ -676,6 +784,7 @@ let () =
   solver_substrate ();
   batch_throughput ();
   store_resilience ();
+  fast_scheduling ();
   statistics ();
   bechamel_compile_times ();
   write_results "BENCH_results.json";

@@ -113,7 +113,7 @@ let run files output show_deps show_transform no_tile tile_size no_parallel
     wavefront no_intra_reorder no_input_deps unroll_jam check params_spec
     simulate cores native strict verify break_schedule tune tune_report jobs
     tune_budget stats cold_solver batch batch_manifest batch_timeout cache_dir
-    cache_size =
+    cache_size fast_schedule break_fastpath =
   if cold_solver then begin
     Milp.set_warm false;
     Polyhedra.set_empty_cache false
@@ -133,6 +133,8 @@ let run files output show_deps show_transform no_tile tile_size no_parallel
           Pluto.Auto.default_config with
           Pluto.Auto.input_deps = not no_input_deps;
         };
+      fast_schedule;
+      break_fastpath;
     }
   in
   let code =
@@ -582,6 +584,34 @@ let cold_solver_arg =
   Arg.(
     value & flag & info [ "cold-solver" ] ~doc:"" ~docs:Cmdliner.Manpage.s_none)
 
+let fast_schedule_arg =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "fast-schedule" ]
+              ~doc:
+                "Try the fast fusion/dimension-matching scheduler before the \
+                 exact per-hyperplane ILP (the default).  Accepted schedules \
+                 are translation-validated first; anything else falls back \
+                 to the ILP with a fastpath-rejected warning (still exit \
+                 0)." );
+          ( false,
+            info [ "no-fast-schedule" ]
+              ~doc:
+                "Always use the exact per-hyperplane ILP search (skip the \
+                 fast scheduling path)." );
+        ])
+
+(* Deliberately undocumented: sabotage hook for exercising the fast path's
+   rejection machinery — corrupts any accepted fast schedule before
+   validation, so the validator must catch it and the ILP must take over. *)
+let break_fastpath_arg =
+  Arg.(
+    value & flag
+    & info [ "break-fastpath" ] ~doc:"" ~docs:Cmdliner.Manpage.s_none)
+
 let cmd =
   let doc = "automatic polyhedral parallelizer and locality optimizer" in
   let info = Cmd.info "plutocc" ~version:"1.0" ~doc in
@@ -594,6 +624,6 @@ let cmd =
       $ verify_arg $ break_schedule_arg $ tune_arg $ tune_report_arg
       $ jobs_arg $ tune_budget_arg $ stats_arg $ cold_solver_arg $ batch_arg
       $ batch_manifest_arg $ batch_timeout_arg $ cache_dir_arg
-      $ cache_size_arg)
+      $ cache_size_arg $ fast_schedule_arg $ break_fastpath_arg)
 
 let () = exit (Cmd.eval' cmd)

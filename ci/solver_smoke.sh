@@ -15,8 +15,11 @@ ceiling_file=ci/solver-smoke-ceiling.json
 stats_file=$(mktemp)
 trap 'rm -f "$stats_file"' EXIT
 
+# --no-fast-schedule: this job measures the exact ILP substrate, which the
+# fast scheduling path would bypass entirely (ci/fastpath_smoke.sh covers
+# the fast path's own ceilings).
 PLUTO_TUNE_CACHE="" dune exec bin/plutocc.exe -- examples/matmul.c \
-  --stats -o /dev/null 2> "$stats_file"
+  --no-fast-schedule --stats -o /dev/null 2> "$stats_file"
 
 # Pull `"name": <int>` out of a one-line JSON file (no jq dependency).
 counter() {

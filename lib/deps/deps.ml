@@ -21,6 +21,30 @@ let kind_name = function
 
 let nvars d = d.poly.Polyhedra.nvars
 
+(* Index of the single iterator with a nonzero coefficient in an access row
+   (width m + np + 1), or None when the subscript mixes several iterators or
+   none at all. *)
+let unit_iter_dim m (row : int array) =
+  let found = ref None and ok = ref true in
+  for j = 0 to m - 1 do
+    if row.(j) <> 0 then
+      match !found with None -> found := Some j | Some _ -> ok := false
+  done;
+  if !ok then !found else None
+
+let matched_dims d =
+  let ms = Ir.depth d.src and mt = Ir.depth d.dst in
+  let n = Array.length d.src_acc.Ir.map in
+  let pairs = ref [] in
+  if Array.length d.dst_acc.Ir.map = n then
+    for k = n - 1 downto 0 do
+      let rs = d.src_acc.Ir.map.(k) and rt = d.dst_acc.Ir.map.(k) in
+      match (unit_iter_dim ms rs, unit_iter_dim mt rt) with
+      | Some a, Some b when rs.(a) = rt.(b) -> pairs := (a, b) :: !pairs
+      | _ -> ()
+    done;
+  !pairs
+
 (* Widen a row over (m iters + np params + 1) of one statement into the
    combined dependence space (ms + mt + np + 1), placing the iterators at
    [offset]. *)

@@ -45,6 +45,15 @@ val compute : ?input_deps:bool -> ?ctx:int -> Ir.program -> t list
 (** [nvars d] is the variable count of [d.poly]. *)
 val nvars : t -> int
 
+(** [matched_dims d] — subscript-aligned dimension pairs for the fast
+    scheduler's dimension matching (Acharya–Bondhugula style): for every
+    subscript of the access pair that is an affine function of exactly one
+    iterator on each side with equal coefficients, the pair
+    [(src_dim, dst_dim)].  E.g. [a[i][j] -> a[k][l]] yields [[(0,0); (1,1)]]
+    when [i,j] are the source dims and [k,l] the destination dims.  Input
+    (read–read) dependences participate: reuse votes drive fusion. *)
+val matched_dims : t -> (int * int) list
+
 (** [satisfaction_row program d row_src row_dst] builds the affine form
     δ = φ_dst(t) − φ_src(s) over the dependence polyhedron's variables, given
     per-statement transformation rows (each over own iters + const, width

@@ -22,7 +22,7 @@ type status = Success | Degraded | Failed
 type entry = {
   e_file : string;
   e_status : status;
-  e_rung : string;  (** "auto" | "feautrier" | "identity" | "none" *)
+  e_rung : string;  (** "fast" | "auto" | "feautrier" | "identity" | "none" *)
   e_diags : Diag.t list;
   e_code : string option;  (** rendered C, absent on failure *)
   e_output : string option;  (** where the parent wrote it, if [out_dir] *)
@@ -49,6 +49,7 @@ let rung_of ds =
   (* identity implies the feautrier rung also failed — check it first *)
   if Diag.has_code ds "degraded-identity" then "identity"
   else if Diag.has_code ds "degraded-feautrier" then "feautrier"
+  else if Diag.has_code ds "fastpath-accepted" then "fast"
   else "auto"
 
 let read_file path =

@@ -9,6 +9,8 @@ type options = {
   min_band_tile : int;
   auto : Pluto.Auto.config;
   context_min : int;
+  fast_schedule : bool;
+  break_fastpath : bool;
 }
 
 let default_options =
@@ -23,6 +25,8 @@ let default_options =
     min_band_tile = 2;
     auto = Pluto.Auto.default_config;
     context_min = 1;
+    fast_schedule = true;
+    break_fastpath = false;
   }
 
 let paper_options = default_options
@@ -204,6 +208,168 @@ let attempt ~what f =
 let demote (d : Diag.t) = { d with Diag.sev = Diag.Warning }
 let promote (d : Diag.t) = { d with Diag.sev = Diag.Error }
 
+(* ------------------------- the fast scheduling rung ----------------------- *)
+
+(* Cached outcome of the fast matcher for one (program, options) pair.
+   Accepts are stored only after translation validation passed, so a warm
+   hit skips both the matcher and the validator; rejects are cached too —
+   re-deriving "this program needs the ILP" costs as much as the first
+   attempt did. *)
+type fast_cached =
+  | Fast_accepted of {
+      fc_kinds : Pluto.Types.level_kind array;
+      fc_rows : int array array array;
+      fc_satisfied : (int * int) list;  (* sorted (dep id, level) *)
+    }
+  | Fast_rejected of string
+
+let fast_store_kind = "fastpath"
+
+(* The cache key covers the whole compilation request: any option (tile
+   sizes, bounds, wavefronting...) changes the generated code the validator
+   signed off on. *)
+let fast_key (program : Ir.program) (options : options) =
+  match Marshal.to_string (program, options) [] with
+  | s -> Some (Digest.to_hex (Digest.string s))
+  | exception _ -> None
+
+let cached_of_transform (t : Pluto.Types.transform) =
+  let sat =
+    Hashtbl.fold (fun d l acc -> (d, l) :: acc) t.Pluto.Types.satisfied_at []
+  in
+  Fast_accepted
+    {
+      fc_kinds = t.Pluto.Types.kinds;
+      fc_rows = t.Pluto.Types.rows;
+      fc_satisfied = List.sort compare sat;
+    }
+
+let transform_of_cached program deps = function
+  | Fast_rejected reason -> Error reason
+  | Fast_accepted { fc_kinds; fc_rows; fc_satisfied } ->
+      let satisfied_at = Hashtbl.create 16 in
+      List.iter (fun (d, l) -> Hashtbl.replace satisfied_at d l) fc_satisfied;
+      Ok
+        {
+          Pluto.Types.program;
+          deps;
+          nlevels = Array.length fc_kinds;
+          kinds = fc_kinds;
+          rows = fc_rows;
+          satisfied_at;
+        }
+
+let loop_levels (t : Pluto.Types.transform) =
+  Array.fold_left
+    (fun a k ->
+      match k with Pluto.Types.Loop _ -> a + 1 | Pluto.Types.Scalar -> a)
+    0 t.Pluto.Types.kinds
+
+(* --break-fastpath: deliberately corrupt an accepted fast schedule so that
+   only the validator stands between it and the output — negate every
+   statement's row at the outermost loop level that strongly satisfies a
+   dependence (reversing those dependences), falling back to the first loop
+   level when satisfaction is all-scalar. *)
+let break_transform (t : Pluto.Types.transform) =
+  let is_loop l =
+    match t.Pluto.Types.kinds.(l) with
+    | Pluto.Types.Loop _ -> true
+    | Pluto.Types.Scalar -> false
+  in
+  let target = ref None in
+  Hashtbl.iter
+    (fun _ l ->
+      if is_loop l then
+        match !target with
+        | Some b when b <= l -> ()
+        | _ -> target := Some l)
+    t.Pluto.Types.satisfied_at;
+  if !target = None then
+    Array.iteri
+      (fun l _ -> if !target = None && is_loop l then target := Some l)
+      t.Pluto.Types.kinds;
+  match !target with
+  | None -> t
+  | Some l ->
+      let rows =
+        Array.map
+          (fun (srows : int array array) ->
+            Array.mapi
+              (fun i row ->
+                if i = l then Array.map (fun c -> -c) row else row)
+              srows)
+          t.Pluto.Types.rows
+      in
+      { t with Pluto.Types.rows = rows }
+
+(* One attempt at the fast rung: matcher (or cache) -> codegen -> translation
+   validation.  [Error reason] is a clean rejection (fall back to the ILP);
+   exceptions are the caller's [attempt] wall's problem.  [revalidate] forces
+   validation even on a warm cache hit (the [~verify] contract of
+   [compile_robust] is that every returned result was validated this run). *)
+let try_fast ~options ~revalidate program =
+  let deps =
+    Stats.time "pass.deps" (fun () ->
+        Deps.compute ~input_deps:options.auto.Pluto.Auto.input_deps program)
+  in
+  let key = if options.break_fastpath then None else fast_key program options in
+  let cache_read () =
+    match key with
+    | None -> None
+    | Some key ->
+        (Store.read_versioned ~version:Pluto.Fastmatch.version
+           ~kind:fast_store_kind ~key
+          : fast_cached option)
+  in
+  let cache_write v =
+    match key with
+    | None -> ()
+    | Some key ->
+        Store.write_versioned ~version:Pluto.Fastmatch.version
+          ~kind:fast_store_kind ~key v
+  in
+  let finish ~validated tr =
+    let r = compile_with_transform ~options program deps tr in
+    let validate () =
+      match Verify.validate r.program r.deps r.transform r.code with
+      | rep when Verify.ok rep -> Ok ()
+      | rep ->
+          Error
+            (Format.asprintf
+               "translation validation rejected the fast schedule: %a"
+               Verify.pp_report rep)
+    in
+    let verdict = if validated && not revalidate then Ok () else validate () in
+    match verdict with
+    | Ok () ->
+        if not validated then cache_write (cached_of_transform tr);
+        (* a lower-bound estimate: the exact search solves at least one
+           hyperplane lexmin ILP per loop level it emits *)
+        Stats.add "fastpath.ilp_avoided" (loop_levels tr);
+        Ok r
+    | Error reason -> Error reason
+  in
+  match cache_read () with
+  | Some (Fast_rejected reason) -> Error reason
+  | Some (Fast_accepted _ as c) -> (
+      match transform_of_cached program deps c with
+      | Error reason -> Error reason
+      | Ok tr -> finish ~validated:true tr)
+  | None -> (
+      match
+        Stats.time "pass.transform" (fun () ->
+            Pluto.Fastmatch.schedule ~config:options.auto program deps)
+      with
+      | exception Pluto.Fastmatch.No_fast_schedule reason ->
+          cache_write (Fast_rejected reason);
+          Error reason
+      | tr ->
+          let tr =
+            if options.break_fastpath then break_transform tr else tr
+          in
+          (* a deliberately broken schedule must never be published *)
+          finish ~validated:false tr)
+
 let degraded ds =
   Diag.has_code ds "degraded-feautrier"
   || Diag.has_code ds "degraded-identity"
@@ -251,29 +417,72 @@ let compile_robust ?(options = default_options) ?(strict = false)
     compile_with_transform ~options program deps tr
   in
   let rung_identity () = compile_original ~options program in
-  match rung ~what:"Pluto auto transformation" rung_auto with
-  | Ok r -> Ok (r, [])
-  | Error d1 ->
-      if strict then Error [ promote d1 ]
-      else begin
-        let w1 =
-          Diag.warningf ~code:"degraded-feautrier"
-            "Pluto search failed; falling back to the Feautrier/FCO baseline \
-             schedule"
-        in
-        match rung ~what:"Feautrier baseline scheduler" rung_feautrier with
-        | Ok r -> Ok (r, [ demote d1; w1 ])
-        | Error d2 -> (
-            let w2 =
-              Diag.warningf ~code:"degraded-identity"
-                "Feautrier baseline failed; emitting the original program \
-                 order (no transformation)"
+  (* Top rung: the fast (fusion + dimension-matching) scheduler.  Its
+     accepts are translation-validated before being trusted; every other
+     outcome — clean rejection, validation failure, crash — is one
+     structured warning and a fall-through to the exact ILP below. *)
+  let fast =
+    if not options.fast_schedule then None
+    else begin
+      Stats.incr "fastpath.attempts";
+      match
+        attempt ~what:"fast scheduling path" (fun () ->
+            try_fast ~options ~revalidate:verify program)
+      with
+      | Ok (Ok r) ->
+          Stats.incr "fastpath.accepts";
+          Some (Ok r)
+      | Ok (Error reason) ->
+          Stats.incr "fastpath.rejects";
+          Some (Error reason)
+      | Error d ->
+          Stats.incr "fastpath.rejects";
+          Some (Error d.Diag.message)
+    end
+  in
+  match fast with
+  | Some (Ok r) ->
+      Ok
+        ( r,
+          [
+            Diag.note ~code:"fastpath-accepted"
+              "fast scheduling path accepted a validated permutation/fusion \
+               schedule (no ILP solves)";
+          ] )
+  | (None | Some (Error _)) as fast -> (
+      let fast_warns =
+        match fast with
+        | Some (Error reason) ->
+            [
+              Diag.warningf ~code:"fastpath-rejected"
+                "fast scheduling path rejected (%s); falling back to the \
+                 exact ILP"
+                reason;
+            ]
+        | _ -> []
+      in
+      match rung ~what:"Pluto auto transformation" rung_auto with
+      | Ok r -> Ok (r, fast_warns)
+      | Error d1 ->
+          if strict then Error [ promote d1 ]
+          else begin
+            let w1 =
+              Diag.warningf ~code:"degraded-feautrier"
+                "Pluto search failed; falling back to the Feautrier/FCO \
+                 baseline schedule"
             in
-            match rung ~what:"identity schedule" rung_identity with
-            | Ok r -> Ok (r, [ demote d1; w1; demote d2; w2 ])
-            | Error d3 ->
-                Error [ promote d1; promote d2; promote d3 ])
-      end
+            match rung ~what:"Feautrier baseline scheduler" rung_feautrier with
+            | Ok r -> Ok (r, fast_warns @ [ demote d1; w1 ])
+            | Error d2 -> (
+                let w2 =
+                  Diag.warningf ~code:"degraded-identity"
+                    "Feautrier baseline failed; emitting the original \
+                     program order (no transformation)"
+                in
+                match rung ~what:"identity schedule" rung_identity with
+                | Ok r -> Ok (r, fast_warns @ [ demote d1; w1; demote d2; w2 ])
+                | Error d3 -> Error [ promote d1; promote d2; promote d3 ])
+          end)
 
 let compile_source_robust ?options ?strict ?verify ?name src =
   match Frontend.parse_program_diag ?name src with

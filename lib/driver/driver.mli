@@ -27,6 +27,16 @@ type options = {
   min_band_tile : int;  (** minimum band width worth tiling *)
   auto : Pluto.Auto.config;
   context_min : int;
+  fast_schedule : bool;
+      (** try the fast fusion/dimension-matching scheduler
+          ({!Pluto.Fastmatch}) before the exact ILP in {!compile_robust};
+          accepted schedules are translation-validated first, rejections
+          fall back to the ILP with a ["fastpath-rejected"] warning.
+          Default on ([--no-fast-schedule] turns it off). *)
+  break_fastpath : bool;
+      (** testing hook ([--break-fastpath]): deliberately corrupt any
+          accepted fast schedule before validation, proving the rejection
+          path end to end.  Poisoned results are never cached. *)
 }
 
 val default_options : options
@@ -67,6 +77,12 @@ val compile_original : ?options:options -> Ir.program -> result
     budget exhaustion ([Diag.Budget_exceeded]), or any unexpected exception —
     is recorded as a warning diagnostic and the next rung is tried:
 
+    + the fast fusion/dimension-matching scheduler ({!Pluto.Fastmatch}),
+      when [options.fast_schedule] — zero ILP solves, and its output only
+      counts if the translation validator accepts it (an accept is recorded
+      as a ["fastpath-accepted"] note, a fall-through as a
+      ["fastpath-rejected"] warning — which is {e not} a degradation:
+      {!degraded} stays false and the CLI still exits 0);
     + the Pluto automatic transformation ({!compile});
     + the Feautrier + Griebl-FCO baseline schedule ({!Feautrier_core}), with
       the same solver budget;

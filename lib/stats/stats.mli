@@ -43,6 +43,16 @@
     - ["store.lru_evictions"] — entries removed to fit the [--cache-size]
       byte budget; ["store.gc_orphans"] — files collected by {!Store.gc}
       (orphaned tmps from crashed writers, stale lock and legacy files);
+    - ["fastpath.attempts"] / ["fastpath.accepts"] / ["fastpath.rejects"] —
+      the fast fusion/dimension-matching scheduling rung ([--fast-schedule],
+      the default): attempts counts entries into the rung, accepts counts
+      translation-validated schedules actually used, rejects counts clean
+      fall-throughs to the exact ILP (matcher give-up, unprofitable band
+      shape, validation failure, or crash — every reject is also a
+      ["fastpath-rejected"] warning);
+    - ["fastpath.ilp_avoided"] — a lower-bound estimate of the ILP solves
+      an accept saved: one hyperplane-lexmin solve per loop level of the
+      accepted schedule (the exact search solves at least that many);
     - ["fault.injected"] and per-site ["fault.<site>"] — faults fired by
       the deterministic injection harness ([lib/fault], [PLUTO_FAULT_*]);
       always 0 unless a fault config is installed;

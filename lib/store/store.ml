@@ -27,10 +27,17 @@ let rec mkdir_p d =
     try Sys.mkdir d 0o755 with Sys_error _ -> ()
   end
 
-let stamp kind = version ^ ":" ^ kind
+(* [?version] appends a per-kind sub-version ("@v") to the stamp so one
+   call site can re-key all of its entries (e.g. the fast scheduler bumping
+   its matcher version) without a global store flag day. *)
+let stamp ?version:v kind =
+  let s = version ^ ":" ^ kind in
+  match v with None -> s | Some v -> s ^ "@" ^ v
 
-let path dir kind key =
-  let digest = Digest.to_hex (Digest.string (stamp kind ^ "\x00" ^ key)) in
+let path ?version dir kind key =
+  let digest =
+    Digest.to_hex (Digest.string (stamp ?version kind ^ "\x00" ^ key))
+  in
   Filename.concat
     (Filename.concat dir (String.sub digest 0 2))
     (Printf.sprintf "%s-%s.store" kind digest)
@@ -78,11 +85,11 @@ let read_file_bytes file =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let read ~kind ~key =
+let read_gen version ~kind ~key =
   match !dir_ref with
   | None -> None
   | Some dir -> (
-      let file = path dir kind key in
+      let file = path ?version dir kind key in
       match
         Fault.sys_error "store.read.open";
         read_file_bytes file
@@ -104,8 +111,8 @@ let read ~kind ~key =
                   (Marshal.from_string payload 0 : string * string * Obj.t)
                 with
                 | s, k, v ->
-                    if String.equal s (stamp kind) && String.equal k key then
-                      Some v
+                    if String.equal s (stamp ?version kind) && String.equal k key
+                    then Some v
                     else None
                 | exception _ -> None
           in
@@ -120,6 +127,9 @@ let read ~kind ~key =
               Stats.incr "store.misses";
               evict file;
               None))
+
+let read ~kind ~key = read_gen None ~kind ~key
+let read_versioned ~version ~kind ~key = read_gen (Some version) ~kind ~key
 
 (* ------------------------------- eviction -------------------------------- *)
 
@@ -233,8 +243,7 @@ exception Crashed
 
 let tmp_counter = ref 0
 
-let write_entry dir kind key data =
-  let file = path dir kind key in
+let write_entry file data =
   let shard = Filename.dirname file in
   mkdir_p shard;
   incr tmp_counter;
@@ -285,18 +294,18 @@ let write_entry dir kind key data =
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e
 
-let write ~kind ~key value =
+let write_gen version ~kind ~key value =
   match !dir_ref with
   | None -> ()
   | Some dir -> (
       match
         let payload =
           Marshal.to_string
-            ((stamp kind, key, Obj.repr value) : string * string * Obj.t)
+            ((stamp ?version kind, key, Obj.repr value) : string * string * Obj.t)
             []
         in
         let data = Digest.string payload ^ payload in
-        write_entry dir kind key data;
+        write_entry (path ?version dir kind key) data;
         String.length data
       with
       | written ->
@@ -306,6 +315,11 @@ let write ~kind ~key value =
       | exception Crashed -> ()
       | exception (Sys_error _ | Unix.Unix_error _) ->
           Stats.incr "store.write_failures")
+
+let write ~kind ~key value = write_gen None ~kind ~key value
+
+let write_versioned ~version ~kind ~key value =
+  write_gen (Some version) ~kind ~key value
 
 (* ----------------------------------- gc ----------------------------------- *)
 

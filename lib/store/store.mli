@@ -85,6 +85,17 @@ val read : kind:string -> key:string -> 'a option
     degrades to a pure in-memory run). *)
 val write : kind:string -> key:string -> 'a -> unit
 
+(** Like {!read}/{!write}, but with a per-kind sub-version appended to the
+    entry stamp (["...:kind@version"]): entries written under a different
+    sub-version (or none) verify as stamp mismatches — evicted and reported
+    as misses — so a call site can re-key all of its entries (e.g. the fast
+    scheduler bumping its matcher version, [Pluto.Fastmatch.version])
+    without a global store flag day. *)
+val read_versioned : version:string -> kind:string -> key:string -> 'a option
+
+val write_versioned :
+  version:string -> kind:string -> key:string -> 'a -> unit
+
 (** [gc ?max_tmp_age_s ()] — remove orphaned [.tmp] files older than
     [max_tmp_age_s] seconds (default 600: a live writer's tmp is seconds
     old, a crashed writer's is forever), touch files whose entry is gone,

@@ -44,6 +44,55 @@ let check_params (k : Kernels.t) =
 let rows_of (t : Pluto.Types.transform) i =
   Array.to_list (Array.map Array.to_list t.Pluto.Types.rows.(i))
 
+(* ----------------------- corpus / harness helpers ------------------------- *)
+
+(* Shared by the batch/chaos/differential/fastpath suites so the kernel
+   corpus iteration logic lives in exactly one place. *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Two real kernels with different scheduling shapes written as .c inputs
+   under [dir]: matmul takes the fast scheduling path, jacobi-1d rejects it
+   and exercises the full ILP. *)
+let make_inputs dir =
+  let j = Filename.concat dir "jacobi.c" in
+  let m = Filename.concat dir "matmul.c" in
+  write_file j Kernels.jacobi_1d.Kernels.source;
+  write_file m Kernels.matmul.Kernels.source;
+  [ j; m ]
+
+let counter_of name =
+  match List.assoc_opt name (Stats.counters ()) with Some v -> v | None -> 0
+
+let codes (m : Batch.manifest) =
+  List.map (fun (e : Batch.entry) -> e.Batch.e_code) m.Batch.m_entries
+
+let statuses (m : Batch.manifest) =
+  List.map (fun (e : Batch.entry) -> e.Batch.e_status) m.Batch.m_entries
+
+(* Positive-integer test knob from the environment; a malformed value is a
+   hard error so a typo cannot silently run the default workload. *)
+let getenv_pos name =
+  match Sys.getenv_opt name with
+  | None | Some "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> Some n
+      | _ ->
+          Printf.eprintf "%s=%S is not a positive integer\n%!" name s;
+          exit 2)
+
+(* Alcotest case whose body starts from freshly reset global counters, so
+   counter assertions cannot pass or fail depending on which suites ran
+   before them in the same process. *)
+let stats_case name speed f =
+  Alcotest.test_case name speed (fun () ->
+      Stats.reset ();
+      f ())
+
 (* ----------------------- fuzzing / reproducer support --------------------- *)
 
 (* The randomized suites (test_fuzz, test_differential) draw from a seed that

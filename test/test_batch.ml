@@ -3,28 +3,10 @@
    strictly fewer solves; corruption = miss), and jobs-independence of the
    solver counters. *)
 
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
-
-(* Two real kernels written as .c inputs under [dir]. *)
-let make_inputs dir =
-  let j = Filename.concat dir "jacobi.c" in
-  let m = Filename.concat dir "matmul.c" in
-  write_file j Kernels.jacobi_1d.Kernels.source;
-  write_file m Kernels.matmul.Kernels.source;
-  [ j; m ]
-
-let counter_of name = match List.assoc_opt name (Stats.counters ()) with
-  | Some v -> v
-  | None -> 0
-
-let codes (m : Batch.manifest) =
-  List.map (fun (e : Batch.entry) -> e.Batch.e_code) m.Batch.m_entries
-
-let statuses (m : Batch.manifest) =
-  List.map (fun (e : Batch.entry) -> e.Batch.e_status) m.Batch.m_entries
+let write_file = Fixtures.write_file
+let make_inputs = Fixtures.make_inputs
+let codes = Fixtures.codes
+let statuses = Fixtures.statuses
 
 (* run_batch with per-run counters: reset, run, return (manifest, counters
    with the pool's own bookkeeping filtered out). *)
@@ -49,14 +31,17 @@ let test_end_to_end () =
       Alcotest.(check bool) "all succeed" true
         (List.for_all (fun s -> s = Batch.Success) (statuses m));
       Alcotest.(check int) "exit code 0" 0 (Batch.exit_code m);
-      List.iter
-        (fun (e : Batch.entry) ->
+      (* jacobi rejects the fast scheduling path (profitability) and lands
+         on the exact ILP; matmul's schedule comes from the fast rung *)
+      List.iter2
+        (fun rung (e : Batch.entry) ->
           (match e.Batch.e_output with
           | None -> Alcotest.fail "output not written"
           | Some p ->
               Alcotest.(check bool) ("written: " ^ p) true (Sys.file_exists p));
-          Alcotest.(check string) "rung" "auto" e.Batch.e_rung)
-        m.Batch.m_entries;
+          Alcotest.(check string) ("rung of " ^ e.Batch.e_file) rung
+            e.Batch.e_rung)
+        [ "auto"; "fast" ] m.Batch.m_entries;
       let json = Batch.manifest_to_json m in
       List.iter
         (fun frag ->
@@ -143,11 +128,11 @@ let test_jobs_independence () =
 let suite =
   ( "batch",
     [
-      Alcotest.test_case "end to end with manifest" `Quick test_end_to_end;
-      Alcotest.test_case "bad file is isolated" `Quick test_bad_file_isolated;
-      Alcotest.test_case "warm cache rerun" `Quick test_warm_rerun;
-      Alcotest.test_case "corrupt store entry is a miss" `Quick
+      Fixtures.stats_case "end to end with manifest" `Quick test_end_to_end;
+      Fixtures.stats_case "bad file is isolated" `Quick test_bad_file_isolated;
+      Fixtures.stats_case "warm cache rerun" `Quick test_warm_rerun;
+      Fixtures.stats_case "corrupt store entry is a miss" `Quick
         test_corrupt_store_entry;
-      Alcotest.test_case "jobs-independent counters" `Quick
+      Fixtures.stats_case "jobs-independent counters" `Quick
         test_jobs_independence;
     ] )

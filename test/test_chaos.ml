@@ -20,34 +20,14 @@
    PLUTO_CHAOS_SEED offsets every schedule's seed;
    PLUTO_CHAOS_DUMP_DIR collects failing schedules as reproducer dumps. *)
 
-let getenv_pos name =
-  match Sys.getenv_opt name with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n > 0 -> Some n
-      | _ -> None)
-  | None -> None
-
+let getenv_pos = Fixtures.getenv_pos
 let n_schedules = Option.value (getenv_pos "PLUTO_CHAOS_N") ~default:200
 let seconds = getenv_pos "PLUTO_CHAOS_SECONDS"
 let base_seed = Option.value (getenv_pos "PLUTO_CHAOS_SEED") ~default:20080613
 let dump_dir = Sys.getenv_opt "PLUTO_CHAOS_DUMP_DIR"
-
-let counter_of name =
-  match List.assoc_opt name (Stats.counters ()) with Some v -> v | None -> 0
-
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
-
-(* The corpus: two real kernels with different scheduling shapes. *)
-let make_inputs dir =
-  let j = Filename.concat dir "jacobi.c" in
-  let m = Filename.concat dir "matmul.c" in
-  write_file j Kernels.jacobi_1d.Kernels.source;
-  write_file m Kernels.matmul.Kernels.source;
-  [ j; m ]
+let counter_of = Fixtures.counter_of
+let write_file = Fixtures.write_file
+let make_inputs = Fixtures.make_inputs
 
 let rec walk dir f =
   if Sys.file_exists dir && Sys.is_directory dir then
@@ -62,8 +42,7 @@ let tmp_files dir =
   walk dir (fun p -> if Filename.check_suffix p ".tmp" then acc := p :: !acc);
   !acc
 
-let codes (m : Batch.manifest) =
-  List.map (fun (e : Batch.entry) -> e.Batch.e_code) m.Batch.m_entries
+let codes = Fixtures.codes
 
 (* ----------------------------- fault schedules ---------------------------- *)
 
@@ -305,6 +284,6 @@ let suite =
     [
       Alcotest.test_case "invariant over seeded fault schedules" `Slow
         test_chaos_invariant;
-      Alcotest.test_case "sigkill mid-write, then warm rerun" `Quick
+      Fixtures.stats_case "sigkill mid-write, then warm rerun" `Quick
         test_sigkill_warm_rerun;
     ] )

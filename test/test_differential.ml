@@ -12,16 +12,7 @@
    PLUTO_FUZZ_SECONDS switches to a wall-clock budget instead (the CI
    fuzz-smoke job runs with PLUTO_FUZZ_SECONDS=60). *)
 
-let getenv_pos name =
-  match Sys.getenv_opt name with
-  | None | Some "" -> None
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n > 0 -> Some n
-      | _ ->
-          Printf.eprintf "%s=%S is not a positive integer\n%!" name s;
-          exit 2)
-
+let getenv_pos = Fixtures.getenv_pos
 let nprograms = Option.value (getenv_pos "PLUTO_FUZZ_N") ~default:200
 let seconds = getenv_pos "PLUTO_FUZZ_SECONDS"
 
@@ -61,18 +52,24 @@ let variants =
           { base.Driver.auto with Pluto.Auto.use_cost_bound = false };
       } );
     (* coeff_bound 0 leaves the Pluto search no legal hyperplanes: the ladder
-       must degrade to the Feautrier rung *)
+       must degrade to the Feautrier rung.  The fast path is pinned off:
+       these two variants exist to exercise specific lower rungs, and a fast
+       accept would bypass them (coeff_bound 0 is also a fast-path gate, but
+       the pin keeps the variant's intent independent of that rule). *)
     ( "rung-feautrier",
       {
         base with
-        Driver.auto = { base.Driver.auto with Pluto.Auto.coeff_bound = 0 };
+        Driver.fast_schedule = false;
+        auto = { base.Driver.auto with Pluto.Auto.coeff_bound = 0 };
       } );
     (* an exhausted solver budget fails both scheduling rungs: the ladder
-       must fall through to the identity rung *)
+       must fall through to the identity rung (the Milp budget does not gate
+       the FM-only fast matcher, so it must be pinned off here too) *)
     ( "rung-identity",
       {
         base with
-        Driver.auto = { base.Driver.auto with Pluto.Auto.budget = force_budget };
+        Driver.fast_schedule = false;
+        auto = { base.Driver.auto with Pluto.Auto.budget = force_budget };
       } );
   ]
 

@@ -183,8 +183,9 @@ let test_unroll_jam_annotation () =
   Alcotest.(check bool) "pragma in output" true
     (Astring.String.is_infix ~affix:"#pragma unroll(4)" c_text)
 
+(* Runs under Fixtures.stats_case: the counters start from zero regardless
+   of which suites ran earlier in the process. *)
 let test_stats_counters () =
-  Stats.reset ();
   let p = Kernels.program Kernels.jacobi_1d in
   ignore (Driver.compile p);
   Alcotest.(check bool) "ilp solves counted" true (Stats.counter "milp.solves" > 0);
@@ -211,5 +212,5 @@ let suite =
       Alcotest.test_case "tuned beats baselines (jacobi)" `Slow test_tuned_wins_jacobi;
       Alcotest.test_case "tuned beats baselines (matmul)" `Slow test_tuned_wins_matmul;
       Alcotest.test_case "unroll-jam annotation" `Quick test_unroll_jam_annotation;
-      Alcotest.test_case "stats counters" `Quick test_stats_counters;
+      Fixtures.stats_case "stats counters" `Quick test_stats_counters;
     ] )
