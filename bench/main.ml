@@ -701,6 +701,137 @@ let fast_scheduling () =
   record_metric ~figure:"fastpath" ~series:"total" ~metric:"compile_s_ilp"
     !ilp_time
 
+(* ------------------------ compilation service ----------------------------- *)
+
+(* The plutod daemon (lib/server): the kernel corpus requested over the
+   Unix socket against a cold daemon and then again against its warm
+   caches, compared with a standalone cold [Batch.run].  The daemon's
+   second pass must answer every request from its result cache — strictly
+   fewer ILP solves than any cold run — and every response must be
+   bit-identical to what the standalone batch produced. *)
+let daemon_service () =
+  section "Compilation service: plutod daemon vs standalone batch";
+  Pool.with_temp_dir ~prefix:"pluto_bench_daemon" (fun dir ->
+      let sources =
+        List.map
+          (fun (k : Kernels.t) -> (k.Kernels.name ^ ".c", k.Kernels.source))
+          Kernels.all
+      in
+      let n = List.length sources in
+      (* standalone reference: a cold batch over the same corpus *)
+      let files =
+        List.map
+          (fun (name, src) ->
+            let path = Filename.concat dir name in
+            let oc = open_out path in
+            output_string oc src;
+            close_out oc;
+            path)
+          sources
+      in
+      Milp.clear_caches ();
+      Polyhedra.clear_caches ();
+      Stats.reset ();
+      let t0 = Unix.gettimeofday () in
+      let m = Batch.run ~jobs:2 files in
+      let batch_dt = Unix.gettimeofday () -. t0 in
+      let batch_solves =
+        match List.assoc_opt "milp.solves" (Stats.counters ()) with
+        | Some v -> v
+        | None -> 0
+      in
+      let batch_codes =
+        List.map (fun (e : Batch.entry) -> e.Batch.e_code) m.Batch.m_entries
+      in
+      Printf.printf "  %d kernels, jobs=2:\n" n;
+      Printf.printf "  %-26s %5.1f files/s  %6d solves\n%!"
+        "standalone cold batch"
+        (float n /. batch_dt)
+        batch_solves;
+      (* the daemon, forked with cold caches of its own *)
+      let socket = Filename.concat dir "d.sock" in
+      let pid = Unix.fork () in
+      if pid = 0 then begin
+        (try
+           Milp.clear_caches ();
+           Polyhedra.clear_caches ();
+           Stats.reset ();
+           Store.set_dir None;
+           Server.run
+             { (Server.default_config ~socket_path:socket) with Server.jobs = 2 }
+         with _ -> Unix._exit 1);
+        Unix._exit 0
+      end;
+      let rec wait_ready tries =
+        match Client.connect socket with
+        | Some fd -> Client.close fd
+        | None ->
+            if tries = 0 then failwith "plutod did not come up"
+            else begin
+              Unix.sleepf 0.02;
+              wait_ready (tries - 1)
+            end
+      in
+      wait_ready 500;
+      let daemon_counter name =
+        match Client.stats ~socket with
+        | Error _ -> 0
+        | Ok line -> (
+            match Manifest.Json.parse line with
+            | Error _ -> 0
+            | Ok j -> (
+                match
+                  Option.bind (Manifest.Json.mem "stats" j)
+                    (Manifest.Json.mem "counters")
+                with
+                | Some c ->
+                    int_of_float (Manifest.Json.num_mem name c ~default:0.0)
+                | None -> 0))
+      in
+      let pass label =
+        let solves0 = daemon_counter "milp.solves" in
+        let hits0 = daemon_counter "server.result_cache_hits" in
+        let t0 = Unix.gettimeofday () in
+        let codes =
+          List.map
+            (fun (name, source) ->
+              match
+                Client.compile ~socket ~options:Driver.default_options ~name
+                  ~source ()
+              with
+              | `Daemon (Ok r) -> r.Client.r_entry.Manifest.e_code
+              | `Daemon (Error _) | `No_daemon -> None)
+            sources
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        let solves = daemon_counter "milp.solves" - solves0 in
+        let hits = daemon_counter "server.result_cache_hits" - hits0 in
+        Printf.printf "  %-26s %5.1f files/s  %6d solves  %6d cache hits\n%!"
+          label
+          (float n /. dt)
+          solves hits;
+        record_metric ~figure:"daemon" ~series:label ~metric:"files_per_s"
+          (float n /. dt);
+        record_metric ~figure:"daemon" ~series:label ~metric:"ilp_solves"
+          (float solves);
+        (codes, solves)
+      in
+      let cold_codes, _ = pass "daemon pass 1 (cold)" in
+      let warm_codes, warm_solves = pass "daemon pass 2 (warm)" in
+      ignore (Client.shutdown ~socket);
+      ignore (Unix.waitpid [] pid);
+      record_metric ~figure:"daemon" ~series:"standalone" ~metric:"ilp_solves"
+        (float batch_solves);
+      record_metric ~figure:"daemon" ~series:"standalone" ~metric:"files_per_s"
+        (float n /. batch_dt);
+      Printf.printf
+        "  daemon responses bit-identical to the standalone batch: %b\n"
+        (cold_codes = batch_codes && warm_codes = batch_codes);
+      Printf.printf
+        "  warm pass solves strictly below a cold run: %b (%d vs %d)\n"
+        (warm_solves < batch_solves)
+        warm_solves batch_solves)
+
 let statistics () =
   section "System statistics (all kernels)";
   Printf.printf "%-16s %5s %5s %5s %5s %5s %6s %6s %6s %5s\n" "kernel" "stmts"
@@ -785,6 +916,7 @@ let () =
   batch_throughput ();
   store_resilience ();
   fast_scheduling ();
+  daemon_service ();
   statistics ();
   bechamel_compile_times ();
   write_results "BENCH_results.json";

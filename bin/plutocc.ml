@@ -72,16 +72,17 @@ let parse_size spec =
         cli_error "--cache-size: %S is not a positive size (try 64M, 512K, 2G)"
           spec
 
-(* --batch: every positional file through [Batch.run] on the worker pool.
-   [-o] names an output directory; per-file diagnostics render to stderr;
-   the manifest (status, rung, diagnostics, timings per file plus aggregated
-   counters) goes to --batch-manifest as JSON. *)
-let run_batch ~files ~output ~options ~strict ~verify ~jobs ~batch_manifest
-    ~batch_timeout ~cache_dir =
-  let m =
-    Batch.run ~options ~strict ~verify ~jobs ?task_timeout_s:batch_timeout
-      ?cache_dir ?out_dir:output files
-  in
+let no_daemon_note sock =
+  render
+    [
+      Diag.note ~code:"connect-fallback"
+        (Printf.sprintf "no daemon listening on %s; compiling locally" sock);
+    ]
+
+(* Shared tail of both batch paths (local pool and daemon connection):
+   per-file stderr summary, optional JSON manifest, stdout fallback for the
+   generated code, exit-code policy. *)
+let finish_batch ~output ~batch_manifest (m : Batch.manifest) =
   List.iter
     (fun (e : Batch.entry) ->
       render e.Batch.e_diags;
@@ -109,11 +110,83 @@ let run_batch ~files ~output ~options ~strict ~verify ~jobs ~batch_manifest
       m.Batch.m_entries;
   Batch.exit_code m
 
+(* --batch: every positional file through [Batch.run] on the worker pool.
+   [-o] names an output directory; per-file diagnostics render to stderr;
+   the manifest (status, rung, diagnostics, timings per file plus aggregated
+   counters) goes to --batch-manifest as JSON. *)
+let run_batch ~files ~output ~options ~strict ~verify ~jobs ~batch_manifest
+    ~batch_timeout ~cache_dir =
+  let m =
+    Batch.run ~options ~strict ~verify ~jobs ?task_timeout_s:batch_timeout
+      ?cache_dir ?out_dir:output files
+  in
+  finish_batch ~output ~batch_manifest m
+
+(* --batch --connect: the same files through one daemon connection,
+   sequentially (the daemon itself fans out across its workers and clients).
+   A request the daemon cannot answer (dropped connection mid-batch) is
+   compiled locally — the batch always completes. *)
+let run_batch_daemon fd ~files ~output ~options ~strict ~verify
+    ~batch_manifest ~batch_timeout =
+  let t0 = Unix.gettimeofday () in
+  let compile_local file src t1 =
+    let t = Batch.compile_one ~options ~strict ~verify (file, src) in
+    let status =
+      match t.Batch.t_code with
+      | None -> Batch.Failed
+      | Some _ ->
+          if Driver.degraded t.Batch.t_diags then Batch.Degraded
+          else Batch.Success
+    in
+    {
+      Batch.e_file = file;
+      e_status = status;
+      e_rung = t.Batch.t_rung;
+      e_diags = t.Batch.t_diags;
+      e_code = t.Batch.t_code;
+      e_output = None;
+      e_elapsed_s = Unix.gettimeofday () -. t1;
+      e_retried = false;
+    }
+  in
+  let entries =
+    List.map
+      (fun file ->
+        match read_file file with
+        | exception Sys_error msg ->
+            Batch.error_entry file (Diag.errorf ~code:"io" "%s" msg)
+        | src -> (
+            let t1 = Unix.gettimeofday () in
+            match
+              Client.compile_fd fd ?deadline_s:batch_timeout ~strict ~verify
+                ~options ~name:file ~source:src ()
+            with
+            | Ok resp -> { resp.Client.r_entry with Batch.e_file = file }
+            | Error msg ->
+                render
+                  [
+                    Diag.warningf ~code:"server"
+                      "daemon request for %s failed (%s); compiling locally"
+                      file msg;
+                  ];
+                compile_local file src t1))
+      files
+  in
+  let entries = List.map (Batch.write_output output) entries in
+  finish_batch ~output ~batch_manifest
+    {
+      Batch.m_jobs = 1;
+      m_cache_dir = None;
+      m_entries = entries;
+      m_elapsed_s = Unix.gettimeofday () -. t0;
+      m_counters = Stats.counters ();
+    }
+
 let run files output show_deps show_transform no_tile tile_size no_parallel
     wavefront no_intra_reorder no_input_deps unroll_jam check params_spec
     simulate cores native strict verify break_schedule tune tune_report jobs
-    tune_budget stats cold_solver batch batch_manifest batch_timeout cache_dir
-    cache_size fast_schedule break_fastpath =
+    tune_budget stats stats_json cold_solver batch batch_manifest batch_timeout
+    cache_dir cache_size fast_schedule break_fastpath connect =
   if cold_solver then begin
     Milp.set_warm false;
     Polyhedra.set_empty_cache false
@@ -142,9 +215,24 @@ let run files output show_deps show_transform no_tile tile_size no_parallel
     (match cache_size with
     | None -> ()
     | Some spec -> Store.set_budget (Some (parse_size spec)));
-    if batch then
-      run_batch ~files ~output ~options ~strict ~verify ~jobs ~batch_manifest
-        ~batch_timeout ~cache_dir
+    if batch then begin
+      match connect with
+      | Some sock -> (
+          match Client.connect sock with
+          | Some fd ->
+              Fun.protect
+                ~finally:(fun () -> Client.close fd)
+                (fun () ->
+                  run_batch_daemon fd ~files ~output ~options ~strict ~verify
+                    ~batch_manifest ~batch_timeout)
+          | None ->
+              no_daemon_note sock;
+              run_batch ~files ~output ~options ~strict ~verify ~jobs
+                ~batch_manifest ~batch_timeout ~cache_dir)
+      | None ->
+          run_batch ~files ~output ~options ~strict ~verify ~jobs
+            ~batch_manifest ~batch_timeout ~cache_dir
+    end
     else
     match files with
     | [] | _ :: _ :: _ ->
@@ -157,6 +245,54 @@ let run files output show_deps show_transform no_tile tile_size no_parallel
         1
     | [ file ] -> (
     let src = read_file file in
+    (* --connect: hand plain compilations to the daemon; anything needing
+       in-process artifacts (tuning, checking, simulation, dumps, the
+       sabotage hooks) stays local.  No daemon listening → fall back. *)
+    let daemon_eligible =
+      connect <> None
+      && not
+           (tune || check || simulate || native || show_deps || show_transform
+          || break_schedule || cold_solver)
+    in
+    let daemon_code =
+      if not daemon_eligible then None
+      else begin
+        let sock = Option.get connect in
+        match
+          Client.compile ~socket:sock ~strict ~verify ~options ~name:file
+            ~source:src ()
+        with
+        | `No_daemon ->
+            no_daemon_note sock;
+            None
+        | `Daemon (Error msg) ->
+            render [ Diag.errorf ~code:"server" "daemon protocol error: %s" msg ];
+            Some 1
+        | `Daemon (Ok resp) ->
+            let e = resp.Client.r_entry in
+            render ~src e.Batch.e_diags;
+            (match e.Batch.e_code with
+            | None -> ()
+            | Some code -> (
+                match output with
+                | None ->
+                    print_string code;
+                    flush stdout
+                | Some path ->
+                    let oc = open_out path in
+                    Fun.protect
+                      ~finally:(fun () -> close_out_noerr oc)
+                      (fun () -> output_string oc code)));
+            Some
+              (match e.Batch.e_status with
+              | Batch.Failed -> 1
+              | Batch.Degraded -> 2
+              | Batch.Success -> 0)
+      end
+    in
+    match daemon_code with
+    | Some code -> code
+    | None -> (
     match parse_params params_spec with
     | Error ds ->
         render ds;
@@ -339,7 +475,7 @@ let run files output show_deps show_transform no_tile tile_size no_parallel
                 end;
                 if !check_failed || !verify_failed then 1
                 else if Driver.degraded compile_warns then 2
-                else 0)))
+                else 0))))
   with
   | Cli_error d ->
       render [ d ];
@@ -363,6 +499,18 @@ let run files output show_deps show_transform no_tile tile_size no_parallel
      path already ran it before assembling the manifest) *)
   Store.evict_to_budget ();
   if stats then prerr_endline (Stats.to_json ());
+  (* machine-readable counterpart of --stats: one JSON file, nothing else
+     mixed in — smoke scripts read counters from here instead of grepping
+     stderr *)
+  (match stats_json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Stats.to_json ());
+          output_char oc '\n'));
   code
 
 let files_arg =
@@ -570,6 +718,29 @@ let stats_arg =
            Fourier-Motzkin eliminations, cache-model events, ...) as JSON on \
            stderr.")
 
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the same counters/timers JSON as $(b,--stats) to FILE — \
+           machine-readable, never interleaved with diagnostics.")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCK"
+        ~doc:
+          "Compile through a running plutod daemon on this Unix socket \
+           (works for single-file and $(b,--batch) mode; responses reuse \
+           the daemon's hot caches).  When no daemon is listening, fall \
+           back to normal local compilation with a note.  Flags that need \
+           in-process artifacts ($(b,--tune), $(b,--check), \
+           $(b,--simulate), $(b,--native-run), dump flags) always compile \
+           locally.")
+
 (* Deliberately undocumented: sabotage hook for exercising --verify's
    rejection path from the test suite. *)
 let break_schedule_arg =
@@ -622,8 +793,9 @@ let cmd =
       $ no_intra_arg $ no_input_deps_arg $ unroll_jam_arg $ check_arg
       $ params_arg $ simulate_arg $ cores_arg $ native_arg $ strict_arg
       $ verify_arg $ break_schedule_arg $ tune_arg $ tune_report_arg
-      $ jobs_arg $ tune_budget_arg $ stats_arg $ cold_solver_arg $ batch_arg
-      $ batch_manifest_arg $ batch_timeout_arg $ cache_dir_arg
-      $ cache_size_arg $ fast_schedule_arg $ break_fastpath_arg)
+      $ jobs_arg $ tune_budget_arg $ stats_arg $ stats_json_arg
+      $ cold_solver_arg $ batch_arg $ batch_manifest_arg $ batch_timeout_arg
+      $ cache_dir_arg $ cache_size_arg $ fast_schedule_arg
+      $ break_fastpath_arg $ connect_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,178 @@
+(** plutod — the compilation-as-a-service daemon (see {!Server}).
+
+    Serves newline-delimited JSON compile requests over a Unix-domain
+    socket (and optionally TCP on localhost), keeping the in-memory solver
+    caches hot across requests and backing finished results with the
+    persistent store.  [plutocc --connect SOCK] is the matching client.
+
+    The admin one-shots ([--ping], [--query-stats], [--request-shutdown])
+    connect to an already-running daemon instead of starting one, so shell
+    scripts need no extra tooling. *)
+
+open Cmdliner
+
+(* "64M", "512k", "2G" or plain bytes — same syntax as plutocc. *)
+let parse_size spec =
+  let s = String.trim spec in
+  let n = String.length s in
+  let mult, digits =
+    if n = 0 then (1, s)
+    else
+      match s.[n - 1] with
+      | 'k' | 'K' -> (1024, String.sub s 0 (n - 1))
+      | 'm' | 'M' -> (1024 * 1024, String.sub s 0 (n - 1))
+      | 'g' | 'G' -> (1024 * 1024 * 1024, String.sub s 0 (n - 1))
+      | _ -> (1, s)
+  in
+  match int_of_string_opt (String.trim digits) with
+  | Some v when v > 0 -> Some (v * mult)
+  | _ -> None
+
+let default_socket = Filename.concat (Filename.get_temp_dir_name ()) "plutod.sock"
+
+let run socket tcp_port jobs cache_dir cache_size deadline result_cache stats
+    ping query_stats request_shutdown =
+  if ping then
+    if Client.ping ~socket then begin
+      print_endline "pong";
+      0
+    end
+    else begin
+      prerr_endline ("plutod: no daemon listening on " ^ socket);
+      1
+    end
+  else if query_stats then begin
+    match Client.stats ~socket with
+    | Ok line ->
+        print_endline line;
+        0
+    | Error msg ->
+        prerr_endline ("plutod: " ^ msg);
+        1
+  end
+  else if request_shutdown then
+    if Client.shutdown ~socket then 0
+    else begin
+      prerr_endline ("plutod: no daemon listening on " ^ socket);
+      1
+    end
+  else begin
+    Store.set_dir cache_dir;
+    (match cache_size with
+    | None -> ()
+    | Some spec -> (
+        match parse_size spec with
+        | Some bytes -> Store.set_budget (Some bytes)
+        | None ->
+            prerr_endline
+              ("plutod: --cache-size: " ^ spec
+             ^ " is not a positive size (try 64M, 512K, 2G)");
+            exit 1));
+    let cfg =
+      {
+        (Server.default_config ~socket_path:socket) with
+        Server.tcp_port;
+        jobs = max 1 jobs;
+        default_deadline_s = deadline;
+        result_cache_entries = max 1 result_cache;
+      }
+    in
+    match Server.run cfg with
+    | () ->
+        if stats then prerr_endline (Stats.to_json ());
+        0
+    | exception Failure msg ->
+        prerr_endline msg;
+        1
+  end
+
+let socket_arg =
+  Arg.(
+    value & opt string default_socket
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket to listen on (a stale socket file left by a \
+           dead daemon is replaced; a live daemon on the same path refuses \
+           startup).")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT" ~doc:"Also listen on 127.0.0.1:PORT.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:"Compile at most N requests concurrently (forked workers).")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Back the daemon's caches with the persistent solver/result store \
+           in DIR (same store plutocc --cache-dir uses): a restarted daemon \
+           serves previously compiled requests warm from disk.")
+
+let cache_size_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-size" ] ~docv:"BYTES"
+        ~doc:"Byte budget for --cache-dir (K/M/G suffixes accepted).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"S"
+        ~doc:
+          "Default per-request wall-clock budget in seconds (a request's \
+           own deadline_s field overrides it); an expired request's worker \
+           is killed and the client gets a structured pool-timeout \
+           diagnostic.")
+
+let result_cache_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "result-cache" ] ~docv:"N"
+        ~doc:"Keep up to N finished compile results in the in-memory LRU.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"After a graceful drain, print aggregate counters as JSON on stderr.")
+
+let ping_arg =
+  Arg.(
+    value & flag
+    & info [ "ping" ] ~doc:"Probe a running daemon and exit (0 iff it answered).")
+
+let query_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "query-stats" ]
+        ~doc:
+          "Print a running daemon's aggregate stats response (one JSON \
+           line) on stdout and exit.")
+
+let request_shutdown_arg =
+  Arg.(
+    value & flag
+    & info [ "request-shutdown" ]
+        ~doc:"Ask a running daemon to drain gracefully and exit.")
+
+let cmd =
+  let doc = "polyhedral compilation daemon (plutocc as a service)" in
+  let info = Cmd.info "plutod" ~version:"1.0" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ socket_arg $ tcp_arg $ jobs_arg $ cache_dir_arg
+      $ cache_size_arg $ deadline_arg $ result_cache_arg $ stats_arg
+      $ ping_arg $ query_stats_arg $ request_shutdown_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -20,10 +20,10 @@ work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
 
 batch() {
-  # $1 = output dir, $2 = stderr capture; remaining args appended
+  # $1 = output dir, $2 = counters JSON file; remaining args appended
   out="$1"; err="$2"; shift 2
   dune exec bin/plutocc.exe -- --batch examples/*.c -o "$work/$out" \
-    --batch-manifest "$work/$out.json" --stats "$@" 2> "$work/$err"
+    --batch-manifest "$work/$out.json" --stats-json "$work/$err" "$@"
 }
 
 counter() {
@@ -46,7 +46,7 @@ cold_solves=$(counter "milp.solves" "$work/cold.err")
 warm_solves=$(counter "milp.solves" "$work/warm.err")
 warm_hits=$(counter "store.hits" "$work/warm.err")
 if [ -z "$cold_solves" ] || [ -z "$warm_solves" ]; then
-  echo "batch-smoke: FAIL: milp.solves missing from --stats output" >&2
+  echo "batch-smoke: FAIL: milp.solves missing from --stats-json output" >&2
   status=1
 elif [ "$warm_solves" -ge "$cold_solves" ]; then
   echo "batch-smoke: FAIL: warm milp.solves = $warm_solves not below cold $cold_solves" >&2
@@ -79,7 +79,8 @@ done
 
 # --jobs must not change solver totals (worker stats are merged, every file
 # starts from empty in-memory caches); no cache dir so scheduling cannot
-# change store hits either.
+# change store hits either.  --stats-json keeps the counters parseable even
+# when diagnostics land on stderr.
 batch j1 j1.err --jobs 1
 batch j4 j4.err --jobs 4
 for name in "milp.solves" "milp.cold_builds" "milp.pivots" \

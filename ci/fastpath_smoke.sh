@@ -8,7 +8,7 @@
 #      requires 100% bit-identical execution results between the two (plus
 #      the matcher property tests and the >= 5x scheduling-solve cut).
 #
-#   2. The ceiling half: compiles each example kernel with --stats (fast
+#   2. The ceiling half: compiles each example kernel with --stats-json (fast
 #      path on, the default) and fails if milp.solves exceeds its ceiling
 #      in ci/fastpath-smoke-ceiling.json, or if the expected fast-path
 #      verdict (accept / clean reject) changes.  This is what catches the
@@ -37,7 +37,7 @@ field() {
 status=0
 for kernel in matmul lu mvt jacobi-1d; do
   PLUTO_TUNE_CACHE="" dune exec bin/plutocc.exe -- "examples/$kernel.c" \
-    --stats -o /dev/null 2> "$stats_file"
+    --stats-json "$stats_file" -o /dev/null
 
   solves=$(counter "milp.solves" "$stats_file")
   solves=${solves:-0}

@@ -1,0 +1,145 @@
+#!/bin/sh
+# Daemon (plutod) smoke test.
+#
+# Starts plutod on a temp socket with a persistent --cache-dir, pushes the
+# example corpus through `plutocc --batch --connect` twice, and fails if:
+#   - any request fails (server.failures > 0), or
+#   - the daemon output is not bit-identical to a standalone local
+#     `plutocc --batch` over the same inputs, or
+#   - the warm second pass is not served without fresh compiles (its
+#     milp.solves delta must stay under the ceiling in
+#     ci/server-smoke-ceiling.json AND strictly below the cold local run's
+#     solve count), or
+#   - the daemon does not drain cleanly on --request-shutdown (exit 0,
+#     socket file removed).
+#
+# Run from anywhere; builds with dune, then drives the installed binaries
+# directly so backgrounding the daemon is reliable.
+set -eu
+
+cd "$(dirname "$0")/.."
+ceiling_file=ci/server-smoke-ceiling.json
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  rm -rf "$work"
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2> /dev/null || true
+}
+trap cleanup EXIT
+
+dune build bin/plutocc.exe bin/plutod.exe
+plutocc=_build/default/bin/plutocc.exe
+plutod=_build/default/bin/plutod.exe
+sock="$work/plutod.sock"
+
+# Pull `"name": <int>` out of a one-line JSON file (no jq dependency).
+counter() {
+  sed -n 's/.*"'"$1"'": \([0-9][0-9]*\).*/\1/p' "$2" | head -n 1
+}
+
+status=0
+n_inputs=$(ls examples/*.c | wc -l | tr -d ' ')
+
+# standalone local reference: cold, no cache
+"$plutocc" --batch examples/*.c -o "$work/local" \
+  --batch-manifest "$work/local.json" --stats-json "$work/local-stats.json"
+cold_solves=$(counter "milp.solves" "$work/local-stats.json")
+
+"$plutod" --socket "$sock" --jobs 2 --cache-dir "$work/cache" &
+daemon_pid=$!
+i=0
+while [ ! -S "$sock" ] && [ $i -lt 150 ]; do sleep 0.1; i=$((i + 1)); done
+if ! "$plutod" --socket "$sock" --ping > /dev/null; then
+  echo "server-smoke: FAIL: daemon did not come up on $sock" >&2
+  exit 1
+fi
+
+# pass 1 (cold daemon) and pass 2 (warm: everything from the result cache)
+"$plutocc" --batch examples/*.c --connect "$sock" -o "$work/pass1" \
+  --batch-manifest "$work/pass1.json"
+"$plutod" --socket "$sock" --query-stats > "$work/stats1.json"
+"$plutocc" --batch examples/*.c --connect "$sock" -o "$work/pass2" \
+  --batch-manifest "$work/pass2.json"
+"$plutod" --socket "$sock" --query-stats > "$work/stats2.json"
+
+# every request must actually have gone through the daemon...
+requests=$(counter "server.requests" "$work/stats2.json")
+if [ "${requests:-0}" -lt $((2 * n_inputs)) ]; then
+  echo "server-smoke: FAIL: daemon served ${requests:-0} requests, expected >= $((2 * n_inputs)) (local fallback kicked in?)" >&2
+  status=1
+else
+  echo "server-smoke: ok: daemon served $requests requests over $n_inputs inputs x 2 passes"
+fi
+
+# ...and none may fail
+failures=$(counter "server.failures" "$work/stats2.json")
+failures=${failures:-0}
+failure_ceiling=$(counter "server.failures" "$ceiling_file")
+if [ "$failures" -gt "$failure_ceiling" ]; then
+  echo "server-smoke: FAIL: server.failures = $failures (ceiling $failure_ceiling)" >&2
+  status=1
+else
+  echo "server-smoke: ok: server.failures = $failures"
+fi
+
+# daemon output must be exactly what a standalone plutocc produces
+if diff -r "$work/local" "$work/pass1" > /dev/null; then
+  echo "server-smoke: ok: daemon output bit-identical to standalone plutocc"
+else
+  echo "server-smoke: FAIL: daemon output differs from standalone plutocc" >&2
+  status=1
+fi
+if diff -r "$work/pass1" "$work/pass2" > /dev/null; then
+  echo "server-smoke: ok: warm pass bit-identical to cold pass"
+else
+  echo "server-smoke: FAIL: warm pass output differs from cold pass" >&2
+  status=1
+fi
+
+# the warm pass must be served from the daemon's caches: its ILP solve
+# delta stays under the checked-in ceiling and strictly below a cold run
+solves1=$(counter "milp.solves" "$work/stats1.json")
+solves2=$(counter "milp.solves" "$work/stats2.json")
+warm_delta=$((${solves2:-0} - ${solves1:-0}))
+warm_ceiling=$(counter "milp.solves" "$ceiling_file")
+if [ -z "$cold_solves" ] || [ -z "$warm_ceiling" ]; then
+  echo "server-smoke: FAIL: missing milp.solves counter or ceiling" >&2
+  status=1
+elif [ "$warm_delta" -gt "$warm_ceiling" ]; then
+  echo "server-smoke: FAIL: warm pass did $warm_delta ILP solves (ceiling $warm_ceiling)" >&2
+  status=1
+elif [ "$warm_delta" -ge "$cold_solves" ]; then
+  echo "server-smoke: FAIL: warm pass solves ($warm_delta) not below a cold run's ($cold_solves)" >&2
+  status=1
+else
+  echo "server-smoke: ok: warm pass did $warm_delta ILP solves (cold run: $cold_solves)"
+fi
+
+hits=$(counter "server.result_cache_hits" "$work/stats2.json")
+if [ "${hits:-0}" -lt "$n_inputs" ]; then
+  echo "server-smoke: FAIL: only ${hits:-0} result-cache hits on the warm pass (expected >= $n_inputs)" >&2
+  status=1
+else
+  echo "server-smoke: ok: server.result_cache_hits = $hits"
+fi
+
+# graceful drain: acknowledged, exit 0, socket file gone
+if ! "$plutod" --socket "$sock" --request-shutdown; then
+  echo "server-smoke: FAIL: daemon did not acknowledge shutdown" >&2
+  status=1
+fi
+if wait "$daemon_pid"; then
+  echo "server-smoke: ok: daemon drained and exited 0"
+else
+  echo "server-smoke: FAIL: daemon exited non-zero" >&2
+  status=1
+fi
+daemon_pid=""
+if [ -e "$sock" ]; then
+  echo "server-smoke: FAIL: socket file left behind after drain" >&2
+  status=1
+else
+  echo "server-smoke: ok: socket file removed"
+fi
+
+exit $status

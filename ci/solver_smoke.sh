@@ -1,7 +1,7 @@
 #!/bin/sh
 # Solver-substrate smoke test.
 #
-# Compiles examples/matmul.c with --stats and fails if:
+# Compiles examples/matmul.c with --stats-json and fails if:
 #   - any counter listed in ci/solver-smoke-ceiling.json exceeds its ceiling
 #     (a regression in the incremental ILP/FM hot path), or
 #   - the warm-start telemetry is absent (milp.warm_starts = 0 would mean
@@ -19,7 +19,7 @@ trap 'rm -f "$stats_file"' EXIT
 # fast scheduling path would bypass entirely (ci/fastpath_smoke.sh covers
 # the fast path's own ceilings).
 PLUTO_TUNE_CACHE="" dune exec bin/plutocc.exe -- examples/matmul.c \
-  --no-fast-schedule --stats -o /dev/null 2> "$stats_file"
+  --no-fast-schedule --stats-json "$stats_file" -o /dev/null
 
 # Pull `"name": <int>` out of a one-line JSON file (no jq dependency).
 counter() {
@@ -31,7 +31,7 @@ for name in "milp.solves" "milp.cold_builds"; do
   actual=$(counter "$name" "$stats_file")
   ceiling=$(counter "$name" "$ceiling_file")
   if [ -z "$actual" ]; then
-    echo "solver-smoke: FAIL: counter $name missing from --stats output" >&2
+    echo "solver-smoke: FAIL: counter $name missing from --stats-json output" >&2
     status=1
   elif [ -z "$ceiling" ]; then
     echo "solver-smoke: FAIL: no ceiling for $name in $ceiling_file" >&2

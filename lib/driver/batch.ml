@@ -17,25 +17,30 @@
     under the byte budget; the final eviction pass runs before the manifest
     is assembled. *)
 
-type status = Success | Degraded | Failed
+(* The entry/manifest schema and its JSON encoding live in {!Manifest},
+   shared verbatim with the compile daemon's wire protocol.  The type
+   equations keep [Batch.Success], [m.Batch.m_entries] etc. working for
+   existing callers. *)
 
-type entry = {
+type status = Manifest.status = Success | Degraded | Failed
+
+type entry = Manifest.entry = {
   e_file : string;
   e_status : status;
-  e_rung : string;  (** "fast" | "auto" | "feautrier" | "identity" | "none" *)
+  e_rung : string;
   e_diags : Diag.t list;
-  e_code : string option;  (** rendered C, absent on failure *)
-  e_output : string option;  (** where the parent wrote it, if [out_dir] *)
+  e_code : string option;
+  e_output : string option;
   e_elapsed_s : float;
-  e_retried : bool;  (** a crashed worker attempt preceded this result *)
+  e_retried : bool;
 }
 
-type manifest = {
+type manifest = Manifest.manifest = {
   m_jobs : int;
   m_cache_dir : string option;
   m_entries : entry list;
   m_elapsed_s : float;
-  m_counters : (string * int) list;  (** aggregated across all workers *)
+  m_counters : (string * int) list;
 }
 
 (* What a worker ships back: pure data only (no closures, no Codegen.t). *)
@@ -193,66 +198,9 @@ let exit_code m =
 
 (* ------------------------------ manifest JSON ----------------------------- *)
 
-let json_string s =
-  let b = Buffer.create (String.length s + 2) in
-  Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.add_char b '"';
-  Buffer.contents b
-
-let status_name = function
-  | Success -> "ok"
-  | Degraded -> "degraded"
-  | Failed -> "error"
-
-let diag_to_json (d : Diag.t) =
-  Printf.sprintf "{\"severity\": %s, \"code\": %s, \"message\": %s}"
-    (json_string (Diag.severity_name d.Diag.sev))
-    (json_string d.Diag.code)
-    (json_string d.Diag.message)
-
-let entry_to_json e =
-  Printf.sprintf
-    "{\"file\": %s, \"status\": %s, \"rung\": %s, \"output\": %s, \
-     \"elapsed_s\": %.6f, \"retried\": %b, \"diagnostics\": [%s]}"
-    (json_string e.e_file)
-    (json_string (status_name e.e_status))
-    (json_string e.e_rung)
-    (match e.e_output with None -> "null" | Some p -> json_string p)
-    e.e_elapsed_s e.e_retried
-    (String.concat ", " (List.map diag_to_json e.e_diags))
-
-let manifest_to_json m =
-  let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n";
-  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" m.m_jobs);
-  Buffer.add_string b
-    (Printf.sprintf "  \"cache_dir\": %s,\n"
-       (match m.m_cache_dir with None -> "null" | Some d -> json_string d));
-  Buffer.add_string b (Printf.sprintf "  \"elapsed_s\": %.6f,\n" m.m_elapsed_s);
-  Buffer.add_string b "  \"entries\": [\n";
-  List.iteri
-    (fun i e ->
-      if i > 0 then Buffer.add_string b ",\n";
-      Buffer.add_string b ("    " ^ entry_to_json e))
-    m.m_entries;
-  Buffer.add_string b "\n  ],\n";
-  Buffer.add_string b "  \"stats\": {";
-  List.iteri
-    (fun i (k, v) ->
-      if i > 0 then Buffer.add_string b ", ";
-      Buffer.add_string b (Printf.sprintf "%s: %d" (json_string k) v))
-    (List.sort compare m.m_counters);
-  Buffer.add_string b "}\n}\n";
-  Buffer.contents b
+(* One encoding for batch manifests and daemon responses: {!Manifest}. *)
+let json_string = Manifest.json_string
+let status_name = Manifest.status_name
+let diag_to_json = Manifest.diag_to_json
+let entry_to_json e = Manifest.entry_to_json e
+let manifest_to_json = Manifest.manifest_to_json

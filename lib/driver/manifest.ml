@@ -1,0 +1,448 @@
+(** The shared compile-result schema: one entry per compiled source, one
+    manifest per run — and exactly one JSON encoding of both.
+
+    [plutocc --batch] writes manifests of these entries to disk and the
+    compile daemon ([plutod], {!Server}) answers every request with one
+    entry on the wire, so the two surfaces can never drift: both go through
+    {!entry_to_json}.  The daemon additionally needs to *parse* requests and
+    responses, so the minimal JSON reader lives here too ({!Json}), next to
+    the encoders it must stay in sync with. *)
+
+type status = Success | Degraded | Failed
+
+type entry = {
+  e_file : string;
+  e_status : status;
+  e_rung : string;  (** "fast" | "auto" | "feautrier" | "identity" | "none" *)
+  e_diags : Diag.t list;
+  e_code : string option;  (** rendered C, absent on failure *)
+  e_output : string option;  (** where the parent wrote it, if [out_dir] *)
+  e_elapsed_s : float;
+  e_retried : bool;  (** a crashed worker attempt preceded this result *)
+}
+
+type manifest = {
+  m_jobs : int;
+  m_cache_dir : string option;
+  m_entries : entry list;
+  m_elapsed_s : float;
+  m_counters : (string * int) list;  (** aggregated across all workers *)
+}
+
+let status_name = function
+  | Success -> "ok"
+  | Degraded -> "degraded"
+  | Failed -> "error"
+
+let status_of_name = function
+  | "ok" -> Some Success
+  | "degraded" -> Some Degraded
+  | "error" -> Some Failed
+  | _ -> None
+
+(* ------------------------------- encoding -------------------------------- *)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let diag_to_json (d : Diag.t) =
+  Printf.sprintf "{\"severity\": %s, \"code\": %s, \"message\": %s}"
+    (json_string (Diag.severity_name d.Diag.sev))
+    (json_string d.Diag.code)
+    (json_string d.Diag.message)
+
+(* [extra] appends raw (already-encoded) fields into the same object: the
+   daemon tacks its "code"/"cached"/"coalesced"/"stats" fields onto the
+   exact encoding the batch manifest uses. *)
+let entry_to_json ?(include_code = false) ?(extra = []) e =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"file\": %s, \"status\": %s, \"rung\": %s, \"output\": %s, \
+        \"elapsed_s\": %.6f, \"retried\": %b, \"diagnostics\": [%s]"
+       (json_string e.e_file)
+       (json_string (status_name e.e_status))
+       (json_string e.e_rung)
+       (match e.e_output with None -> "null" | Some p -> json_string p)
+       e.e_elapsed_s e.e_retried
+       (String.concat ", " (List.map diag_to_json e.e_diags)));
+  if include_code then
+    Buffer.add_string b
+      (Printf.sprintf ", \"code\": %s"
+         (match e.e_code with None -> "null" | Some c -> json_string c));
+  List.iter
+    (fun (k, raw) -> Buffer.add_string b (Printf.sprintf ", %s: %s" (json_string k) raw))
+    extra;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let counters_to_json counters =
+  let b = Buffer.create 128 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "%s: %d" (json_string k) v))
+    (List.sort compare counters);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let manifest_to_json m =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" m.m_jobs);
+  Buffer.add_string b
+    (Printf.sprintf "  \"cache_dir\": %s,\n"
+       (match m.m_cache_dir with None -> "null" | Some d -> json_string d));
+  Buffer.add_string b (Printf.sprintf "  \"elapsed_s\": %.6f,\n" m.m_elapsed_s);
+  Buffer.add_string b "  \"entries\": [\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b ("    " ^ entry_to_json e))
+    m.m_entries;
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b ("  \"stats\": " ^ counters_to_json m.m_counters);
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+(* -------------------------------- parsing -------------------------------- *)
+
+(* A minimal JSON reader for the daemon protocol: requests and responses are
+   one object per line, written either by {!entry_to_json} above or by the
+   [plutocc --connect] client.  Recursive descent, no dependencies; numbers
+   are floats (the protocol never needs 2^53-scale integers). *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+  let parse_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let next () =
+      if !pos >= n then bad "unexpected end of input"
+      else begin
+        let c = s.[!pos] in
+        incr pos;
+        c
+      end
+    in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          incr pos;
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      let g = next () in
+      if g <> c then bad "expected %C at offset %d, got %C" c (!pos - 1) g
+    in
+    let lit word v =
+      String.iter expect word;
+      v
+    in
+    let hex4 () =
+      let v = ref 0 in
+      for _ = 1 to 4 do
+        let c = next () in
+        let d =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+          | _ -> bad "bad hex digit %C in \\u escape" c
+        in
+        v := (!v * 16) + d
+      done;
+      !v
+    in
+    let add_utf8 b cp =
+      if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else if cp < 0x10000 then begin
+        Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
+    let string_body () =
+      let b = Buffer.create 32 in
+      let rec go () =
+        match next () with
+        | '"' -> Buffer.contents b
+        | '\\' ->
+            (match next () with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                let cp = hex4 () in
+                (* surrogate pair *)
+                if cp >= 0xD800 && cp <= 0xDBFF then begin
+                  expect '\\';
+                  expect 'u';
+                  let lo = hex4 () in
+                  if lo < 0xDC00 || lo > 0xDFFF then
+                    bad "unpaired UTF-16 surrogate"
+                  else
+                    add_utf8 b
+                      (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+                end
+                else add_utf8 b cp
+            | c -> bad "bad escape \\%C" c);
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            go ()
+      in
+      go ()
+    in
+    let number () =
+      let start = !pos in
+      let consume () =
+        match peek () with
+        | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') ->
+            incr pos;
+            true
+        | _ -> false
+      in
+      while consume () do
+        ()
+      done;
+      let lit = String.sub s start (!pos - start) in
+      match float_of_string_opt lit with
+      | Some f -> Num f
+      | None -> bad "bad number %S" lit
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | None -> bad "unexpected end of input"
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else begin
+            let fields = ref [] in
+            let rec field () =
+              skip_ws ();
+              expect '"';
+              let k = string_body () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              fields := (k, v) :: !fields;
+              skip_ws ();
+              match next () with
+              | ',' -> field ()
+              | '}' -> ()
+              | c -> bad "expected ',' or '}' in object, got %C" c
+            in
+            field ();
+            Obj (List.rev !fields)
+          end
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            Arr []
+          end
+          else begin
+            let items = ref [] in
+            let rec item () =
+              let v = value () in
+              items := v :: !items;
+              skip_ws ();
+              match next () with
+              | ',' -> item ()
+              | ']' -> ()
+              | c -> bad "expected ',' or ']' in array, got %C" c
+            in
+            item ();
+            Arr (List.rev !items)
+          end
+      | Some '"' ->
+          incr pos;
+          Str (string_body ())
+      | Some 't' -> lit "true" (Bool true)
+      | Some 'f' -> lit "false" (Bool false)
+      | Some 'n' -> lit "null" Null
+      | Some ('-' | '0' .. '9') -> number ()
+      | Some c -> bad "unexpected character %C" c
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then bad "trailing bytes after JSON value (offset %d)" !pos;
+    v
+
+  let parse s =
+    match parse_string s with v -> Ok v | exception Bad m -> Error m
+
+  let mem k = function
+    | Obj fields -> List.assoc_opt k fields
+    | _ -> None
+
+  let str = function Str s -> Some s | _ -> None
+  let num = function Num f -> Some f | _ -> None
+  let bool = function Bool b -> Some b | _ -> None
+
+  let str_mem k j ~default =
+    match mem k j with Some (Str s) -> s | _ -> default
+
+  let bool_mem k j ~default =
+    match mem k j with Some (Bool b) -> b | _ -> default
+
+  let num_mem k j ~default =
+    match mem k j with Some (Num f) -> f | _ -> default
+end
+
+(* --------------------------- entry round trip ----------------------------- *)
+
+let diag_of_json j =
+  let sev =
+    match Json.str_mem "severity" j ~default:"error" with
+    | "warning" -> Diag.Warning
+    | "note" -> Diag.Note
+    | _ -> Diag.Error
+  in
+  let code = Json.str_mem "code" j ~default:"unknown" in
+  let message = Json.str_mem "message" j ~default:"" in
+  { Diag.sev; code; span = None; message }
+
+(** Parse an entry object written by {!entry_to_json} back into an {!entry}
+    (spans are not carried on the wire; they come back as [None]). *)
+let entry_of_json j =
+  match Json.mem "status" j with
+  | None -> Error "entry: missing \"status\""
+  | Some s -> (
+      match Option.bind (Json.str s) status_of_name with
+      | None -> Error "entry: bad \"status\""
+      | Some e_status ->
+          let e_diags =
+            match Json.mem "diagnostics" j with
+            | Some (Json.Arr ds) -> List.map diag_of_json ds
+            | _ -> []
+          in
+          Ok
+            {
+              e_file = Json.str_mem "file" j ~default:"<wire>";
+              e_status;
+              e_rung = Json.str_mem "rung" j ~default:"none";
+              e_diags;
+              e_code = Option.bind (Json.mem "code" j) Json.str;
+              e_output = Option.bind (Json.mem "output" j) Json.str;
+              e_elapsed_s = Json.num_mem "elapsed_s" j ~default:0.0;
+              e_retried = Json.bool_mem "retried" j ~default:false;
+            })
+
+(* ------------------------- compile options wire --------------------------- *)
+
+(* The daemon must compile exactly as a standalone [plutocc] with the same
+   flags would, so the client serializes every CLI-expressible option and
+   the decoder starts from [Driver.default_options] and overrides exactly
+   the fields present.  The rendering is canonical (fixed field order, no
+   whitespace variation): the daemon's dedup digest hashes it directly. *)
+let options_to_json (o : Driver.options) =
+  let int_opt = function None -> "null" | Some v -> string_of_int v in
+  let int_arr_opt = function
+    | None -> "null"
+    | Some a ->
+        "["
+        ^ String.concat "," (List.map string_of_int (Array.to_list a))
+        ^ "]"
+  in
+  Printf.sprintf
+    "{\"tile\": %b, \"tile_size\": %s, \"tile_sizes\": %s, \"parallelize\": \
+     %b, \"wavefront\": %d, \"intra_reorder\": %b, \"unroll_jam\": %d, \
+     \"min_band_tile\": %d, \"input_deps\": %b, \"fast_schedule\": %b, \
+     \"break_fastpath\": %b}"
+    o.Driver.tile (int_opt o.Driver.tile_size)
+    (int_arr_opt o.Driver.tile_sizes)
+    o.Driver.parallelize o.Driver.wavefront o.Driver.intra_reorder
+    o.Driver.unroll_jam o.Driver.min_band_tile
+    o.Driver.auto.Pluto.Auto.input_deps o.Driver.fast_schedule
+    o.Driver.break_fastpath
+
+let options_of_json j =
+  let d = Driver.default_options in
+  let b k default = Json.bool_mem k j ~default in
+  let i k default = int_of_float (Json.num_mem k j ~default:(float default)) in
+  let int_opt k default =
+    match Json.mem k j with
+    | Some (Json.Num f) -> Some (int_of_float f)
+    | Some Json.Null -> None
+    | _ -> default
+  in
+  let int_arr_opt k default =
+    match Json.mem k j with
+    | Some (Json.Arr xs) ->
+        let ints =
+          List.filter_map (fun x -> Option.map int_of_float (Json.num x)) xs
+        in
+        if List.length ints = List.length xs then Some (Array.of_list ints)
+        else default
+    | Some Json.Null -> None
+    | _ -> default
+  in
+  {
+    d with
+    Driver.tile = b "tile" d.Driver.tile;
+    tile_size = int_opt "tile_size" d.Driver.tile_size;
+    tile_sizes = int_arr_opt "tile_sizes" d.Driver.tile_sizes;
+    parallelize = b "parallelize" d.Driver.parallelize;
+    wavefront = i "wavefront" d.Driver.wavefront;
+    intra_reorder = b "intra_reorder" d.Driver.intra_reorder;
+    unroll_jam = i "unroll_jam" d.Driver.unroll_jam;
+    min_band_tile = i "min_band_tile" d.Driver.min_band_tile;
+    auto =
+      {
+        d.Driver.auto with
+        Pluto.Auto.input_deps = b "input_deps" d.Driver.auto.Pluto.Auto.input_deps;
+      };
+    fast_schedule = b "fast_schedule" d.Driver.fast_schedule;
+    break_fastpath = b "break_fastpath" d.Driver.break_fastpath;
+  }

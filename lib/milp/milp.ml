@@ -386,6 +386,14 @@ let widen_obj ~nonneg nv nv0 (objective : Q.t array) =
    rational LPs over and over across tuner candidates. *)
 let lp_cache : (string, lp_result) Hashtbl.t = Hashtbl.create 256
 
+(* Cache journaling: when enabled, every entry added to an in-memory cache
+   is also recorded in a journal the caller can take and replay elsewhere.
+   The compile daemon's forked workers inherit the parent's hot caches,
+   journal what they add, and ship the delta back so the parent's caches
+   stay hot for the next fork (the tables themselves never cross the pipe). *)
+let cache_journal_on = ref false
+let lp_journal : (string * lp_result) list ref = ref []
+
 let lp ?(nonneg = false) (sys : Polyhedra.t) (objective : Q.t array) =
   if Array.length objective <> sys.Polyhedra.nvars then
     invalid_arg "Milp.lp: objective length";
@@ -425,6 +433,7 @@ let lp ?(nonneg = false) (sys : Polyhedra.t) (objective : Q.t array) =
         in
         if Hashtbl.length lp_cache > 100_000 then Hashtbl.reset lp_cache;
         Hashtbl.add lp_cache key r;
+        if !cache_journal_on then lp_journal := (key, r) :: !lp_journal;
         (match r with
         | Lp_optimal (v, x) -> Lp_optimal (v, Array.copy x)
         | (Lp_infeasible | Lp_unbounded) as r -> r)
@@ -615,9 +624,44 @@ let feasible ?(nonneg = false) ?budget ?warm (sys : Polyhedra.t) =
 let feasible_cache : (string, Bigint.t array option) Hashtbl.t =
   Hashtbl.create 1024
 
+let feasible_journal : (string * Bigint.t array option) list ref = ref []
+
 let clear_caches () =
   Hashtbl.reset feasible_cache;
   Hashtbl.reset lp_cache
+
+type cache_journal = {
+  j_lp : (string * lp_result) list;
+  j_feasible : (string * Bigint.t array option) list;
+}
+
+let set_cache_journal on =
+  cache_journal_on := on;
+  lp_journal := [];
+  feasible_journal := []
+
+let take_cache_journal () =
+  let j = { j_lp = !lp_journal; j_feasible = !feasible_journal } in
+  lp_journal := [];
+  feasible_journal := [];
+  j
+
+let cache_journal_length j = List.length j.j_lp + List.length j.j_feasible
+
+let absorb_cache_journal j =
+  List.iter
+    (fun (k, r) ->
+      if
+        (not (Hashtbl.mem lp_cache k)) && Hashtbl.length lp_cache <= 100_000
+      then Hashtbl.add lp_cache k r)
+    j.j_lp;
+  List.iter
+    (fun (k, r) ->
+      if
+        (not (Hashtbl.mem feasible_cache k))
+        && Hashtbl.length feasible_cache <= 100_000
+      then Hashtbl.add feasible_cache k r)
+    j.j_feasible
 
 let feasible_cached ?(nonneg = false) ?budget (sys : Polyhedra.t) =
   if not !warm_enabled then feasible ~nonneg ?budget sys
@@ -647,6 +691,9 @@ let feasible_cached ?(nonneg = false) ?budget (sys : Polyhedra.t) =
             if Hashtbl.length feasible_cache > 100_000 then
               Hashtbl.reset feasible_cache;
             Hashtbl.add feasible_cache key (Option.map Array.copy r);
+            if !cache_journal_on then
+              feasible_journal :=
+                (key, Option.map Array.copy r) :: !feasible_journal;
             r)
 
 (* ------------------------ lexicographic minimum -------------------------- *)

@@ -93,6 +93,32 @@ val feasible_cached :
 (** Drop all memoized feasibility results. *)
 val clear_caches : unit -> unit
 
+(** {2 Cache journaling}
+
+    Support for long-lived servers whose forked workers inherit the parent's
+    hot in-memory caches: with [set_cache_journal true], every entry added
+    to the lp/feasibility caches is also recorded in a journal.  The worker
+    takes the journal ({!take_cache_journal}), ships it across the fork
+    boundary as pure data, and the parent replays it with
+    {!absorb_cache_journal} — so caches stay hot across requests without
+    ever marshaling the full tables. *)
+
+type cache_journal
+
+val set_cache_journal : bool -> unit
+
+(** Return the entries journaled since [set_cache_journal true] (or the last
+    take), and reset the journal. *)
+val take_cache_journal : unit -> cache_journal
+
+(** Number of entries carried by a journal. *)
+val cache_journal_length : cache_journal -> int
+
+(** Replay a journal into the in-memory caches.  Existing keys win (the
+    journal was computed from the same pure functions, so values agree);
+    entries beyond the caches' reset threshold are dropped. *)
+val absorb_cache_journal : cache_journal -> unit
+
 (** [lexmin ?nonneg sys] is the lexicographically smallest integer point of
     [sys] (minimizing variable 0 first, then variable 1, ...), or [None] if
     empty.

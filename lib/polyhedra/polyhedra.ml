@@ -329,6 +329,34 @@ let empty_cache_enabled = ref true
 let set_empty_cache b = empty_cache_enabled := b
 let clear_caches () = Hashtbl.reset empty_cache
 
+(* Journal of freshly added entries for daemon workers — see the matching
+   API in {!Milp}: the worker ships the delta back and the parent absorbs
+   it, keeping the emptiness cache hot across forks. *)
+type cache_journal = (string * bool) list
+
+let cache_journal_on = ref false
+let empty_journal : cache_journal ref = ref []
+
+let set_cache_journal on =
+  cache_journal_on := on;
+  empty_journal := []
+
+let take_cache_journal () =
+  let j = !empty_journal in
+  empty_journal := [];
+  j
+
+let cache_journal_length = List.length
+
+let absorb_cache_journal j =
+  List.iter
+    (fun (k, e) ->
+      if
+        (not (Hashtbl.mem empty_cache k))
+        && Hashtbl.length empty_cache <= 100_000
+      then Hashtbl.add empty_cache k e)
+    j
+
 let store_kind = "poly-empty"
 
 let is_empty_cached ?(integer = false) t =
@@ -357,6 +385,7 @@ let is_empty_cached ?(integer = false) t =
             if Hashtbl.length empty_cache > 100_000 then
               Hashtbl.reset empty_cache;
             Hashtbl.add empty_cache k e;
+            if !cache_journal_on then empty_journal := (k, e) :: !empty_journal;
             e
       end
 

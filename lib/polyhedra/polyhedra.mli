@@ -125,6 +125,19 @@ val set_empty_cache : bool -> unit
 (** Drop all memoized emptiness results. *)
 val clear_caches : unit -> unit
 
+(** {2 Cache journaling} — same contract as the matching {!Milp} API: with
+    journaling on, freshly computed emptiness answers are also recorded in a
+    journal that a forked worker can take and ship to its parent, which
+    replays it with {!absorb_cache_journal} to keep the cache hot across
+    forks (the compile daemon's warm path). *)
+
+type cache_journal
+
+val set_cache_journal : bool -> unit
+val take_cache_journal : unit -> cache_journal
+val cache_journal_length : cache_journal -> int
+val absorb_cache_journal : cache_journal -> unit
+
 (** {1 Queries} *)
 
 (** [bounds_on t v] partitions the inequalities by their sign on variable [v]:

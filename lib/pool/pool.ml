@@ -114,6 +114,71 @@ let run_sequential ?task_timeout_s ~f x =
   Stats.merge task;
   { value = of_wire res; retried = false; elapsed_s = elapsed }
 
+(* --------------------------- signal-safe cleanup -------------------------- *)
+
+(* A registry of cleanup closures run when the process dies via SIGINT or
+   SIGTERM, so temp dirs and daemon sockets don't outlive their owner.
+   Handlers are installed lazily on first registration; the previous
+   handler (if any) is chained, otherwise the default disposition is
+   restored and the signal re-raised so the exit status stays honest.
+   Cleanups belong to the registering process only: a forked child that
+   inherits the table must not delete its parent's resources, so both the
+   handler and [register] compare the owner pid. *)
+module Cleanup = struct
+  let cleanups : (int, unit -> unit) Hashtbl.t = Hashtbl.create 8
+  let next_id = ref 0
+  let owner : int option ref = ref None
+  let prev_int = ref Sys.Signal_default
+  let prev_term = ref Sys.Signal_default
+
+  let run_all () =
+    Hashtbl.iter (fun _ f -> try f () with _ -> ()) cleanups;
+    Hashtbl.reset cleanups
+
+  let handler prev signum =
+    if !owner = Some (Unix.getpid ()) then run_all ();
+    match !prev with
+    | Sys.Signal_handle f -> f signum
+    | _ ->
+        Sys.set_signal signum Sys.Signal_default;
+        Unix.kill (Unix.getpid ()) signum
+
+  let mine_int : Sys.signal_behavior option ref = ref None
+  let mine_term : Sys.signal_behavior option ref = ref None
+
+  let install () =
+    owner := Some (Unix.getpid ());
+    let inst signum prev mine =
+      let h = Sys.Signal_handle (handler prev) in
+      let old = Sys.signal signum h in
+      (* After a fork the displaced disposition may be this module's own
+         handler inherited from the parent process: chaining to it would
+         recurse forever, and the parent's cleanups are not ours to run —
+         treat it as default so the re-kill terminates the process. *)
+      prev :=
+        (match (!mine, old) with
+        | Some (Sys.Signal_handle m), Sys.Signal_handle o when m == o ->
+            Sys.Signal_default
+        | _ -> old);
+      mine := Some h
+    in
+    inst Sys.sigint prev_int mine_int;
+    inst Sys.sigterm prev_term mine_term
+
+  let register f =
+    (* first registration in this process (post-fork included): claim the
+       registry — inherited entries belong to the parent, drop them here *)
+    if !owner <> Some (Unix.getpid ()) then begin
+      Hashtbl.reset cleanups;
+      install ()
+    end;
+    incr next_id;
+    Hashtbl.replace cleanups !next_id f;
+    !next_id
+
+  let release id = Hashtbl.remove cleanups id
+end
+
 (* ------------------------------- fork pool ------------------------------- *)
 
 type 'a running = {
@@ -147,6 +212,10 @@ let spawn ?task_timeout_s ~f (p : _ pending) =
   | 0 ->
       (* worker *)
       Unix.close r;
+      (* don't inherit the parent's termination handlers (daemon drain,
+         cleanup registry): a signaled worker should just die *)
+      Sys.set_signal Sys.sigint Sys.Signal_default;
+      Sys.set_signal Sys.sigterm Sys.Signal_default;
       Stats.reset ();
       if kill_child then Unix.kill (Unix.getpid ()) Sys.sigkill;
       let res =
@@ -356,9 +425,106 @@ let fresh_temp_dir ?(prefix = "pluto") () =
   in
   create 0
 
+let rm_rf dir =
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+
 let with_temp_dir ?prefix f =
   let dir = fresh_temp_dir ?prefix () in
+  (* registered for signal exit too: a SIGINT/SIGTERM mid-[f] must not leak
+     the directory (Fun.protect only covers normal return and exceptions) *)
+  let id = Cleanup.register (fun () -> rm_rf dir) in
   Fun.protect
     ~finally:(fun () ->
-      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+      Cleanup.release id;
+      rm_rf dir)
     (fun () -> f dir)
+
+(* --------------------------- single async tasks --------------------------- *)
+
+(* The daemon's event loop multiplexes many compiles over [select]; it needs
+   workers it can start, poll, and kill individually rather than a blocking
+   [map].  A handle wraps one spawned worker; the owner selects on
+   [handle_fd] and calls [pump] when it's readable.  No retries here — a
+   crashed worker surfaces as its structured diagnostic and the caller
+   decides (the daemon answers the client with it). *)
+
+type 'r handle = {
+  mutable h_state : [ `Running of unit running | `Done of 'r outcome ];
+}
+
+let start ?task_timeout_s ~f x =
+  let p = { p_idx = 0; p_task = (); p_attempts = 0; p_ready_at = 0.0 } in
+  let w = spawn ?task_timeout_s ~f:(fun () -> f x) p in
+  Stats.incr "pool.tasks";
+  { h_state = `Running w }
+
+let handle_fd h =
+  match h.h_state with `Running w -> Some w.r_fd | `Done _ -> None
+
+let reap pid =
+  match Unix.waitpid [] pid with
+  | _, st -> Some st
+  | exception Unix.Unix_error _ -> None
+
+let pump h =
+  match h.h_state with
+  | `Done o -> `Done o
+  | `Running w ->
+      let chunk = Bytes.create 65536 in
+      let rec read_once () =
+        if Fault.fire "pool.read.eintr" then begin
+          Stats.incr "pool.eintr_retries";
+          read_once ()
+        end
+        else
+          match Unix.read w.r_fd chunk 0 (Bytes.length chunk) with
+          | n -> n
+          | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+              Stats.incr "pool.eintr_retries";
+              read_once ()
+          | exception Unix.Unix_error _ -> 0
+      in
+      let n = read_once () in
+      if n > 0 then begin
+        Buffer.add_subbytes w.r_buf chunk 0 n;
+        `Pending
+      end
+      else begin
+        (* EOF: worker exited (or crashed); reap and parse *)
+        Unix.close w.r_fd;
+        let status = reap w.r_pid in
+        let elapsed = Unix.gettimeofday () -. w.r_t0 in
+        let o =
+          match
+            (Marshal.from_string (Buffer.contents w.r_buf) 0
+              : ('r, wire_error) result * Stats.snapshot)
+          with
+          | res, snap ->
+              Stats.merge snap;
+              { value = of_wire res; retried = false; elapsed_s = elapsed }
+          | exception _ ->
+              Stats.incr "pool.crashes";
+              {
+                value = Error (crash_diag ~attempts:1 status);
+                retried = false;
+                elapsed_s = elapsed;
+              }
+        in
+        h.h_state <- `Done o;
+        `Done o
+      end
+
+let kill h =
+  match h.h_state with
+  | `Done _ -> ()
+  | `Running w ->
+      (try Unix.kill w.r_pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try Unix.close w.r_fd with Unix.Unix_error _ -> ());
+      let status = reap w.r_pid in
+      h.h_state <-
+        `Done
+          {
+            value = Error (crash_diag ~attempts:1 status);
+            retried = false;
+            elapsed_s = Unix.gettimeofday () -. w.r_t0;
+          }

@@ -64,11 +64,58 @@ val map :
   'a list ->
   'r outcome list
 
+(** {1 Single asynchronous tasks}
+
+    The compile daemon multiplexes many in-flight compiles over [select];
+    it needs workers it can start, poll, and kill individually.  A handle
+    wraps exactly one forked worker running one task: the owner adds
+    {!handle_fd} to its select set and calls {!pump} whenever it is
+    readable.  There are no retries on this path — a crashed worker is
+    reported as its ["worker-crashed"] outcome and the caller decides. *)
+
+type 'r handle
+
+(** [start ?task_timeout_s ~f x] — fork one worker running [f x] under the
+    optional SIGALRM budget, with the same stats-shipping protocol and
+    fault sites as {!map} workers. *)
+val start : ?task_timeout_s:float -> f:('a -> 'r) -> 'a -> 'r handle
+
+(** The worker's pipe, to select on; [None] once the task is done. *)
+val handle_fd : 'r handle -> Unix.file_descr option
+
+(** Read available payload bytes.  Returns [`Done outcome] after worker
+    EOF (the worker is reaped and its stats delta merged, exactly like
+    {!map}); further calls return the same outcome. *)
+val pump : 'r handle -> [ `Pending | `Done of 'r outcome ]
+
+(** SIGKILL the worker and reap it; the handle becomes [`Done] with a
+    ["worker-crashed"] outcome.  No-op if already done.  Used to enforce
+    per-request deadlines from the parent side. *)
+val kill : 'r handle -> unit
+
+(** {1 Signal-exit cleanup}
+
+    Cleanup closures run when the process dies via SIGINT or SIGTERM — so
+    temp directories ({!with_temp_dir}) and daemon socket files don't
+    outlive their owner.  Handlers are installed lazily on first
+    [register]; any previously installed handler is chained, otherwise the
+    default disposition is restored and the signal re-raised, preserving
+    the exit status.  The registry is per-process: forked children never
+    run (or keep) their parent's cleanups. *)
+module Cleanup : sig
+  (** [register f] — run [f] on signal exit, until {!release}d.  Returns a
+      token. *)
+  val register : (unit -> unit) -> int
+
+  val release : int -> unit
+end
+
 (** [with_temp_dir ?prefix f] — run [f dir] on a freshly created private
-    temporary directory, removing it afterwards.  The directory is created
-    atomically ([mkdir] with a fresh name, retried on [EEXIST]) — the
-    mkdtemp discipline — so concurrent processes can never race a
-    probe-then-create window. *)
+    temporary directory, removing it afterwards — including when the
+    process dies via SIGINT/SIGTERM mid-[f] (see {!Cleanup}).  The
+    directory is created atomically ([mkdir] with a fresh name, retried on
+    [EEXIST]) — the mkdtemp discipline — so concurrent processes can never
+    race a probe-then-create window. *)
 val with_temp_dir : ?prefix:string -> (string -> 'a) -> 'a
 
 (** [fresh_temp_dir ?prefix ()] — just the atomic creation; the caller owns

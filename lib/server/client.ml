@@ -1,0 +1,125 @@
+(* See client.mli. *)
+
+type response = {
+  r_entry : Manifest.entry;
+  r_cached : bool;
+  r_coalesced : bool;
+  r_raw : string;
+}
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Some fd
+  | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None
+
+let close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let send_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Read until the first '\n'.  One response per request and requests are
+   synchronous here, so nothing ever follows the newline. *)
+let recv_line fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | 0 ->
+        if Buffer.length buf = 0 then Error "connection closed by daemon"
+        else Ok (Buffer.contents buf)
+    | n -> (
+        match Bytes.index_from_opt chunk 0 '\n' with
+        | Some nl when nl < n ->
+            Buffer.add_subbytes buf chunk 0 nl;
+            Ok (Buffer.contents buf)
+        | _ ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ())
+  in
+  go ()
+
+let roundtrip fd line =
+  match send_all fd (line ^ "\n") with
+  | () -> recv_line fd
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("send failed: " ^ Unix.error_message e)
+
+let compile_request ?deadline_s ?(strict = false) ?(verify = false) ~options
+    ~name ~source () =
+  Printf.sprintf
+    "{\"op\": \"compile\", \"name\": %s, \"source\": %s, \"options\": %s, \
+     \"strict\": %b, \"verify\": %b%s}"
+    (Manifest.json_string name)
+    (Manifest.json_string source)
+    (Manifest.options_to_json options)
+    strict verify
+    (match deadline_s with
+    | Some d -> Printf.sprintf ", \"deadline_s\": %g" d
+    | None -> "")
+
+let parse_response raw =
+  match Manifest.Json.parse raw with
+  | Error msg -> Error (Printf.sprintf "unparseable response: %s" msg)
+  | Ok j -> (
+      match Manifest.entry_of_json j with
+      | Error msg -> Error msg
+      | Ok r_entry ->
+          Ok
+            {
+              r_entry;
+              r_cached = Manifest.Json.bool_mem "cached" j ~default:false;
+              r_coalesced =
+                Manifest.Json.bool_mem "coalesced" j ~default:false;
+              r_raw = raw;
+            })
+
+let compile_fd fd ?deadline_s ?strict ?verify ~options ~name ~source () =
+  let req =
+    compile_request ?deadline_s ?strict ?verify ~options ~name ~source ()
+  in
+  Result.bind (roundtrip fd req) parse_response
+
+let compile ~socket ?deadline_s ?strict ?verify ~options ~name ~source () =
+  match connect socket with
+  | None -> `No_daemon
+  | Some fd ->
+      Fun.protect
+        ~finally:(fun () -> close fd)
+        (fun () ->
+          `Daemon
+            (compile_fd fd ?deadline_s ?strict ?verify ~options ~name ~source
+               ()))
+
+let admin ~socket line =
+  match connect socket with
+  | None -> Error "no daemon listening"
+  | Some fd ->
+      Fun.protect ~finally:(fun () -> close fd) (fun () -> roundtrip fd line)
+
+let stats ~socket = admin ~socket "{\"op\": \"stats\"}"
+
+let op_is line op =
+  match Manifest.Json.parse line with
+  | Ok j -> Manifest.Json.str_mem "op" j ~default:"" = op
+  | Error _ -> false
+
+let ping ~socket =
+  match admin ~socket "{\"op\": \"ping\"}" with
+  | Ok line -> op_is line "pong"
+  | Error _ -> false
+
+let shutdown ~socket =
+  match admin ~socket "{\"op\": \"shutdown\"}" with
+  | Ok line -> op_is line "shutting-down"
+  | Error _ -> false

@@ -1,0 +1,54 @@
+(** Client side of the [plutod] protocol (see {!Server}).
+
+    Used by [plutocc --connect SOCK], the tests, and the bench harness.
+    Every helper is synchronous: send one request line, read one response
+    line.  [`No_daemon] (nothing listening on the socket) is a first-class
+    answer so callers can fall back to local compilation — the CLI contract
+    of [--connect]. *)
+
+type response = {
+  r_entry : Manifest.entry;  (** the decoded manifest entry, code included *)
+  r_cached : bool;  (** served from the daemon's result cache or store *)
+  r_coalesced : bool;  (** joined an identical in-flight compile *)
+  r_raw : string;  (** the response line as received *)
+}
+
+(** Connect to the daemon; [None] when nothing is listening (absent or
+    stale socket). *)
+val connect : string -> Unix.file_descr option
+
+val close : Unix.file_descr -> unit
+
+(** One round trip on an open connection: send [line], read the response
+    line.  [Error] on a dropped connection. *)
+val roundtrip : Unix.file_descr -> string -> (string, string) result
+
+(** Build a compile request line (canonical options encoding — the same
+    bytes the daemon digests for dedup). *)
+val compile_request :
+  ?deadline_s:float -> ?strict:bool -> ?verify:bool ->
+  options:Driver.options -> name:string -> source:string -> unit -> string
+
+(** Compile over an open connection. *)
+val compile_fd :
+  Unix.file_descr ->
+  ?deadline_s:float -> ?strict:bool -> ?verify:bool ->
+  options:Driver.options -> name:string -> source:string -> unit ->
+  (response, string) result
+
+(** One-shot compile: connect, compile, close.  [`No_daemon] when nothing
+    listens on [socket]. *)
+val compile :
+  socket:string ->
+  ?deadline_s:float -> ?strict:bool -> ?verify:bool ->
+  options:Driver.options -> name:string -> source:string -> unit ->
+  [ `Daemon of (response, string) result | `No_daemon ]
+
+(** The daemon's aggregate [{"op":"stats"}] response line. *)
+val stats : socket:string -> (string, string) result
+
+(** Liveness probe: [true] iff a daemon answered the ping. *)
+val ping : socket:string -> bool
+
+(** Ask the daemon to drain and exit; [true] iff it acknowledged. *)
+val shutdown : socket:string -> bool

@@ -1,0 +1,634 @@
+(* See server.mli.  Single-threaded [select] event loop multiplexing three
+   kinds of file descriptors: listeners (accept), client connections
+   (request lines in, response lines out), and the pipes of forked compile
+   workers ({!Pool.start} handles).  All compile work happens in workers;
+   the loop itself only parses, hashes, caches, and shuffles bytes, so one
+   slow compile never blocks another client's cache hit. *)
+
+let protocol_version = "plutod-v1"
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;
+  jobs : int;
+  options : Driver.options;
+  default_deadline_s : float option;
+  result_cache_entries : int;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    tcp_port = None;
+    jobs = 2;
+    options = Driver.default_options;
+    default_deadline_s = None;
+    result_cache_entries = 256;
+  }
+
+(* ------------------------------ request digest ---------------------------- *)
+
+let request_digest ~options ~strict ~verify ~source =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            protocol_version;
+            Manifest.options_to_json options;
+            string_of_bool strict;
+            string_of_bool verify;
+            source;
+          ]))
+
+(* ------------------------------ worker task ------------------------------- *)
+
+type task_payload = {
+  q_name : string;
+  q_source : string;
+  q_options : Driver.options;
+  q_strict : bool;
+  q_verify : bool;
+}
+
+(* Pure data across the fork boundary: the compile result, the worker's
+   per-request counter delta (its Stats were reset at fork), and the
+   in-memory solver-cache entries it added on top of the inherited hot
+   tables. *)
+type task_reply = {
+  t_code : string option;
+  t_diags : Diag.t list;
+  t_rung : string;
+  t_counters : (string * int) list;
+  t_milp_j : Milp.cache_journal;
+  t_poly_j : Polyhedra.cache_journal;
+}
+
+(* Unlike {!Batch.compile_one}, the caches are *not* cleared: the worker
+   inherited the daemon's hot tables and that is the whole point.  What it
+   adds is journaled and shipped back for the daemon to absorb. *)
+let compile_task (q : task_payload) : task_reply =
+  Milp.set_cache_journal true;
+  Polyhedra.set_cache_journal true;
+  let t_code, t_diags, t_rung =
+    match
+      Driver.compile_source_robust ~options:q.q_options ~strict:q.q_strict
+        ~verify:q.q_verify ~name:q.q_name q.q_source
+    with
+    | Error ds -> (None, ds, "none")
+    | Ok (r, warns) ->
+        let code =
+          Format.asprintf "%a" (fun fmt c -> Codegen.print_c fmt c) r.Driver.code
+        in
+        (Some code, warns, Batch.rung_of warns)
+  in
+  {
+    t_code;
+    t_diags;
+    t_rung;
+    t_counters = Stats.counters ();
+    t_milp_j = Milp.take_cache_journal ();
+    t_poly_j = Polyhedra.take_cache_journal ();
+  }
+
+(* ----------------------------- result caching ----------------------------- *)
+
+(* What outlives a request: enough to rebuild a response (and nothing
+   process-specific), stored in the in-memory LRU and, sub-versioned by
+   [protocol_version], in the persistent store. *)
+type cached = { c_code : string option; c_diags : Diag.t list; c_rung : string }
+
+let store_kind = "server-result"
+
+(* ------------------------------- connections ------------------------------ *)
+
+(* Responses go back in request order per connection: each request claims a
+   slot in a FIFO at parse time and fills it whenever its answer is ready
+   (cache hits immediately, compiles later); the writer drains filled slots
+   from the head only. *)
+type slot = { mutable s_resp : string option }
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  out : Buffer.t;
+  slots : slot Queue.t;
+  mutable alive : bool;
+}
+
+type waiter = {
+  w_conn : conn;
+  w_slot : slot;
+  w_name : string;
+  w_t0 : float;
+  w_coalesced : bool;
+}
+
+type job = {
+  j_digest : string;
+  j_payload : task_payload;
+  mutable j_waiters : waiter list;  (* newest first *)
+  mutable j_handle : task_reply Pool.handle option;  (* None while queued *)
+  j_deadline : float option;  (* absolute; from the first requester *)
+}
+
+type state = {
+  cfg : config;
+  t_start : float;
+  mutable conns : conn list;
+  inflight : (string, job) Hashtbl.t;  (* digest -> job (queued or running) *)
+  mutable queue : job list;  (* FIFO, newest first (reversed on spawn) *)
+  mutable running : job list;
+  lru : (string, cached * int ref) Hashtbl.t;
+  mutable lru_tick : int;
+  draining : bool ref;
+}
+
+(* ------------------------------- responses -------------------------------- *)
+
+let entry_of_result ~name ~elapsed (c : cached) =
+  let status =
+    match c.c_code with
+    | None -> Manifest.Failed
+    | Some _ ->
+        if Driver.degraded c.c_diags then Manifest.Degraded
+        else Manifest.Success
+  in
+  {
+    Manifest.e_file = name;
+    e_status = status;
+    e_rung = c.c_rung;
+    e_diags = c.c_diags;
+    e_code = c.c_code;
+    e_output = None;
+    e_elapsed_s = elapsed;
+    e_retried = false;
+  }
+
+let flush_slots conn =
+  let rec go () =
+    match Queue.peek_opt conn.slots with
+    | Some { s_resp = Some line } ->
+        ignore (Queue.pop conn.slots);
+        Buffer.add_string conn.out line;
+        Buffer.add_char conn.out '\n';
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let respond conn slot line =
+  slot.s_resp <- Some line;
+  flush_slots conn
+
+let respond_entry ?(extra = []) conn slot entry =
+  if entry.Manifest.e_status = Manifest.Failed then
+    Stats.incr "server.failures";
+  respond conn slot (Manifest.entry_to_json ~include_code:true ~extra entry)
+
+let bool_field b = if b then "true" else "false"
+
+let respond_result ?(cached = false) ?(coalesced = false) ?stats conn slot
+    ~name ~elapsed c =
+  let extra =
+    [ ("cached", bool_field cached); ("coalesced", bool_field coalesced) ]
+    @ match stats with None -> [] | Some s -> [ ("stats", s) ]
+  in
+  respond_entry ~extra conn slot (entry_of_result ~name ~elapsed c)
+
+let error_entry ~name ~elapsed d =
+  entry_of_result ~name ~elapsed { c_code = None; c_diags = [ d ]; c_rung = "none" }
+
+(* --------------------------------- LRU ------------------------------------ *)
+
+let lru_find st digest =
+  match Hashtbl.find_opt st.lru digest with
+  | None -> None
+  | Some (c, tick) ->
+      st.lru_tick <- st.lru_tick + 1;
+      tick := st.lru_tick;
+      Some c
+
+let lru_add st digest c =
+  if not (Hashtbl.mem st.lru digest) then begin
+    st.lru_tick <- st.lru_tick + 1;
+    Hashtbl.replace st.lru digest (c, ref st.lru_tick);
+    if Hashtbl.length st.lru > st.cfg.result_cache_entries then begin
+      (* evict the least recently used entry (O(n) scan: the cache holds at
+         most [result_cache_entries] + 1 entries, n is small) *)
+      let victim =
+        Hashtbl.fold
+          (fun k (_, t) acc ->
+            match acc with
+            | Some (_, t') when !t' <= !t -> acc
+            | _ -> Some (k, t))
+          st.lru None
+      in
+      match victim with
+      | Some (k, _) -> Hashtbl.remove st.lru k
+      | None -> ()
+    end
+  end
+
+(* ------------------------------ job lifecycle ----------------------------- *)
+
+let spawn_ready st =
+  let now = Unix.gettimeofday () in
+  (* FIFO: oldest queued job first *)
+  let rec go () =
+    if List.length st.running < st.cfg.jobs && st.queue <> [] then begin
+      let rev = List.rev st.queue in
+      let job = List.hd rev in
+      st.queue <- List.rev (List.tl rev);
+      let task_timeout_s =
+        Option.map (fun d -> Float.max 0.001 (d -. now)) job.j_deadline
+      in
+      Stats.incr "server.compiles";
+      job.j_handle <-
+        Some (Pool.start ?task_timeout_s ~f:compile_task job.j_payload);
+      st.running <- job :: st.running;
+      go ()
+    end
+  in
+  go ()
+
+let job_done st job =
+  Hashtbl.remove st.inflight job.j_digest;
+  st.running <- List.filter (fun j -> j != job) st.running
+
+let answer_waiters job ~f =
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun w ->
+      if w.w_conn.alive then
+        f w ~name:w.w_name ~elapsed:(now -. w.w_t0) ~coalesced:w.w_coalesced)
+    (List.rev job.j_waiters)
+
+let finish_job st job (o : task_reply Pool.outcome) =
+  job_done st job;
+  match o.Pool.value with
+  | Ok r ->
+      (* keep the daemon's solver caches hot for the next fork *)
+      Stats.add "server.cache_absorbed"
+        (Milp.cache_journal_length r.t_milp_j
+        + Polyhedra.cache_journal_length r.t_poly_j);
+      Milp.absorb_cache_journal r.t_milp_j;
+      Polyhedra.absorb_cache_journal r.t_poly_j;
+      let c = { c_code = r.t_code; c_diags = r.t_diags; c_rung = r.t_rung } in
+      if c.c_code <> None then begin
+        lru_add st job.j_digest c;
+        Store.write_versioned ~version:protocol_version ~kind:store_kind
+          ~key:job.j_digest c
+      end;
+      let stats = Manifest.counters_to_json r.t_counters in
+      answer_waiters job ~f:(fun w ~name ~elapsed ~coalesced ->
+          respond_result ~coalesced ~stats w.w_conn w.w_slot ~name ~elapsed c)
+  | Error d ->
+      (* crash/timeout: the structured diagnostic is the response *)
+      answer_waiters job ~f:(fun w ~name ~elapsed ~coalesced ->
+          respond_result ~coalesced w.w_conn w.w_slot ~name ~elapsed
+            { c_code = None; c_diags = [ d ]; c_rung = "none" })
+
+let deadline_diag d =
+  Diag.errorf ~code:"pool-timeout"
+    "request exceeded its %gs deadline; the compile worker was killed" d
+
+let kill_expired st =
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun job ->
+      match job.j_deadline with
+      | Some d when now > d ->
+          (match job.j_handle with Some h -> Pool.kill h | None -> ());
+          Stats.incr "server.deadline_expired";
+          job_done st job;
+          answer_waiters job ~f:(fun w ~name ~elapsed ~coalesced ->
+              respond_result ~coalesced w.w_conn w.w_slot ~name ~elapsed
+                {
+                  c_code = None;
+                  c_diags = [ deadline_diag (d -. now +. (now -. w.w_t0)) ];
+                  c_rung = "none";
+                })
+      | _ -> ())
+    st.running
+
+(* ------------------------------- requests --------------------------------- *)
+
+let push_slot conn =
+  let s = { s_resp = None } in
+  Queue.push s conn.slots;
+  s
+
+let bad_request conn msg =
+  let slot = push_slot conn in
+  respond_entry conn slot
+    (error_entry ~name:"<request>" ~elapsed:0.0
+       (Diag.errorf ~code:"bad-request" "%s" msg))
+
+let handle_compile st conn j =
+  let module J = Manifest.Json in
+  let name = J.str_mem "name" j ~default:"<request>" in
+  match J.mem "source" j with
+  | Some (J.Str source) ->
+      let options =
+        match J.mem "options" j with
+        | Some (J.Obj _ as o) -> Manifest.options_of_json o
+        | _ -> st.cfg.options
+      in
+      let strict = J.bool_mem "strict" j ~default:false in
+      let verify = J.bool_mem "verify" j ~default:false in
+      let deadline_s =
+        match J.mem "deadline_s" j with
+        | Some (J.Num f) when f > 0.0 -> Some f
+        | _ -> st.cfg.default_deadline_s
+      in
+      let digest = request_digest ~options ~strict ~verify ~source in
+      let slot = push_slot conn in
+      let t0 = Unix.gettimeofday () in
+      let serve_cached c =
+        respond_result ~cached:true conn slot ~name
+          ~elapsed:(Unix.gettimeofday () -. t0)
+          c
+      in
+      (match lru_find st digest with
+      | Some c ->
+          Stats.incr "server.result_cache_hits";
+          serve_cached c
+      | None -> (
+          Stats.incr "server.result_cache_misses";
+          match
+            (Store.read_versioned ~version:protocol_version ~kind:store_kind
+               ~key:digest
+              : cached option)
+          with
+          | Some c ->
+              Stats.incr "server.result_store_hits";
+              lru_add st digest c;
+              serve_cached c
+          | None -> (
+              let waiter =
+                {
+                  w_conn = conn;
+                  w_slot = slot;
+                  w_name = name;
+                  w_t0 = t0;
+                  w_coalesced = Hashtbl.mem st.inflight digest;
+                }
+              in
+              match Hashtbl.find_opt st.inflight digest with
+              | Some job ->
+                  (* identical program+options already compiling (or queued):
+                     join it — one compile, every waiter answered from it *)
+                  Stats.incr "server.dedup_coalesced";
+                  job.j_waiters <- waiter :: job.j_waiters
+              | None ->
+                  let job =
+                    {
+                      j_digest = digest;
+                      j_payload =
+                        {
+                          q_name = name;
+                          q_source = source;
+                          q_options = options;
+                          q_strict = strict;
+                          q_verify = verify;
+                        };
+                      j_waiters = [ waiter ];
+                      j_handle = None;
+                      j_deadline =
+                        Option.map (fun s -> t0 +. s) deadline_s;
+                    }
+                  in
+                  Hashtbl.add st.inflight digest job;
+                  st.queue <- job :: st.queue)))
+  | _ -> bad_request conn "compile request lacks a \"source\" string"
+
+let stats_json st =
+  Printf.sprintf
+    "{\"op\": \"stats\", \"protocol\": %s, \"uptime_s\": %.3f, \"inflight\": \
+     %d, \"result_cache_entries\": %d, \"stats\": %s}"
+    (Manifest.json_string protocol_version)
+    (Unix.gettimeofday () -. st.t_start)
+    (Hashtbl.length st.inflight) (Hashtbl.length st.lru) (Stats.to_json ())
+
+let handle_line st conn line =
+  Stats.incr "server.requests";
+  match Manifest.Json.parse line with
+  | Error msg -> bad_request conn (Printf.sprintf "unparseable request: %s" msg)
+  | Ok j -> (
+      match Manifest.Json.str_mem "op" j ~default:"compile" with
+      | "compile" -> handle_compile st conn j
+      | "stats" -> respond conn (push_slot conn) (stats_json st)
+      | "ping" ->
+          respond conn (push_slot conn)
+            (Printf.sprintf "{\"op\": \"pong\", \"protocol\": %s}"
+               (Manifest.json_string protocol_version))
+      | "shutdown" ->
+          respond conn (push_slot conn) "{\"op\": \"shutting-down\"}";
+          st.draining := true
+      | op -> bad_request conn (Printf.sprintf "unknown op %S" op))
+
+(* -------------------------------- socket IO ------------------------------- *)
+
+let close_conn st conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    st.conns <- List.filter (fun c -> c != conn) st.conns
+  end
+
+let read_chunk = Bytes.create 65536
+
+let conn_readable st conn =
+  match
+    Fault.unix_error "server.read" Unix.EIO "read";
+    Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk)
+  with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error _ -> close_conn st conn
+  | 0 -> close_conn st conn
+  | n ->
+      Buffer.add_subbytes conn.inbuf read_chunk 0 n;
+      (* split complete lines off the front of the buffer *)
+      let data = Buffer.contents conn.inbuf in
+      let rec go start =
+        match String.index_from_opt data start '\n' with
+        | Some nl ->
+            let line = String.sub data start (nl - start) in
+            if String.trim line <> "" then handle_line st conn line;
+            go (nl + 1)
+        | None ->
+            Buffer.clear conn.inbuf;
+            Buffer.add_substring conn.inbuf data start
+              (String.length data - start)
+      in
+      go 0
+
+let conn_writable st conn =
+  let data = Buffer.contents conn.out in
+  if data <> "" then
+    match
+      Fault.unix_error "server.write" Unix.EIO "write";
+      Unix.write_substring conn.fd data 0 (String.length data)
+    with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> close_conn st conn
+    | n ->
+        Buffer.clear conn.out;
+        Buffer.add_substring conn.out data n (String.length data - n)
+
+let accept_conn st listener =
+  match
+    Fault.unix_error "server.accept" Unix.EMFILE "accept";
+    Unix.accept listener
+  with
+  | exception Unix.Unix_error _ -> ()
+  | fd, _ ->
+      Stats.incr "server.connections";
+      st.conns <-
+        {
+          fd;
+          inbuf = Buffer.create 4096;
+          out = Buffer.create 4096;
+          slots = Queue.create ();
+          alive = true;
+        }
+        :: st.conns
+
+(* ------------------------------- listeners -------------------------------- *)
+
+let bind_unix path =
+  if Sys.file_exists path then begin
+    (* stale socket file from a dead daemon?  probe before stealing it *)
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      failwith
+        (Printf.sprintf "plutod: a daemon is already listening on %s" path);
+    (try Sys.remove path with Sys_error _ -> ())
+  end;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let bind_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+(* -------------------------------- main loop ------------------------------- *)
+
+let run cfg =
+  (* a client gone mid-write must be an EPIPE error on our write, not death *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listeners =
+    bind_unix cfg.socket_path
+    :: (match cfg.tcp_port with Some p -> [ bind_tcp p ] | None -> [])
+  in
+  let st =
+    {
+      cfg;
+      t_start = Unix.gettimeofday ();
+      conns = [];
+      inflight = Hashtbl.create 16;
+      queue = [];
+      running = [];
+      lru = Hashtbl.create 64;
+      lru_tick = 0;
+      draining = ref false;
+    }
+  in
+  let remove_socket () =
+    try Sys.remove cfg.socket_path with Sys_error _ -> ()
+  in
+  (* belt and braces: if some later layer installs the {!Pool.Cleanup}
+     signal handlers over ours, the socket file still gets removed *)
+  let cleanup_id = Pool.Cleanup.register remove_socket in
+  (* graceful drain on the first SIGTERM/SIGINT; a second one means "now" *)
+  let on_signal _ =
+    if !(st.draining) then begin
+      remove_socket ();
+      Unix._exit 130
+    end
+    else st.draining := true
+  in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        listeners;
+      List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        st.conns;
+      remove_socket ();
+      Pool.Cleanup.release cleanup_id)
+    (fun () ->
+      let finished () =
+        !(st.draining)
+        && st.queue = []
+        && st.running = []
+        && List.for_all (fun c -> Buffer.length c.out = 0) st.conns
+      in
+      while not (finished ()) do
+        spawn_ready st;
+        kill_expired st;
+        let now = Unix.gettimeofday () in
+        let reads =
+          (if !(st.draining) then [] else listeners)
+          @ List.map (fun c -> c.fd) st.conns
+          @ List.filter_map
+              (fun j -> Option.bind j.j_handle Pool.handle_fd)
+              st.running
+        in
+        let writes =
+          List.filter_map
+            (fun c -> if Buffer.length c.out > 0 then Some c.fd else None)
+            st.conns
+        in
+        let timeout =
+          (* wake for the next deadline, and periodically to notice the
+             drain flag flipped by a signal *)
+          List.fold_left
+            (fun acc j ->
+              match j.j_deadline with
+              | Some d -> Float.min acc (Float.max 0.001 (d -. now))
+              | None -> acc)
+            0.5 st.running
+        in
+        match Unix.select reads writes [] timeout with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | ready_r, ready_w, _ ->
+            List.iter
+              (fun fd ->
+                if List.memq fd listeners then accept_conn st fd
+                else
+                  match List.find_opt (fun c -> c.fd = fd) st.conns with
+                  | Some conn -> conn_readable st conn
+                  | None -> (
+                      match
+                        List.find_opt
+                          (fun j ->
+                            Option.bind j.j_handle Pool.handle_fd
+                            = Some fd)
+                          st.running
+                      with
+                      | Some job -> (
+                          match Pool.pump (Option.get job.j_handle) with
+                          | `Pending -> ()
+                          | `Done o -> finish_job st job o)
+                      | None -> ()))
+              ready_r;
+            List.iter
+              (fun fd ->
+                match List.find_opt (fun c -> c.fd = fd) st.conns with
+                | Some conn -> conn_writable st conn
+                | None -> ())
+              ready_w
+      done)

@@ -1,0 +1,79 @@
+(** Compilation-as-a-service: the [plutod] daemon core.
+
+    A long-lived server that answers compile requests over a Unix-domain
+    socket (and optionally TCP on localhost), amortizing everything a
+    standalone [plutocc] pays per run: process startup, cold in-memory
+    solver caches, and store round-trips.
+
+    {2 Protocol}
+
+    Newline-delimited JSON, one object per line in each direction.
+    Requests carry an ["op"]:
+
+    - [{"op": "compile", "name": f, "source": src, "options": {...},
+        "strict": b, "verify": b, "deadline_s": s}] — compile [src].
+      [options] uses the canonical encoding of {!Manifest.options_to_json};
+      omitted fields (or the whole object) default to the daemon's
+      configured options.  The response is exactly a batch-manifest entry
+      ({!Manifest.entry_to_json} — same encoder, so batch manifests and
+      daemon responses can never drift) extended with ["code"] (the
+      rendered C), ["cached"], ["coalesced"], and ["stats"] (the worker's
+      per-request counter delta, fresh compiles only).
+    - [{"op": "stats"}] — aggregate daemon observability: uptime, in-flight
+      count, and the full {!Stats.to_json} tables (workers' deltas merged).
+    - [{"op": "ping"}] — liveness probe, answered with [{"op": "pong"}].
+    - [{"op": "shutdown"}] — begin a graceful drain, as if SIGTERMed.
+
+    {2 Semantics}
+
+    Each compile is one forked {!Pool} worker ({!Pool.start}), so a crash
+    or deadline overrun costs exactly that request.  Requests are deduped
+    by digest of (protocol version, canonical options, strict, verify,
+    source): an identical request arriving while a compile is in flight
+    joins it — one compile, every waiter answered from the single result
+    (counter ["server.dedup_coalesced"]).  Finished results enter an
+    in-memory LRU and the persistent {!Store} (kind ["server-result"],
+    sub-versioned by {!protocol_version}), so a restarted daemon serves
+    warm from disk.  Workers inherit the daemon's hot in-memory solver
+    caches by fork and journal what they add ({!Milp.take_cache_journal});
+    the daemon absorbs each delta, so the caches heat up monotonically
+    across requests without ever marshaling whole tables.
+
+    SIGTERM/SIGINT (or [{"op": "shutdown"}]) starts a graceful drain: stop
+    accepting, finish and answer every accepted request, remove the socket
+    file, return.  A second signal exits immediately (still removing the
+    socket).  Fault sites ["server.accept"], ["server.read"],
+    ["server.write"] let the chaos harness hit every socket boundary.
+
+    Counters: the ["server.*"] family documented in {!Stats}. *)
+
+(** Version stamp of the wire protocol and of stored results.  Bump when
+    the request digest inputs or the response encoding change: a restarted
+    daemon then re-keys its store entries instead of serving skew. *)
+val protocol_version : string
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;  (** also listen on 127.0.0.1:port *)
+  jobs : int;  (** max concurrent compile workers *)
+  options : Driver.options;  (** defaults for requests that omit options *)
+  default_deadline_s : float option;
+      (** per-request wall-clock budget when the request names none;
+          exceeding it kills the worker and answers with the structured
+          ["pool-timeout"] diagnostic *)
+  result_cache_entries : int;  (** in-memory result LRU capacity *)
+}
+
+val default_config : socket_path:string -> config
+
+(** Compute the dedup/result-cache digest of a request — exposed so tests
+    and tools can predict cache keys. *)
+val request_digest :
+  options:Driver.options -> strict:bool -> verify:bool -> source:string ->
+  string
+
+(** Run the daemon until a graceful drain completes.  Binds the socket
+    (replacing a stale socket file left by a dead daemon; refuses to start
+    when a live daemon already listens — [Failure]), serves, and removes
+    the socket file on every exit path, including SIGINT/SIGTERM. *)
+val run : config -> unit

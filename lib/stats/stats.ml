@@ -58,6 +58,8 @@ let merge s =
 let snapshot_counter s k =
   match List.assoc_opt k s.snap_counters with Some v -> v | None -> 0
 
+let snapshot_counters s = List.sort compare s.snap_counters
+
 let timers () =
   Hashtbl.fold (fun k (t, n) acc -> (k, t, n) :: acc) timers_tbl []
   |> List.sort compare

@@ -56,6 +56,26 @@
     - ["fault.injected"] and per-site ["fault.<site>"] — faults fired by
       the deterministic injection harness ([lib/fault], [PLUTO_FAULT_*]);
       always 0 unless a fault config is installed;
+    - ["server.connections"] / ["server.requests"] — the compile daemon
+      ([plutod], [lib/server]): accepted client connections and protocol
+      lines received (every op, well-formed or not);
+    - ["server.compiles"] — compile jobs actually dispatched onto a forked
+      worker (a request answered from a cache, the store, or an in-flight
+      duplicate does not count);
+    - ["server.dedup_coalesced"] — requests that joined an identical
+      in-flight compile instead of starting their own (N clients sending
+      the same program+options while it compiles → 1 compile, N−1
+      coalesced);
+    - ["server.result_cache_hits"] / ["server.result_cache_misses"] — the
+      daemon's in-memory LRU of finished compile results, keyed by the
+      request digest; misses then consult the persistent store
+      (["server.result_store_hits"] when that saves the compile);
+    - ["server.cache_absorbed"] — in-memory solver-cache entries journaled
+      by workers and replayed into the daemon's hot tables
+      ({!Milp.absorb_cache_journal}, {!Polyhedra.absorb_cache_journal});
+    - ["server.failures"] — compile requests answered with status
+      ["error"] (including ["server.deadline_expired"], requests whose
+      worker was killed at the per-request deadline);
     - timers ["pass.deps"], ["pass.transform"], ["pass.codegen"]. *)
 
 (** Forget all counters and timers (tests and the tuner's workers use this to
@@ -96,6 +116,10 @@ val merge : snapshot -> unit
 
 (** Read one counter out of a snapshot (0 when absent). *)
 val snapshot_counter : snapshot -> string -> int
+
+(** All counters of a snapshot, sorted by name (the daemon uses this to
+    embed a worker's per-request delta in its response). *)
+val snapshot_counters : snapshot -> (string * int) list
 
 (** All timers, sorted by name: (name, total seconds, calls). *)
 val timers : unit -> (string * float * int) list

@@ -1,0 +1,553 @@
+(* End-to-end tests of the plutod daemon (lib/server): protocol round
+   trips, compile parity with the in-process driver, request dedup under
+   genuinely concurrent clients, warm restart from the persistent store
+   after a SIGKILL, per-request deadlines, and graceful drain on SIGTERM.
+
+   Every daemon runs as a forked child of the test process so a test
+   failure can never leak a listener: [with_daemon] SIGKILLs anything the
+   test body did not already reap. *)
+
+let options = Driver.default_options
+let jacobi_src = Kernels.jacobi_1d.Kernels.source
+let matmul_src = Kernels.matmul.Kernels.source
+
+let status_str = function
+  | Unix.WEXITED n -> Printf.sprintf "exited %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "signaled %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n
+
+(* ------------------------------ daemon harness ---------------------------- *)
+
+let start_daemon ?(jobs = 2) ?default_deadline_s ?cache_dir ~socket () =
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    (try
+       Stats.reset ();
+       Fault.install None;
+       Store.set_dir cache_dir;
+       Server.run
+         {
+           (Server.default_config ~socket_path:socket) with
+           Server.jobs;
+           default_deadline_s;
+         }
+     with
+    | Failure _ -> Unix._exit 3
+    | _ -> Unix._exit 4);
+    Unix._exit 0
+  end
+  else begin
+    (* readiness: poll until the socket accepts a connection *)
+    let deadline = Unix.gettimeofday () +. 15.0 in
+    let rec wait () =
+      match Client.connect socket with
+      | Some fd -> Client.close fd
+      | None ->
+          (match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> ()
+          | _, st ->
+              Alcotest.failf "daemon died during startup (%s)" (status_str st));
+          if Unix.gettimeofday () > deadline then
+            Alcotest.fail "daemon did not become ready within 15s"
+          else begin
+            Unix.sleepf 0.02;
+            wait ()
+          end
+    in
+    wait ();
+    pid
+  end
+
+(* Reap a child the test body may or may not have waited for already. *)
+let reap_or_kill pid =
+  match Unix.waitpid [ Unix.WNOHANG ] pid with
+  | 0, _ ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ()
+
+let with_daemon ?jobs ?default_deadline_s ?cache_dir ~socket f =
+  let pid = start_daemon ?jobs ?default_deadline_s ?cache_dir ~socket () in
+  Fun.protect ~finally:(fun () -> reap_or_kill pid) (fun () -> f pid)
+
+let wait_exit pid =
+  match Unix.waitpid [] pid with _, st -> st
+
+let compile_ok ~socket ?deadline_s ~name source =
+  match Client.compile ~socket ?deadline_s ~options ~name ~source () with
+  | `No_daemon -> Alcotest.fail "daemon vanished mid-test"
+  | `Daemon (Error msg) -> Alcotest.failf "daemon protocol error: %s" msg
+  | `Daemon (Ok r) -> r
+
+(* what a standalone in-process compile of [source] produces *)
+let local_code source =
+  match
+    Driver.compile_source_robust ~options ~strict:false ~verify:false
+      ~name:"local" source
+  with
+  | Error ds ->
+      Alcotest.failf "local reference compile failed: %s"
+        (Format.asprintf "%a" (fun fmt ds -> Diag.pp_all fmt ds) ds)
+  | Ok (r, _) ->
+      Format.asprintf "%a" (fun fmt c -> Codegen.print_c fmt c) r.Driver.code
+
+let daemon_counter ~socket name =
+  match Client.stats ~socket with
+  | Error msg -> Alcotest.failf "stats request failed: %s" msg
+  | Ok line -> (
+      match Manifest.Json.parse line with
+      | Error msg -> Alcotest.failf "unparseable stats response: %s" msg
+      | Ok j -> (
+          match Option.bind (Manifest.Json.mem "stats" j)
+                  (Manifest.Json.mem "counters")
+          with
+          | Some c ->
+              int_of_float (Manifest.Json.num_mem name c ~default:0.0)
+          | None -> 0))
+
+(* ------------------------------- pure tests -------------------------------- *)
+
+let test_options_wire () =
+  let d = Driver.default_options in
+  let enc = Manifest.options_to_json d in
+  (match Manifest.Json.parse enc with
+  | Error msg -> Alcotest.failf "canonical options not parseable: %s" msg
+  | Ok j ->
+      Alcotest.(check string)
+        "default options survive a wire round trip" enc
+        (Manifest.options_to_json (Manifest.options_of_json j)));
+  (* overrides: only the fields present change, everything else stays *)
+  match
+    Manifest.Json.parse
+      "{\"tile\": false, \"unroll_jam\": 7, \"fast_schedule\": true}"
+  with
+  | Error msg -> Alcotest.failf "override object not parseable: %s" msg
+  | Ok j ->
+      let o = Manifest.options_of_json j in
+      let enc' = Manifest.options_to_json o in
+      Alcotest.(check bool) "tile overridden" false o.Driver.tile;
+      Alcotest.(check int) "unroll_jam overridden" 7 o.Driver.unroll_jam;
+      Alcotest.(check bool)
+        "fast_schedule overridden" true o.Driver.fast_schedule;
+      Alcotest.(check bool)
+        "untouched fields keep their defaults"
+        true
+        (o.Driver.parallelize = d.Driver.parallelize
+        && o.Driver.wavefront = d.Driver.wavefront
+        && o.Driver.tile_size = d.Driver.tile_size);
+      Alcotest.(check bool) "re-encoding is canonical" true
+        (String.length enc' > 0 && enc' <> enc)
+
+let test_request_digest () =
+  let dg ?(options = options) ?(strict = false) ?(verify = false) source =
+    Server.request_digest ~options ~strict ~verify ~source
+  in
+  Alcotest.(check string)
+    "digest is deterministic" (dg jacobi_src) (dg jacobi_src);
+  Alcotest.(check bool)
+    "source changes the digest" true
+    (dg jacobi_src <> dg matmul_src);
+  Alcotest.(check bool)
+    "strict changes the digest" true
+    (dg jacobi_src <> dg ~strict:true jacobi_src);
+  let o' = { options with Driver.unroll_jam = 9 } in
+  Alcotest.(check bool)
+    "options change the digest" true
+    (dg jacobi_src <> dg ~options:o' jacobi_src)
+
+let test_entry_roundtrip () =
+  let entry =
+    {
+      Manifest.e_file = "k.c";
+      e_status = Manifest.Degraded;
+      e_rung = "tiled";
+      e_diags =
+        [
+          Diag.errorf ~code:"boom" "it %s" "broke";
+          Diag.warningf ~code:"softly" "eased off";
+        ];
+      e_code = Some "for (i = 0; i < n; i++) {}\n";
+      e_output = None;
+      e_elapsed_s = 0.25;
+      e_retried = true;
+    }
+  in
+  let line = Manifest.entry_to_json ~include_code:true entry in
+  match Manifest.Json.parse line with
+  | Error msg -> Alcotest.failf "entry JSON not parseable: %s" msg
+  | Ok j -> (
+      match Manifest.entry_of_json j with
+      | Error msg -> Alcotest.failf "entry did not decode: %s" msg
+      | Ok e ->
+          Alcotest.(check string) "file" entry.Manifest.e_file e.Manifest.e_file;
+          Alcotest.(check bool) "status" true
+            (e.Manifest.e_status = Manifest.Degraded);
+          Alcotest.(check string) "rung" "tiled" e.Manifest.e_rung;
+          Alcotest.(check (option string))
+            "code" entry.Manifest.e_code e.Manifest.e_code;
+          Alcotest.(check bool) "retried" true e.Manifest.e_retried;
+          Alcotest.(check int) "diag count" 2 (List.length e.Manifest.e_diags);
+          Alcotest.(check bool) "diag codes survive" true
+            (Diag.has_code e.Manifest.e_diags "boom"
+            && Diag.has_code e.Manifest.e_diags "softly"))
+
+let test_no_daemon_fallback () =
+  Pool.with_temp_dir ~prefix:"server" (fun dir ->
+      let socket = Filename.concat dir "absent.sock" in
+      match
+        Client.compile ~socket ~options ~name:"k.c" ~source:matmul_src ()
+      with
+      | `No_daemon -> ()
+      | `Daemon _ -> Alcotest.fail "connected to a daemon that does not exist")
+
+(* ----------------------------- daemon lifecycle ---------------------------- *)
+
+(* One daemon: compile parity with the in-process driver, result-cache hit
+   on the identical re-request, admin ops, malformed requests answered with
+   structured diagnostics, graceful shutdown removing the socket. *)
+let test_compile_parity_and_admin () =
+  Pool.with_temp_dir ~prefix:"server" (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      with_daemon ~socket (fun pid ->
+          Alcotest.(check bool) "ping answers" true (Client.ping ~socket);
+          let reference = local_code matmul_src in
+          let r1 = compile_ok ~socket ~name:"matmul.c" matmul_src in
+          Alcotest.(check bool) "first compile succeeds" true
+            (r1.Client.r_entry.Manifest.e_status = Manifest.Success);
+          Alcotest.(check (option string))
+            "daemon output bit-identical to the in-process driver"
+            (Some reference) r1.Client.r_entry.Manifest.e_code;
+          Alcotest.(check bool) "first answer is a fresh compile" false
+            r1.Client.r_cached;
+          let r2 = compile_ok ~socket ~name:"matmul.c" matmul_src in
+          Alcotest.(check bool) "identical request served from cache" true
+            r2.Client.r_cached;
+          Alcotest.(check (option string))
+            "cached answer bit-identical" (Some reference)
+            r2.Client.r_entry.Manifest.e_code;
+          Alcotest.(check int) "exactly one compile ran" 1
+            (daemon_counter ~socket "server.compiles");
+          Alcotest.(check int) "one result-cache hit" 1
+            (daemon_counter ~socket "server.result_cache_hits");
+          (* malformed requests get structured diagnostics, not hangups *)
+          (match Client.connect socket with
+          | None -> Alcotest.fail "daemon vanished"
+          | Some fd ->
+              Fun.protect
+                ~finally:(fun () -> Client.close fd)
+                (fun () ->
+                  let check_bad what line =
+                    match Client.roundtrip fd line with
+                    | Error msg ->
+                        Alcotest.failf "%s dropped the connection: %s" what msg
+                    | Ok resp -> (
+                        match
+                          Result.bind
+                            (Result.map_error
+                               (fun m -> m)
+                               (Manifest.Json.parse resp))
+                            Manifest.entry_of_json
+                        with
+                        | Error msg ->
+                            Alcotest.failf "%s response undecodable: %s" what
+                              msg
+                        | Ok e ->
+                            Alcotest.(check bool)
+                              (what ^ " answered with bad-request") true
+                              (e.Manifest.e_status = Manifest.Failed
+                              && Diag.has_code e.Manifest.e_diags
+                                   "bad-request"))
+                  in
+                  check_bad "garbage line" "{this is not json";
+                  check_bad "unknown op" "{\"op\": \"frobnicate\"}";
+                  check_bad "compile without source" "{\"op\": \"compile\"}"));
+          Alcotest.(check bool) "shutdown acknowledged" true
+            (Client.shutdown ~socket);
+          Alcotest.(check bool) "daemon drained and exited 0" true
+            (wait_exit pid = Unix.WEXITED 0);
+          Alcotest.(check bool) "socket file removed" false
+            (Sys.file_exists socket)))
+
+(* ---------------------------------- dedup ---------------------------------- *)
+
+(* N forked clients release identical requests through a pipe barrier at a
+   single-job daemon: exactly one compile runs, the other N-1 coalesce onto
+   it, and all N answers are bit-identical. *)
+let test_dedup_coalesces () =
+  let n = 4 in
+  Pool.with_temp_dir ~prefix:"server" (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      with_daemon ~jobs:1 ~socket (fun pid ->
+          let barrier_r, barrier_w = Unix.pipe () in
+          let out_file i = Filename.concat dir (Printf.sprintf "c%d.json" i) in
+          let clients =
+            List.init n (fun i ->
+                let cpid = Unix.fork () in
+                if cpid = 0 then begin
+                  ((try
+                      Unix.close barrier_w;
+                      match Client.connect socket with
+                     | None -> Unix._exit 2
+                     | Some fd ->
+                         (* connected; block until the barrier collapses so
+                            all n requests hit the daemon together *)
+                         ignore (Unix.read barrier_r (Bytes.create 1) 0 1);
+                         (match
+                            Client.compile_fd fd ~options
+                              ~name:(Printf.sprintf "client%d.c" i)
+                              ~source:jacobi_src ()
+                          with
+                         | Error _ -> Unix._exit 3
+                         | Ok r ->
+                             Fixtures.write_file (out_file i) r.Client.r_raw;
+                             Unix._exit 0)
+                    with _ -> Unix._exit 4)
+                   : unit);
+                  Unix._exit 0
+                end
+                else cpid)
+          in
+          Unix.close barrier_r;
+          (* give every client a beat to connect and park on the barrier *)
+          Unix.sleepf 0.2;
+          Unix.close barrier_w;
+          List.iter
+            (fun cpid ->
+              let st = wait_exit cpid in
+              if st <> Unix.WEXITED 0 then
+                Alcotest.failf "client did not complete cleanly (%s)"
+                  (status_str st))
+            clients;
+          let entries =
+            List.init n (fun i ->
+                let ic = open_in_bin (out_file i) in
+                let len = in_channel_length ic in
+                let raw = really_input_string ic len in
+                close_in ic;
+                match
+                  Result.bind (Manifest.Json.parse raw) Manifest.entry_of_json
+                with
+                | Error msg -> Alcotest.failf "client %d response: %s" i msg
+                | Ok e -> (raw, e))
+          in
+          let codes =
+            List.map (fun (_, e) -> e.Manifest.e_code) entries
+          in
+          (match codes with
+          | (Some _ as first) :: rest ->
+              Alcotest.(check bool)
+                "all coalesced answers bit-identical" true
+                (List.for_all (fun c -> c = first) rest)
+          | _ -> Alcotest.fail "a coalesced client got no code");
+          let coalesced =
+            List.filter
+              (fun (raw, _) ->
+                match Manifest.Json.parse raw with
+                | Ok j -> Manifest.Json.bool_mem "coalesced" j ~default:false
+                | Error _ -> false)
+              entries
+          in
+          Alcotest.(check int)
+            "all but the first requester coalesced" (n - 1)
+            (List.length coalesced);
+          Alcotest.(check int) "exactly one compile ran" 1
+            (daemon_counter ~socket "server.compiles");
+          Alcotest.(check int)
+            "server.dedup_coalesced counts the joiners" (n - 1)
+            (daemon_counter ~socket "server.dedup_coalesced");
+          Alcotest.(check bool) "shutdown" true (Client.shutdown ~socket);
+          Alcotest.(check bool) "exit 0" true (wait_exit pid = Unix.WEXITED 0)))
+
+(* ----------------------- chaos: SIGKILL + warm restart --------------------- *)
+
+(* Kill a daemon outright mid-life; a replacement on the same socket path
+   and cache dir must heal the stale socket file and serve the previous
+   result warm from the persistent store, bit-identically. *)
+let test_sigkill_warm_restart () =
+  Pool.with_temp_dir ~prefix:"server" (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      let cache = Filename.concat dir "cache" in
+      let pid1 = start_daemon ~socket ~cache_dir:cache () in
+      let code1 =
+        Fun.protect
+          ~finally:(fun () -> reap_or_kill pid1)
+          (fun () ->
+            let r = compile_ok ~socket ~name:"matmul.c" matmul_src in
+            Alcotest.(check bool) "first daemon compiles" true
+              (r.Client.r_entry.Manifest.e_status = Manifest.Success);
+            (* no drain: the daemon dies with the socket file in place *)
+            Unix.kill pid1 Sys.sigkill;
+            Alcotest.(check bool) "daemon was SIGKILLed" true
+              (wait_exit pid1 = Unix.WSIGNALED Sys.sigkill);
+            r.Client.r_entry.Manifest.e_code)
+      in
+      Alcotest.(check bool) "stale socket file left behind" true
+        (Sys.file_exists socket);
+      (* the replacement must bind over the stale socket, not refuse *)
+      with_daemon ~socket ~cache_dir:cache (fun pid2 ->
+          let r = compile_ok ~socket ~name:"matmul.c" matmul_src in
+          Alcotest.(check bool) "restart served from the store" true
+            r.Client.r_cached;
+          Alcotest.(check (option string))
+            "warm answer bit-identical to the pre-crash compile" code1
+            r.Client.r_entry.Manifest.e_code;
+          Alcotest.(check int) "no compile ran after restart" 0
+            (daemon_counter ~socket "server.compiles");
+          Alcotest.(check int) "the store supplied the result" 1
+            (daemon_counter ~socket "server.result_store_hits");
+          Alcotest.(check bool) "shutdown" true (Client.shutdown ~socket);
+          Alcotest.(check bool) "exit 0" true
+            (wait_exit pid2 = Unix.WEXITED 0)))
+
+(* -------------------------------- deadlines -------------------------------- *)
+
+let test_deadline_expiry () =
+  Pool.with_temp_dir ~prefix:"server" (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      with_daemon ~jobs:1 ~socket (fun pid ->
+          (* 1ms: no worker can fork, parse, and schedule in time *)
+          let r =
+            compile_ok ~socket ~deadline_s:0.001 ~name:"slow.c" jacobi_src
+          in
+          Alcotest.(check bool) "expired request fails" true
+            (r.Client.r_entry.Manifest.e_status = Manifest.Failed);
+          Alcotest.(check bool)
+            "failure is the structured pool-timeout diagnostic" true
+            (Diag.has_code r.Client.r_entry.Manifest.e_diags "pool-timeout");
+          Alcotest.(check int) "counted as deadline_expired" 1
+            (daemon_counter ~socket "server.deadline_expired");
+          (* the daemon survives its worker's death and keeps serving *)
+          Alcotest.(check bool) "daemon still answers pings" true
+            (Client.ping ~socket);
+          let ok = compile_ok ~socket ~name:"matmul.c" matmul_src in
+          Alcotest.(check bool) "subsequent request compiles fine" true
+            (ok.Client.r_entry.Manifest.e_status = Manifest.Success);
+          Alcotest.(check bool) "shutdown" true (Client.shutdown ~socket);
+          Alcotest.(check bool) "exit 0" true
+            (wait_exit pid = Unix.WEXITED 0)))
+
+(* ----------------------------- graceful drain ------------------------------ *)
+
+(* SIGTERM while a compile is in flight: the accepted request is still
+   answered, the daemon exits 0, the socket file is gone. *)
+let test_sigterm_drains () =
+  Pool.with_temp_dir ~prefix:"server" (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      with_daemon ~jobs:1 ~socket (fun pid ->
+          let out = Filename.concat dir "drain.json" in
+          let cpid = Unix.fork () in
+          if cpid = 0 then begin
+            ((try
+                match Client.connect socket with
+                | None -> Unix._exit 2
+                | Some fd -> (
+                    match
+                      Client.compile_fd fd ~options ~name:"drain.c"
+                        ~source:jacobi_src ()
+                    with
+                    | Error _ -> Unix._exit 3
+                    | Ok r ->
+                        Fixtures.write_file out r.Client.r_raw;
+                        Unix._exit 0)
+              with _ -> Unix._exit 4)
+             : unit);
+            Unix._exit 0
+          end;
+          (* let the request reach the daemon, then ask it to die *)
+          Unix.sleepf 0.1;
+          Unix.kill pid Sys.sigterm;
+          Alcotest.(check bool) "in-flight client still got its answer" true
+            (wait_exit cpid = Unix.WEXITED 0);
+          Alcotest.(check bool) "daemon drained and exited 0" true
+            (wait_exit pid = Unix.WEXITED 0);
+          Alcotest.(check bool) "socket file removed" false
+            (Sys.file_exists socket);
+          match
+            Result.bind
+              (Manifest.Json.parse
+                 (let ic = open_in_bin out in
+                  let raw =
+                    really_input_string ic (in_channel_length ic)
+                  in
+                  close_in ic;
+                  raw))
+              Manifest.entry_of_json
+          with
+          | Error msg -> Alcotest.failf "drained response undecodable: %s" msg
+          | Ok e ->
+              Alcotest.(check bool) "drained response is a success" true
+                (e.Manifest.e_status = Manifest.Success
+                && e.Manifest.e_code <> None)))
+
+(* --------------------------- signal-exit cleanup --------------------------- *)
+
+(* Pool.with_temp_dir must remove its directory when the process dies to
+   SIGTERM mid-body, not only on normal return (the plutocc/plutod
+   interrupted-run guarantee). *)
+let test_temp_dir_cleanup_on_sigterm () =
+  let pipe_r, pipe_w = Unix.pipe () in
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    (try
+       Unix.close pipe_r;
+       Pool.with_temp_dir ~prefix:"sigterm" (fun dir ->
+           let msg = dir ^ "\n" in
+           ignore
+             (Unix.write_substring pipe_w msg 0 (String.length msg));
+           Unix.close pipe_w;
+           (* park until the parent kills us *)
+           Unix.sleepf 30.0)
+     with _ -> ());
+    Unix._exit 0
+  end;
+  Unix.close pipe_w;
+  let buf = Buffer.create 128 in
+  let chunk = Bytes.create 256 in
+  let rec read_dir () =
+    match Unix.read pipe_r chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        if Bytes.index_opt (Bytes.sub chunk 0 n) '\n' <> None then
+          Buffer.contents buf
+        else read_dir ()
+  in
+  let dir = String.trim (read_dir ()) in
+  Unix.close pipe_r;
+  Alcotest.(check bool) "child created its temp dir" true
+    (dir <> "" && Sys.file_exists dir);
+  Unix.kill pid Sys.sigterm;
+  let st = wait_exit pid in
+  Alcotest.(check bool) "child died to the signal" true
+    (st = Unix.WSIGNALED Sys.sigterm);
+  (* the signal handler must have removed the directory on the way out *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Sys.file_exists dir && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.02
+  done;
+  Alcotest.(check bool) "temp dir removed by the signal-exit cleanup" false
+    (Sys.file_exists dir)
+
+let suite =
+  ( "server",
+    [
+      Alcotest.test_case "options wire round trip" `Quick test_options_wire;
+      Alcotest.test_case "request digest" `Quick test_request_digest;
+      Alcotest.test_case "manifest entry round trip" `Quick
+        test_entry_roundtrip;
+      Alcotest.test_case "client falls back when no daemon listens" `Quick
+        test_no_daemon_fallback;
+      Fixtures.stats_case "compile parity, result cache, admin ops" `Quick
+        test_compile_parity_and_admin;
+      Fixtures.stats_case "concurrent identical requests coalesce" `Quick
+        test_dedup_coalesces;
+      Fixtures.stats_case "SIGKILL, then warm restart from the store" `Quick
+        test_sigkill_warm_restart;
+      Fixtures.stats_case "deadline expiry is a structured failure" `Quick
+        test_deadline_expiry;
+      Fixtures.stats_case "SIGTERM drains in-flight work" `Quick
+        test_sigterm_drains;
+      Alcotest.test_case "with_temp_dir cleans up on SIGTERM" `Quick
+        test_temp_dir_cleanup_on_sigterm;
+    ] )
