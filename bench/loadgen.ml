@@ -1,0 +1,654 @@
+(** loadgen — drive a running [plutod] daemon with many concurrent clients
+    and verify that overload stays structured.
+
+    The generator forks [--workers] processes ({!Pool.map}); each runs its
+    share of [--clients] clients on one nonblocking [select] loop, so a
+    thousand concurrent connections cost a handful of processes.  Clients
+    come in four kinds, chosen deterministically from the global client id:
+
+    - {b oversize}: sends a newline-free blob far over the daemon's
+      [--max-request-bytes] and must get a structured [bad-request] entry
+      followed by the daemon closing the connection;
+    - {b slow}: pipelines many cached compile requests, then drains the
+      responses in 512-byte nibbles with a delay — the slow-reader shape
+      that must trip the daemon's output backpressure, never its memory;
+    - {b unique}: compiles a whitespace-variant of a kernel no other
+      client sends (distinct digest → a real compile job), creating queue
+      pressure and solver-cache churn;
+    - {b normal}/{b pipeline}: everyone else compiles one of a few shared
+      kernels (1 or [--pipeline] requests per connection) — massively
+      duplicated sources, so dedup/coalescing and the result cache carry
+      the bulk of the load.
+
+    Every response is checked: successful compiles of a shared kernel must
+    be bit-identical to the reference code the parent computed in-process
+    (exactly what standalone [plutocc] emits); [server-busy] at the
+    connection level triggers reconnect-with-backoff; [server-busy] at the
+    request level is counted as a structured rejection.  After the storm,
+    the parent runs one warm pass over the shared kernels on a fresh
+    connection and requires cached, bit-identical answers.
+
+    Exit status 0 iff there were zero parity mismatches, zero unexpected
+    failures, and zero protocol errors.  A JSON summary goes to stdout
+    (and [--json FILE]). *)
+
+open Cmdliner
+
+(* ------------------------------ client kinds ------------------------------ *)
+
+type kind = Normal | Pipeline | Slow | Oversize | Unique
+
+let kind_name = function
+  | Normal -> "normal"
+  | Pipeline -> "pipeline"
+  | Slow -> "slow"
+  | Oversize -> "oversize"
+  | Unique -> "unique"
+
+(* Everything a worker needs, as pure marshalable data. *)
+type worker_spec = {
+  ws_socket : string;
+  ws_ids : int list;  (* global client ids this worker runs *)
+  ws_n_oversize : int;
+  ws_n_slow : int;
+  ws_n_unique : int;
+  ws_pipeline : int;  (* requests per Pipeline client *)
+  ws_slow_requests : int;  (* requests per Slow client *)
+  ws_kernels : (string * string) list;  (* name, source *)
+  ws_expected : (string * string) list;  (* kernel name -> reference code *)
+  ws_deadline_s : float;  (* per-worker wall clock *)
+}
+
+type summary = {
+  mutable s_clients : int;
+  mutable s_requests : int;
+  mutable s_responses : int;
+  mutable s_ok : int;
+  mutable s_parity_ok : int;
+  mutable s_parity_bad : int;
+  mutable s_busy : int;  (* request-level server-busy *)
+  mutable s_conn_busy : int;  (* connection-level rejections seen *)
+  mutable s_gave_up : int;  (* clients that never got in *)
+  mutable s_bad_request : int;
+  mutable s_failures : int;  (* Failed entries with unexpected codes *)
+  mutable s_errors : string list;  (* hard errors, capped *)
+}
+
+let new_summary () =
+  {
+    s_clients = 0;
+    s_requests = 0;
+    s_responses = 0;
+    s_ok = 0;
+    s_parity_ok = 0;
+    s_parity_bad = 0;
+    s_busy = 0;
+    s_conn_busy = 0;
+    s_gave_up = 0;
+    s_bad_request = 0;
+    s_failures = 0;
+    s_errors = [];
+  }
+
+let add_error sum msg =
+  if List.length sum.s_errors < 20 then sum.s_errors <- msg :: sum.s_errors
+
+(* ------------------------------ client state ------------------------------ *)
+
+type cstate = Connecting | Active | Finished
+
+type client = {
+  c_id : int;
+  c_kind : kind;
+  c_kernel : string;  (* shared-kernel name ("" for oversize) *)
+  mutable c_fd : Unix.file_descr option;
+  mutable c_state : cstate;
+  mutable c_send : string;
+  mutable c_send_pos : int;
+  mutable c_expect : int;
+  mutable c_got : int;
+  c_rbuf : Buffer.t;
+  mutable c_attempts : int;
+  mutable c_next_at : float;  (* no socket activity before this time *)
+  mutable c_write_dead : bool;  (* daemon closed on us mid-send (EPIPE) *)
+}
+
+let kind_of_id spec i =
+  (* deterministic global mix: the first ids are the special shapes *)
+  if i < spec.ws_n_oversize then Oversize
+  else if i < spec.ws_n_oversize + spec.ws_n_slow then Slow
+  else if i < spec.ws_n_oversize + spec.ws_n_slow + spec.ws_n_unique then
+    Unique
+  else if i mod 3 = 0 then Pipeline
+  else Normal
+
+let request ~options ~name ~source =
+  Client.compile_request ~options ~name ~source () ^ "\n"
+
+let repeat n s =
+  let b = Buffer.create (n * String.length s) in
+  for _ = 1 to n do
+    Buffer.add_string b s
+  done;
+  Buffer.contents b
+
+let make_client spec i =
+  let kind = kind_of_id spec i in
+  let options = Driver.default_options in
+  let kname, ksrc =
+    List.nth spec.ws_kernels (i mod List.length spec.ws_kernels)
+  in
+  let kernel, send, expect =
+    match kind with
+    | Oversize ->
+        (* newline-free garbage well past any sane request cap *)
+        ("", String.make (256 * 1024) 'x', 1)
+    | Slow ->
+        ( kname,
+          repeat spec.ws_slow_requests (request ~options ~name:kname ~source:ksrc),
+          spec.ws_slow_requests )
+    | Unique ->
+        (* a whitespace suffix changes the digest, not the program: a real
+           compile job nobody else's request coalesces with *)
+        ("", request ~options ~name:kname ~source:(ksrc ^ String.make (1 + i) ' '), 1)
+    | Pipeline ->
+        ( kname,
+          repeat spec.ws_pipeline (request ~options ~name:kname ~source:ksrc),
+          spec.ws_pipeline )
+    | Normal -> (kname, request ~options ~name:kname ~source:ksrc, 1)
+  in
+  {
+    c_id = i;
+    c_kind = kind;
+    c_kernel = kernel;
+    c_fd = None;
+    c_state = Connecting;
+    c_send = send;
+    c_send_pos = 0;
+    c_expect = expect;
+    c_got = 0;
+    c_rbuf = Buffer.create 4096;
+    c_attempts = 0;
+    c_next_at = 0.0;
+    c_write_dead = false;
+  }
+
+(* ------------------------------- worker loop ------------------------------ *)
+
+let close_client c =
+  (match c.c_fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  c.c_fd <- None
+
+let finish c =
+  close_client c;
+  c.c_state <- Finished
+
+(* The daemon answered "go away" at the connection level ([name] is
+   ["<connect>"]): reconnect with backoff, up to a cap. *)
+let conn_rejected sum now c =
+  sum.s_conn_busy <- sum.s_conn_busy + 1;
+  close_client c;
+  c.c_attempts <- c.c_attempts + 1;
+  if c.c_attempts > 8 then begin
+    sum.s_gave_up <- sum.s_gave_up + 1;
+    c.c_state <- Finished
+  end
+  else begin
+    Buffer.clear c.c_rbuf;
+    c.c_send_pos <- 0;
+    c.c_got <- 0;
+    c.c_write_dead <- false;
+    c.c_state <- Connecting;
+    c.c_next_at <- now +. (0.05 *. float_of_int c.c_attempts)
+  end
+
+let handle_response spec sum now c line =
+  sum.s_responses <- sum.s_responses + 1;
+  match Client.parse_response line with
+  | Error msg ->
+      add_error sum
+        (Printf.sprintf "client %d (%s): unparseable response: %s" c.c_id
+           (kind_name c.c_kind) msg);
+      finish c
+  | Ok resp ->
+      let e = resp.Client.r_entry in
+      if Client.is_busy resp then
+        if e.Manifest.e_file = "<connect>" then conn_rejected sum now c
+        else begin
+          (* request-level rejection: structured, expected under load *)
+          sum.s_busy <- sum.s_busy + 1;
+          c.c_got <- c.c_got + 1
+        end
+      else begin
+        c.c_got <- c.c_got + 1;
+        match e.Manifest.e_status with
+        | Manifest.Failed ->
+            if Diag.has_code e.Manifest.e_diags "bad-request" then begin
+              sum.s_bad_request <- sum.s_bad_request + 1;
+              if c.c_kind <> Oversize then
+                add_error sum
+                  (Printf.sprintf "client %d (%s): unexpected bad-request"
+                     c.c_id (kind_name c.c_kind))
+            end
+            else begin
+              sum.s_failures <- sum.s_failures + 1;
+              add_error sum
+                (Printf.sprintf "client %d (%s): compile failed" c.c_id
+                   (kind_name c.c_kind))
+            end
+        | Manifest.Success | Manifest.Degraded -> (
+            sum.s_ok <- sum.s_ok + 1;
+            (* shared kernels must be bit-identical to the in-process
+               reference — the same answer standalone plutocc gives *)
+            match List.assoc_opt c.c_kernel spec.ws_expected with
+            | None -> ()
+            | Some expected ->
+                if e.Manifest.e_code = Some expected then
+                  sum.s_parity_ok <- sum.s_parity_ok + 1
+                else begin
+                  sum.s_parity_bad <- sum.s_parity_bad + 1;
+                  add_error sum
+                    (Printf.sprintf "client %d: %s response differs from \
+                                     standalone plutocc"
+                       c.c_id c.c_kernel)
+                end)
+      end
+
+let drain_lines spec sum now c =
+  let data = Buffer.contents c.c_rbuf in
+  let start = ref 0 in
+  let continue = ref true in
+  while !continue && c.c_state = Active do
+    match String.index_from_opt data !start '\n' with
+    | Some nl ->
+        let line = String.sub data !start (nl - !start) in
+        start := nl + 1;
+        if String.trim line <> "" then handle_response spec sum now c line
+    | None -> continue := false
+  done;
+  if c.c_state = Active || c.c_state = Connecting then begin
+    let data_len = String.length data in
+    Buffer.clear c.c_rbuf;
+    if c.c_state = Active && !start < data_len then
+      Buffer.add_substring c.c_rbuf data !start (data_len - !start)
+  end
+
+let try_connect sum now c socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () ->
+      Unix.set_nonblock fd;
+      c.c_fd <- Some fd;
+      c.c_state <- Active
+  | exception Unix.Unix_error (e, _, _) -> (
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (* a full backlog looks like ECONNREFUSED/EAGAIN: back off and retry
+         like a connection-level rejection *)
+      match e with
+      | Unix.ECONNREFUSED | Unix.EAGAIN | Unix.EINTR | Unix.ECONNRESET ->
+          conn_rejected sum now c
+      | _ ->
+          add_error sum
+            (Printf.sprintf "client %d: connect: %s" c.c_id
+               (Unix.error_message e));
+          c.c_state <- Finished)
+
+let client_wants_read c = c.c_state = Active && c.c_got < c.c_expect
+
+(* An oversize client has seen its structured answer once any response
+   arrived; the daemon closing afterwards is the contract, not an error. *)
+let sawed_off c = c.c_got >= 1
+
+let client_wants_write c =
+  c.c_state = Active
+  && (not c.c_write_dead)
+  && c.c_send_pos < String.length c.c_send
+
+let run_worker (spec : worker_spec) : summary =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let sum = new_summary () in
+  let clients = List.map (make_client spec) spec.ws_ids in
+  sum.s_clients <- List.length clients;
+  List.iter
+    (fun c ->
+      sum.s_requests <-
+        (sum.s_requests + if c.c_kind = Oversize then 1 else c.c_expect))
+    clients;
+  let chunk = Bytes.create 65536 in
+  let t_end = Unix.gettimeofday () +. spec.ws_deadline_s in
+  let live () = List.exists (fun c -> c.c_state <> Finished) clients in
+  while live () && Unix.gettimeofday () < t_end do
+    let now = Unix.gettimeofday () in
+    (* connect whoever is due *)
+    List.iter
+      (fun c ->
+        if c.c_state = Connecting && now >= c.c_next_at then
+          try_connect sum now c spec.ws_socket)
+      clients;
+    let reads =
+      List.filter_map
+        (fun c ->
+          if client_wants_read c && now >= c.c_next_at then c.c_fd else None)
+        clients
+    in
+    let writes =
+      List.filter_map
+        (fun c -> if client_wants_write c then c.c_fd else None)
+        clients
+    in
+    (if reads = [] && writes = [] then
+       (* everyone is backing off; sleep until the earliest wake-up *)
+       let wake =
+         List.fold_left
+           (fun acc c ->
+             if c.c_state = Finished then acc else Float.min acc c.c_next_at)
+           (now +. 0.05) clients
+       in
+       (if wake > now then Unix.sleepf (Float.min 0.05 (wake -. now)))
+     else
+      match Unix.select reads writes [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready_r, ready_w, _ ->
+          let now = Unix.gettimeofday () in
+          List.iter
+            (fun c ->
+              match c.c_fd with
+              | Some fd when List.memq fd ready_w && client_wants_write c -> (
+                  let len = String.length c.c_send - c.c_send_pos in
+                  match Unix.write_substring fd c.c_send c.c_send_pos len with
+                  | n -> c.c_send_pos <- c.c_send_pos + n
+                  | exception
+                      Unix.Unix_error
+                        ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                    ->
+                      ()
+                  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _)
+                    ->
+                      (* daemon closed on us mid-send; whatever it already
+                         answered is still readable *)
+                      c.c_write_dead <- true
+                  | exception Unix.Unix_error (e, _, _) ->
+                      add_error sum
+                        (Printf.sprintf "client %d: write: %s" c.c_id
+                           (Unix.error_message e));
+                      finish c)
+              | _ -> ())
+            clients;
+          List.iter
+            (fun c ->
+              match c.c_fd with
+              | Some fd when List.memq fd ready_r && client_wants_read c -> (
+                  (* slow readers nibble and then sit out a beat *)
+                  let want =
+                    if c.c_kind = Slow then 512 else Bytes.length chunk
+                  in
+                  match Unix.read fd chunk 0 want with
+                  | exception
+                      Unix.Unix_error
+                        ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                    ->
+                      ()
+                  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+                      if c.c_kind = Oversize && sawed_off c then finish c
+                      else conn_rejected sum now c
+                  | 0 ->
+                      (* EOF: fine for an oversize client that got its
+                         bad-request, or a connection-level rejection that
+                         arrived without a line; early EOF otherwise *)
+                      if c.c_kind = Oversize && sawed_off c then finish c
+                      else if c.c_got < c.c_expect then conn_rejected sum now c
+                      else finish c
+                  | n ->
+                      Buffer.add_subbytes c.c_rbuf chunk 0 n;
+                      drain_lines spec sum now c;
+                      if c.c_kind = Slow && c.c_state = Active then
+                        c.c_next_at <- now +. 0.002)
+              | _ -> ())
+            clients);
+    (* completion sweep — every iteration, since a client can finish its
+       last response on one pass and see no further readiness *)
+    List.iter
+      (fun c ->
+        if
+          c.c_state = Active
+          && c.c_got >= c.c_expect
+          && (c.c_write_dead
+             || c.c_send_pos >= String.length c.c_send
+             || c.c_kind = Oversize)
+        then finish c)
+      clients
+  done;
+  List.iter
+    (fun c ->
+      if c.c_state <> Finished then begin
+        add_error sum
+          (Printf.sprintf "client %d (%s): timed out with %d/%d responses"
+             c.c_id (kind_name c.c_kind) c.c_got c.c_expect);
+        finish c
+      end)
+    clients;
+  sum
+
+(* ------------------------------ orchestration ----------------------------- *)
+
+let merge_summaries sums =
+  let t = new_summary () in
+  List.iter
+    (fun s ->
+      t.s_clients <- t.s_clients + s.s_clients;
+      t.s_requests <- t.s_requests + s.s_requests;
+      t.s_responses <- t.s_responses + s.s_responses;
+      t.s_ok <- t.s_ok + s.s_ok;
+      t.s_parity_ok <- t.s_parity_ok + s.s_parity_ok;
+      t.s_parity_bad <- t.s_parity_bad + s.s_parity_bad;
+      t.s_busy <- t.s_busy + s.s_busy;
+      t.s_conn_busy <- t.s_conn_busy + s.s_conn_busy;
+      t.s_gave_up <- t.s_gave_up + s.s_gave_up;
+      t.s_bad_request <- t.s_bad_request + s.s_bad_request;
+      t.s_failures <- t.s_failures + s.s_failures;
+      t.s_errors <- s.s_errors @ t.s_errors)
+    sums;
+  t
+
+let summary_json t ~warm_parity ~worker_failures =
+  Printf.sprintf
+    "{\"clients\": %d, \"requests\": %d, \"responses\": %d, \"ok\": %d, \
+     \"parity_ok\": %d, \"parity_bad\": %d, \"busy\": %d, \"conn_busy\": %d, \
+     \"gave_up\": %d, \"bad_request\": %d, \"failures\": %d, \
+     \"worker_failures\": %d, \"warm_parity\": %s, \"errors\": [%s]}"
+    t.s_clients t.s_requests t.s_responses t.s_ok t.s_parity_ok t.s_parity_bad
+    t.s_busy t.s_conn_busy t.s_gave_up t.s_bad_request t.s_failures
+    worker_failures
+    (if warm_parity then "true" else "false")
+    (String.concat ", "
+       (List.map Manifest.json_string (List.rev t.s_errors)))
+
+(* The reference: exactly what the daemon's compile task (and standalone
+   plutocc) produces for this source under default options. *)
+let reference_code ~name ~source =
+  match
+    Driver.compile_source_robust ~options:Driver.default_options ~strict:false
+      ~verify:false ~name source
+  with
+  | Error _ -> None
+  | Ok (r, _) ->
+      Some
+        (Format.asprintf "%a" (fun fmt c -> Codegen.print_c fmt c)
+           r.Driver.code)
+
+let shared_kernels () =
+  [ Kernels.matmul; Kernels.jacobi_1d; Kernels.mvt ]
+  |> List.map (fun k -> (k.Kernels.name ^ ".c", k.Kernels.source))
+
+let main socket clients workers pipeline slow_requests n_oversize n_slow
+    n_unique deadline json_out =
+  let kernels = shared_kernels () in
+  let expected =
+    List.filter_map
+      (fun (name, source) ->
+        Option.map (fun c -> (name, c)) (reference_code ~name ~source))
+      kernels
+  in
+  if List.length expected <> List.length kernels then begin
+    prerr_endline "loadgen: in-process reference compile failed";
+    exit 1
+  end;
+  let ids = Putil.range clients in
+  let workers = max 1 workers in
+  let spec_of ws_ids =
+    {
+      ws_socket = socket;
+      ws_ids;
+      ws_n_oversize = n_oversize;
+      ws_n_slow = n_slow;
+      ws_n_unique = n_unique;
+      ws_pipeline = max 1 pipeline;
+      ws_slow_requests = max 1 slow_requests;
+      ws_kernels = kernels;
+      ws_expected = expected;
+      ws_deadline_s = deadline;
+    }
+  in
+  (* deal ids round-robin so every worker gets a slice of every kind *)
+  let buckets = Array.make workers [] in
+  List.iter (fun i -> buckets.(i mod workers) <- i :: buckets.(i mod workers)) ids;
+  let specs =
+    Array.to_list buckets
+    |> List.filter_map (fun ids ->
+           if ids = [] then None else Some (spec_of (List.rev ids)))
+  in
+  let outcomes =
+    Pool.map ~jobs:workers ~task_timeout_s:(deadline +. 30.0) ~retries:0
+      ~f:run_worker specs
+  in
+  let sums, worker_failures =
+    List.fold_left
+      (fun (acc, fails) (o : summary Pool.outcome) ->
+        match o.Pool.value with
+        | Ok s -> (s :: acc, fails)
+        | Error d ->
+            prerr_endline
+              (Format.asprintf "loadgen: worker failed: %a" Diag.pp d);
+            (acc, fails + 1))
+      ([], 0) outcomes
+  in
+  let total = merge_summaries sums in
+  (* warm pass: after the storm, the shared kernels must come back cached
+     and bit-identical on a fresh connection *)
+  let warm_parity =
+    List.for_all
+      (fun (name, source) ->
+        match
+          Client.compile ~socket ~options:Driver.default_options ~name
+            ~source ()
+        with
+        | `No_daemon ->
+            prerr_endline "loadgen: daemon gone before the warm pass";
+            false
+        | `Daemon (Error msg) ->
+            prerr_endline ("loadgen: warm pass protocol error: " ^ msg);
+            false
+        | `Daemon (Ok resp) ->
+            let e = resp.Client.r_entry in
+            let expect = List.assoc name expected in
+            if Client.is_busy resp then begin
+              prerr_endline "loadgen: daemon still busy on the warm pass";
+              false
+            end
+            else if e.Manifest.e_code <> Some expect then begin
+              prerr_endline
+                ("loadgen: warm response for " ^ name
+               ^ " differs from standalone plutocc");
+              false
+            end
+            else true)
+      kernels
+  in
+  let json = summary_json total ~warm_parity ~worker_failures in
+  print_endline json;
+  (match json_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc json;
+          output_char oc '\n'));
+  if
+    total.s_parity_bad = 0 && total.s_failures = 0 && total.s_errors = []
+    && worker_failures = 0 && warm_parity && total.s_ok > 0
+  then 0
+  else 1
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket of the running plutod.")
+
+let clients_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "clients" ] ~docv:"N" ~doc:"Total concurrent clients.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "workers" ] ~docv:"P"
+        ~doc:"Forked generator processes sharing the clients.")
+
+let pipeline_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "pipeline" ] ~docv:"B"
+        ~doc:"Requests sent in one burst by each pipelining client.")
+
+let slow_requests_arg =
+  Arg.(
+    value & opt int 150
+    & info [ "slow-requests" ] ~docv:"R"
+        ~doc:
+          "Cached requests each slow-reader client pipelines before \
+           draining the responses in 512-byte nibbles.")
+
+let oversize_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "oversize" ] ~docv:"N" ~doc:"Clients sending oversize requests.")
+
+let slow_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "slow" ] ~docv:"N" ~doc:"Slow-reader clients.")
+
+let unique_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "unique" ] ~docv:"N"
+        ~doc:"Clients compiling a unique source variant (real compile jobs).")
+
+let deadline_arg =
+  Arg.(
+    value & opt float 300.0
+    & info [ "deadline" ] ~docv:"S"
+        ~doc:"Per-worker wall-clock budget; stragglers are reported.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Also write the JSON summary here.")
+
+let cmd =
+  let doc = "concurrent load generator for the plutod daemon" in
+  let info = Cmd.info "loadgen" ~version:"1.0" ~doc in
+  Cmd.v info
+    Term.(
+      const main $ socket_arg $ clients_arg $ workers_arg $ pipeline_arg
+      $ slow_requests_arg $ oversize_arg $ slow_arg $ unique_arg
+      $ deadline_arg $ json_arg)
+
+let () = exit (Cmd.eval' cmd)

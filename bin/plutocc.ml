@@ -161,6 +161,15 @@ let run_batch_daemon fd ~files ~output ~options ~strict ~verify
               Client.compile_fd fd ?deadline_s:batch_timeout ~strict ~verify
                 ~options ~name:file ~source:src ()
             with
+            | Ok resp when Client.is_busy resp ->
+                render
+                  [
+                    Diag.note ~code:"server-busy"
+                      (Printf.sprintf
+                         "daemon is at capacity for %s; compiling locally"
+                         file);
+                  ];
+                compile_local file src t1
             | Ok resp -> { resp.Client.r_entry with Batch.e_file = file }
             | Error msg ->
                 render
@@ -268,6 +277,15 @@ let run files output show_deps show_transform no_tile tile_size no_parallel
         | `Daemon (Error msg) ->
             render [ Diag.errorf ~code:"server" "daemon protocol error: %s" msg ];
             Some 1
+        | `Daemon (Ok resp) when Client.is_busy resp ->
+            (* admission rejection, not a compile failure: the daemon asked
+               us to go away, so take the same road as `No_daemon *)
+            render
+              [
+                Diag.note ~code:"server-busy"
+                  "daemon is at capacity; compiling locally";
+              ];
+            None
         | `Daemon (Ok resp) ->
             let e = resp.Client.r_entry in
             render ~src e.Batch.e_diags;

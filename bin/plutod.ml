@@ -30,8 +30,9 @@ let parse_size spec =
 
 let default_socket = Filename.concat (Filename.get_temp_dir_name ()) "plutod.sock"
 
-let run socket tcp_port jobs cache_dir cache_size deadline result_cache stats
-    ping query_stats request_shutdown =
+let run socket tcp_port jobs cache_dir cache_size deadline result_cache
+    max_connections max_pipeline max_queue max_request_bytes max_output_bytes
+    solver_cache_entries stats ping query_stats request_shutdown =
   if ping then
     if Client.ping ~socket then begin
       print_endline "pong";
@@ -68,13 +69,36 @@ let run socket tcp_port jobs cache_dir cache_size deadline result_cache stats
               ("plutod: --cache-size: " ^ spec
              ^ " is not a positive size (try 64M, 512K, 2G)");
             exit 1));
+    let size_flag flag spec =
+      match parse_size spec with
+      | Some bytes -> bytes
+      | None ->
+          prerr_endline
+            (Printf.sprintf
+               "plutod: %s: %s is not a positive size (try 64K, 8M)" flag
+               spec);
+          exit 1
+    in
+    let d = Server.default_config ~socket_path:socket in
     let cfg =
       {
-        (Server.default_config ~socket_path:socket) with
+        d with
         Server.tcp_port;
         jobs = max 1 jobs;
         default_deadline_s = deadline;
         result_cache_entries = max 1 result_cache;
+        max_connections = max 1 max_connections;
+        max_pipeline = max 1 max_pipeline;
+        max_queue = max 1 max_queue;
+        max_request_bytes =
+          (match max_request_bytes with
+          | None -> d.Server.max_request_bytes
+          | Some spec -> size_flag "--max-request-bytes" spec);
+        max_output_bytes =
+          (match max_output_bytes with
+          | None -> d.Server.max_output_bytes
+          | Some spec -> size_flag "--max-output-bytes" spec);
+        solver_cache_entries;
       }
     in
     match Server.run cfg with
@@ -141,6 +165,67 @@ let result_cache_arg =
     & info [ "result-cache" ] ~docv:"N"
         ~doc:"Keep up to N finished compile results in the in-memory LRU.")
 
+let max_connections_arg =
+  Arg.(
+    value & opt int 768
+    & info [ "max-connections" ] ~docv:"N"
+        ~doc:
+          "Serve at most N concurrent client connections (default 768 — \
+           select() tops out at 1024 descriptors).  A connection over the \
+           cap is answered with one structured server-busy line and \
+           closed; clients fall back to local compilation.")
+
+let max_pipeline_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "max-pipeline" ] ~docv:"N"
+        ~doc:
+          "Allow at most N outstanding (unanswered) requests per \
+           connection; further pipelined requests get a structured \
+           server-busy response until responses drain.")
+
+let max_queue_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Queue at most N compile jobs waiting for a worker, globally; a \
+           request that would queue a new job beyond that gets server-busy \
+           (cache hits and requests joining an in-flight compile are \
+           always admitted).")
+
+let max_request_bytes_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "max-request-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Reject request lines longer than this (default 8M; K/M/G \
+           suffixes accepted) with a structured bad-request response and \
+           close the connection — bounds the per-connection input buffer.")
+
+let max_output_bytes_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "max-output-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Stop reading from a connection whose unread responses exceed \
+           this (default 4M; K/M/G suffixes accepted) until the client \
+           drains them — backpressure that bounds the per-connection \
+           output buffer against slow readers.")
+
+let solver_cache_entries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "solver-cache-entries" ] ~docv:"N"
+        ~doc:
+          "Cap each in-memory solver cache (LP, integer feasibility, \
+           emptiness — the tables kept hot across forked workers) at N \
+           entries, evicting least-recently-used entries past the cap \
+           (counter server.cache_evicted).  Default: 100000 per table.")
+
 let stats_arg =
   Arg.(
     value & flag
@@ -172,7 +257,10 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ socket_arg $ tcp_arg $ jobs_arg $ cache_dir_arg
-      $ cache_size_arg $ deadline_arg $ result_cache_arg $ stats_arg
-      $ ping_arg $ query_stats_arg $ request_shutdown_arg)
+      $ cache_size_arg $ deadline_arg $ result_cache_arg
+      $ max_connections_arg $ max_pipeline_arg $ max_queue_arg
+      $ max_request_bytes_arg $ max_output_bytes_arg
+      $ solver_cache_entries_arg $ stats_arg $ ping_arg $ query_stats_arg
+      $ request_shutdown_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,152 @@
+#!/bin/sh
+# Daemon (plutod) load test: bounded resources under a 1000-client storm.
+#
+# Starts plutod with deliberately tight caps (connections, pipelining,
+# queue, request/output bytes, solver-cache entries), then drives it with
+# bench/loadgen: >= 1000 concurrent clients mixing single-shot, pipelined,
+# slow-reader, oversize-request, and unique-source traffic.  Fails if:
+#   - loadgen reports any parity mismatch (accepted responses must be
+#     bit-identical to standalone plutocc), unexpected failure, or
+#     protocol error,
+#   - the daemon crashes (server.crashes > 0) or its peak RSS (VmHWM)
+#     exceeds the ceiling in ci/load-smoke-ceiling.json,
+#   - overload was not exercised: the run must produce structured
+#     rejections (server.busy_rejections > 0), bad-requests
+#     (server.bad_requests > 0), slow-reader stalls
+#     (server.slow_reader_stalls > 0), and solver-cache evictions
+#     (server.cache_evicted > 0) — otherwise the caps were never hit and
+#     the test proves nothing,
+#   - a warm pass after the storm needs more ILP solves than the ceiling
+#     (the solver caches must still be useful after eviction pressure), or
+#   - the daemon does not drain cleanly on --request-shutdown.
+set -eu
+
+cd "$(dirname "$0")/.."
+ceiling_file=ci/load-smoke-ceiling.json
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  rm -rf "$work"
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2> /dev/null || true
+}
+trap cleanup EXIT
+
+dune build bin/plutod.exe bench/loadgen.exe
+plutod=_build/default/bin/plutod.exe
+loadgen=_build/default/bench/loadgen.exe
+sock="$work/plutod.sock"
+
+# Pull `"name": <int>` out of a one-line JSON file (no jq dependency).
+counter() {
+  sed -n 's/.*"'"$1"'": \([0-9][0-9]*\).*/\1/p' "$2" | head -n 1
+}
+
+status=0
+
+# Tight caps so every bound is actually exercised by a 1000-client storm:
+# connections capped below the client count, a short pipeline window, a
+# small queue, a request-size limit the oversize clients exceed, an output
+# window the slow readers overflow, and a solver-cache budget the unique
+# sources bust.
+"$plutod" --socket "$sock" --jobs 2 --cache-dir "$work/cache" \
+  --max-connections 512 --max-pipeline 4 --max-queue 8 \
+  --max-request-bytes 64K --max-output-bytes 4K --solver-cache-entries 64 &
+daemon_pid=$!
+i=0
+while [ ! -S "$sock" ] && [ $i -lt 150 ]; do sleep 0.1; i=$((i + 1)); done
+if ! "$plutod" --socket "$sock" --ping > /dev/null; then
+  echo "load-smoke: FAIL: daemon did not come up on $sock" >&2
+  exit 1
+fi
+
+if "$loadgen" --socket "$sock" --clients 1000 --workers 8 \
+  --json "$work/loadgen.json" > "$work/loadgen.out" 2> "$work/loadgen.err"; then
+  echo "load-smoke: ok: loadgen pass clean"
+  cat "$work/loadgen.out"
+else
+  echo "load-smoke: FAIL: loadgen reported errors" >&2
+  cat "$work/loadgen.out" "$work/loadgen.err" >&2
+  status=1
+fi
+
+# the daemon must have survived the storm
+if ! kill -0 "$daemon_pid" 2> /dev/null; then
+  echo "load-smoke: FAIL: daemon died during the load test" >&2
+  exit 1
+fi
+
+# peak RSS stays under the checked-in ceiling
+rss_kb=$(awk '/VmHWM/ {print $2}' "/proc/$daemon_pid/status" 2> /dev/null || echo "")
+rss_ceiling=$(counter "max_rss_kb" "$ceiling_file")
+if [ -z "$rss_kb" ]; then
+  echo "load-smoke: skip: no /proc/$daemon_pid/status (not linux?)"
+elif [ "$rss_kb" -gt "$rss_ceiling" ]; then
+  echo "load-smoke: FAIL: daemon peak RSS ${rss_kb}kB over ceiling ${rss_ceiling}kB" >&2
+  status=1
+else
+  echo "load-smoke: ok: daemon peak RSS ${rss_kb}kB (ceiling ${rss_ceiling}kB)"
+fi
+
+"$plutod" --socket "$sock" --query-stats > "$work/stats.json"
+
+# zero tolerance: no unhandled exceptions in the event loop
+crashes=$(counter "server.crashes" "$work/stats.json")
+if [ "${crashes:-0}" -gt 0 ]; then
+  echo "load-smoke: FAIL: server.crashes = $crashes" >&2
+  status=1
+else
+  echo "load-smoke: ok: server.crashes = 0"
+fi
+
+# every cap must actually have fired, or the storm proved nothing
+for c in server.busy_rejections server.bad_requests \
+  server.slow_reader_stalls server.cache_evicted; do
+  v=$(counter "$c" "$work/stats.json")
+  if [ "${v:-0}" -gt 0 ]; then
+    echo "load-smoke: ok: $c = $v"
+  else
+    echo "load-smoke: FAIL: $c = ${v:-0} (cap never exercised)" >&2
+    status=1
+  fi
+done
+
+# warm pass after the storm: the shared kernels must still be served from
+# cache — the solver-cache eviction may not have wiped the daemon's value
+solves_before=$(counter "milp.solves" "$work/stats.json")
+"$loadgen" --socket "$sock" --clients 12 --workers 2 \
+  --oversize 0 --slow 0 --unique 0 > "$work/warm.out" || {
+  echo "load-smoke: FAIL: warm pass after the storm failed" >&2
+  cat "$work/warm.out" >&2
+  status=1
+}
+"$plutod" --socket "$sock" --query-stats > "$work/stats-warm.json"
+solves_after=$(counter "milp.solves" "$work/stats-warm.json")
+warm_delta=$((${solves_after:-0} - ${solves_before:-0}))
+warm_ceiling=$(counter "milp.solves" "$ceiling_file")
+if [ "$warm_delta" -gt "$warm_ceiling" ]; then
+  echo "load-smoke: FAIL: warm pass did $warm_delta ILP solves (ceiling $warm_ceiling)" >&2
+  status=1
+else
+  echo "load-smoke: ok: warm pass did $warm_delta ILP solves (ceiling $warm_ceiling)"
+fi
+
+# graceful drain: acknowledged, exit 0, socket file gone
+if ! "$plutod" --socket "$sock" --request-shutdown; then
+  echo "load-smoke: FAIL: daemon did not acknowledge shutdown" >&2
+  status=1
+fi
+if wait "$daemon_pid"; then
+  echo "load-smoke: ok: daemon drained and exited 0"
+else
+  echo "load-smoke: FAIL: daemon exited non-zero" >&2
+  status=1
+fi
+daemon_pid=""
+if [ -e "$sock" ]; then
+  echo "load-smoke: FAIL: socket file left behind after drain" >&2
+  status=1
+else
+  echo "load-smoke: ok: socket file removed"
+fi
+
+exit $status

@@ -93,6 +93,20 @@ val feasible_cached :
 (** Drop all memoized feasibility results. *)
 val clear_caches : unit -> unit
 
+(** {2 Cache bounds}
+
+    The lp/feasibility tables are LRU-bounded: every entry carries a
+    recency tick, and an insert that pushes a table past the budget evicts
+    the least-recently-used entries (counter [milp.cache_evictions]).
+    Long-lived daemons size this with [--solver-cache-entries]. *)
+
+(** [set_cache_budget n] caps {e each} in-memory solver cache at [n]
+    entries (clamped to at least 16; default 100_000). *)
+val set_cache_budget : int -> unit
+
+(** Total live entries across the lp and feasibility caches. *)
+val cache_entry_count : unit -> int
+
 (** {2 Cache journaling}
 
     Support for long-lived servers whose forked workers inherit the parent's
@@ -114,10 +128,11 @@ val take_cache_journal : unit -> cache_journal
 (** Number of entries carried by a journal. *)
 val cache_journal_length : cache_journal -> int
 
-(** Replay a journal into the in-memory caches.  Existing keys win (the
-    journal was computed from the same pure functions, so values agree);
-    entries beyond the caches' reset threshold are dropped. *)
-val absorb_cache_journal : cache_journal -> unit
+(** Replay a journal into the in-memory caches and return how many entries
+    the post-absorb LRU trim evicted to stay under the budget.  Existing
+    keys win (the journal was computed from the same pure functions, so
+    values agree). *)
+val absorb_cache_journal : cache_journal -> int
 
 (** [lexmin ?nonneg sys] is the lexicographically smallest integer point of
     [sys] (minimizing variable 0 first, then variable 1, ...), or [None] if

@@ -323,11 +323,39 @@ let is_empty_rational t =
    in-memory miss additionally consults the on-disk store before falling
    back to elimination, so repeated compilations across processes — batch
    workers, CI reruns — amortize the work too. *)
-let empty_cache : (string, bool) Hashtbl.t = Hashtbl.create 1024
+let empty_cache : (string, bool * int ref) Hashtbl.t = Hashtbl.create 1024
 
 let empty_cache_enabled = ref true
 let set_empty_cache b = empty_cache_enabled := b
 let clear_caches () = Hashtbl.reset empty_cache
+
+(* Entry budget + LRU eviction, mirroring {!Milp}: entries carry a recency
+   tick; when an insert pushes the table past the budget the oldest entries
+   are trimmed to a slack below it (amortizing the O(n log n) scan) and
+   "poly.cache_evictions" counts the drops.  Daemons size this with
+   --solver-cache-entries; the default preserves the historical 100k
+   threshold without the old whole-table reset. *)
+let cache_budget = ref 100_000
+let set_cache_budget n = cache_budget := max 16 n
+let cache_tick = ref 0
+
+let next_tick () =
+  incr cache_tick;
+  !cache_tick
+
+let trim_cache () =
+  let b = !cache_budget in
+  if Hashtbl.length empty_cache <= b then 0
+  else begin
+    let evicted =
+      Putil.Lru.trim empty_cache ~budget:(b - (b / 8))
+        ~tick:(fun (_, t) -> !t)
+    in
+    Stats.add "poly.cache_evictions" evicted;
+    evicted
+  end
+
+let cache_entry_count () = Hashtbl.length empty_cache
 
 (* Journal of freshly added entries for daemon workers — see the matching
    API in {!Milp}: the worker ships the delta back and the parent absorbs
@@ -351,11 +379,10 @@ let cache_journal_length = List.length
 let absorb_cache_journal j =
   List.iter
     (fun (k, e) ->
-      if
-        (not (Hashtbl.mem empty_cache k))
-        && Hashtbl.length empty_cache <= 100_000
-      then Hashtbl.add empty_cache k e)
-    j
+      if not (Hashtbl.mem empty_cache k) then
+        Hashtbl.add empty_cache k (e, ref (next_tick ())))
+    j;
+  trim_cache ()
 
 let store_kind = "poly-empty"
 
@@ -369,8 +396,9 @@ let is_empty_cached ?(integer = false) t =
           (if integer then "i:" else "q:") ^ string_of_int c.nvars ^ digest c
         in
         match Hashtbl.find_opt empty_cache k with
-        | Some e ->
+        | Some (e, tick) ->
             Stats.incr "poly.empty_cache_hits";
+            tick := next_tick ();
             e
         | None ->
             Stats.incr "poly.empty_cache_misses";
@@ -382,9 +410,8 @@ let is_empty_cached ?(integer = false) t =
                   Store.write ~kind:store_kind ~key:k e;
                   e
             in
-            if Hashtbl.length empty_cache > 100_000 then
-              Hashtbl.reset empty_cache;
-            Hashtbl.add empty_cache k e;
+            Hashtbl.replace empty_cache k (e, ref (next_tick ()));
+            ignore (trim_cache ());
             if !cache_journal_on then empty_journal := (k, e) :: !empty_journal;
             e
       end

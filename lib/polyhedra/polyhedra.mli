@@ -125,6 +125,15 @@ val set_empty_cache : bool -> unit
 (** Drop all memoized emptiness results. *)
 val clear_caches : unit -> unit
 
+(** [set_cache_budget n] caps the emptiness cache at [n] entries (clamped
+    to at least 16; default 100_000), evicting least-recently-used entries
+    past the budget (counter [poly.cache_evictions]) — same contract as
+    {!Milp.set_cache_budget}. *)
+val set_cache_budget : int -> unit
+
+(** Live entries in the emptiness cache. *)
+val cache_entry_count : unit -> int
+
 (** {2 Cache journaling} — same contract as the matching {!Milp} API: with
     journaling on, freshly computed emptiness answers are also recorded in a
     journal that a forked worker can take and ship to its parent, which
@@ -136,7 +145,10 @@ type cache_journal
 val set_cache_journal : bool -> unit
 val take_cache_journal : unit -> cache_journal
 val cache_journal_length : cache_journal -> int
-val absorb_cache_journal : cache_journal -> unit
+
+(** Replays the journal, then LRU-trims to the configured budget; returns
+    the number of entries evicted by that trim. *)
+val absorb_cache_journal : cache_journal -> int
 
 (** {1 Queries} *)
 

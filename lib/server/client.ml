@@ -35,6 +35,10 @@ let recv_line fd =
   let rec go () =
     match Unix.read fd chunk 0 (Bytes.length chunk) with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (e, _, _) ->
+        (* a daemon hangup (reset mid-read) is a first-class answer, like
+           EOF — callers fall back to local compilation *)
+        Error ("read failed: " ^ Unix.error_message e)
     | 0 ->
         if Buffer.length buf = 0 then Error "connection closed by daemon"
         else Ok (Buffer.contents buf)
@@ -83,6 +87,10 @@ let parse_response raw =
                 Manifest.Json.bool_mem "coalesced" j ~default:false;
               r_raw = raw;
             })
+
+let is_busy (r : response) =
+  r.r_entry.Manifest.e_status = Manifest.Failed
+  && Diag.has_code r.r_entry.Manifest.e_diags "server-busy"
 
 let compile_fd fd ?deadline_s ?strict ?verify ~options ~name ~source () =
   let req =

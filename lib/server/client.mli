@@ -13,6 +13,17 @@ type response = {
   r_raw : string;  (** the response line as received *)
 }
 
+(** [is_busy r] — the daemon rejected this request at admission (code
+    ["server-busy"]: connection, pipelining, or queue cap).  Callers
+    should treat it like [`No_daemon] and compile locally: the result is
+    an overload signal, never a compile failure. *)
+val is_busy : response -> bool
+
+(** Decode one response line into a {!response}.  Exposed for clients
+    that multiplex their own sockets (the load generator) instead of
+    using the synchronous helpers below. *)
+val parse_response : string -> (response, string) result
+
 (** Connect to the daemon; [None] when nothing is listening (absent or
     stale socket). *)
 val connect : string -> Unix.file_descr option

@@ -3,7 +3,14 @@
    (request lines in, response lines out), and the pipes of forked compile
    workers ({!Pool.start} handles).  All compile work happens in workers;
    the loop itself only parses, hashes, caches, and shuffles bytes, so one
-   slow compile never blocks another client's cache hit. *)
+   slow compile never blocks another client's cache hit.
+
+   Every resource here is bounded (DESIGN.md §15): connections, queued
+   jobs, per-connection pipelining, the input buffer, and the output
+   buffer all have configured caps.  Overflow never kills the daemon and
+   never grows memory: admission overflow answers with a structured
+   [server-busy] entry, oversize requests with [bad-request], and a slow
+   reader simply stops being read from until its output drains. *)
 
 let protocol_version = "plutod-v1"
 
@@ -14,6 +21,12 @@ type config = {
   options : Driver.options;
   default_deadline_s : float option;
   result_cache_entries : int;
+  max_connections : int;
+  max_pipeline : int;
+  max_queue : int;
+  max_request_bytes : int;
+  max_output_bytes : int;
+  solver_cache_entries : int option;
 }
 
 let default_config ~socket_path =
@@ -24,6 +37,14 @@ let default_config ~socket_path =
     options = Driver.default_options;
     default_deadline_s = None;
     result_cache_entries = 256;
+    (* [Unix.select] tops out at FD_SETSIZE (1024) descriptors; leave room
+       for listeners and worker pipes below it. *)
+    max_connections = 768;
+    max_pipeline = 32;
+    max_queue = 256;
+    max_request_bytes = 8 * 1024 * 1024;
+    max_output_bytes = 4 * 1024 * 1024;
+    solver_cache_entries = None;
   }
 
 (* ------------------------------ request digest ---------------------------- *)
@@ -107,13 +128,28 @@ let store_kind = "server-result"
    from the head only. *)
 type slot = { mutable s_resp : string option }
 
+(* Output is staged in two pieces: [out_data]/[out_pos] is the flattened
+   front chunk currently being written (partial writes only advance the
+   offset — no re-copy), and [out] is a Buffer accumulating whatever was
+   produced since the last flatten.  [closing] connections have stopped
+   parsing input (their byte stream is corrupt or they were told to go
+   away) but still drain pending responses before the socket closes;
+   [stalled] marks a connection excluded from the read set because its
+   unread output exceeds the budget — the select-loop backpressure. *)
 type conn = {
   fd : Unix.file_descr;
   inbuf : Buffer.t;
   out : Buffer.t;
+  mutable out_data : string;
+  mutable out_pos : int;
   slots : slot Queue.t;
   mutable alive : bool;
+  mutable closing : bool;
+  mutable stalled : bool;
 }
+
+let pending_out conn =
+  String.length conn.out_data - conn.out_pos + Buffer.length conn.out
 
 type waiter = {
   w_conn : conn;
@@ -134,14 +170,17 @@ type job = {
 type state = {
   cfg : config;
   t_start : float;
-  mutable conns : conn list;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
   inflight : (string, job) Hashtbl.t;  (* digest -> job (queued or running) *)
-  mutable queue : job list;  (* FIFO, newest first (reversed on spawn) *)
+  queue : job Queue.t;  (* FIFO of jobs awaiting a worker *)
   mutable running : job list;
+  mutable n_running : int;
   lru : (string, cached * int ref) Hashtbl.t;
   mutable lru_tick : int;
   draining : bool ref;
 }
+
+let iter_conns st f = Hashtbl.iter (fun _ c -> f c) st.conns
 
 (* ------------------------------- responses -------------------------------- *)
 
@@ -198,6 +237,18 @@ let respond_result ?(cached = false) ?(coalesced = false) ?stats conn slot
 let error_entry ~name ~elapsed d =
   entry_of_result ~name ~elapsed { c_code = None; c_diags = [ d ]; c_rung = "none" }
 
+let busy_line ~name msg =
+  Manifest.entry_to_json ~include_code:true
+    ~extra:[ ("busy", "true") ]
+    (error_entry ~name ~elapsed:0.0 (Diag.errorf ~code:"server-busy" "%s" msg))
+
+(* A structured admission rejection: the request gets a normal Failed entry
+   whose diagnostic code is ["server-busy"], so clients can distinguish
+   "overloaded, try again / fall back locally" from a real compile error. *)
+let respond_busy conn slot ~name msg =
+  Stats.incr "server.busy_rejections";
+  respond conn slot (busy_line ~name msg)
+
 (* --------------------------------- LRU ------------------------------------ *)
 
 let lru_find st digest =
@@ -212,48 +263,48 @@ let lru_add st digest c =
   if not (Hashtbl.mem st.lru digest) then begin
     st.lru_tick <- st.lru_tick + 1;
     Hashtbl.replace st.lru digest (c, ref st.lru_tick);
-    if Hashtbl.length st.lru > st.cfg.result_cache_entries then begin
-      (* evict the least recently used entry (O(n) scan: the cache holds at
-         most [result_cache_entries] + 1 entries, n is small) *)
-      let victim =
-        Hashtbl.fold
-          (fun k (_, t) acc ->
-            match acc with
-            | Some (_, t') when !t' <= !t -> acc
-            | _ -> Some (k, t))
-          st.lru None
-      in
-      match victim with
-      | Some (k, _) -> Hashtbl.remove st.lru k
-      | None -> ()
-    end
+    if Hashtbl.length st.lru > st.cfg.result_cache_entries then
+      ignore
+        (Putil.Lru.trim st.lru ~budget:st.cfg.result_cache_entries
+           ~tick:(fun (_, t) -> !t))
   end
 
 (* ------------------------------ job lifecycle ----------------------------- *)
 
 let spawn_ready st =
   let now = Unix.gettimeofday () in
-  (* FIFO: oldest queued job first *)
+  (* FIFO: oldest queued job first; jobs whose waiters all disconnected
+     while queued are dropped instead of burning a worker *)
   let rec go () =
-    if List.length st.running < st.cfg.jobs && st.queue <> [] then begin
-      let rev = List.rev st.queue in
-      let job = List.hd rev in
-      st.queue <- List.rev (List.tl rev);
-      let task_timeout_s =
-        Option.map (fun d -> Float.max 0.001 (d -. now)) job.j_deadline
-      in
-      Stats.incr "server.compiles";
-      job.j_handle <-
-        Some (Pool.start ?task_timeout_s ~f:compile_task job.j_payload);
-      st.running <- job :: st.running;
-      go ()
+    if st.n_running < st.cfg.jobs && not (Queue.is_empty st.queue) then begin
+      let job = Queue.pop st.queue in
+      (* closing connections keep their waiters: their already-claimed
+         slots still get answered before the socket closes *)
+      job.j_waiters <- List.filter (fun w -> w.w_conn.alive) job.j_waiters;
+      if job.j_waiters = [] then begin
+        Hashtbl.remove st.inflight job.j_digest;
+        Stats.incr "server.jobs_abandoned";
+        go ()
+      end
+      else begin
+        let task_timeout_s =
+          Option.map (fun d -> Float.max 0.001 (d -. now)) job.j_deadline
+        in
+        Stats.incr "server.compiles";
+        job.j_handle <-
+          Some (Pool.start ?task_timeout_s ~f:compile_task job.j_payload);
+        st.running <- job :: st.running;
+        st.n_running <- st.n_running + 1;
+        go ()
+      end
     end
   in
   go ()
 
 let job_done st job =
   Hashtbl.remove st.inflight job.j_digest;
-  st.running <- List.filter (fun j -> j != job) st.running
+  st.running <- List.filter (fun j -> j != job) st.running;
+  st.n_running <- st.n_running - 1
 
 let answer_waiters job ~f =
   let now = Unix.gettimeofday () in
@@ -267,12 +318,14 @@ let finish_job st job (o : task_reply Pool.outcome) =
   job_done st job;
   match o.Pool.value with
   | Ok r ->
-      (* keep the daemon's solver caches hot for the next fork *)
+      (* keep the daemon's solver caches hot for the next fork; the absorb
+         itself LRU-trims the tables back under the configured budget *)
       Stats.add "server.cache_absorbed"
         (Milp.cache_journal_length r.t_milp_j
         + Polyhedra.cache_journal_length r.t_poly_j);
-      Milp.absorb_cache_journal r.t_milp_j;
-      Polyhedra.absorb_cache_journal r.t_poly_j;
+      Stats.add "server.cache_evicted"
+        (Milp.absorb_cache_journal r.t_milp_j
+        + Polyhedra.absorb_cache_journal r.t_poly_j);
       let c = { c_code = r.t_code; c_diags = r.t_diags; c_rung = r.t_rung } in
       if c.c_code <> None then begin
         lru_add st job.j_digest c;
@@ -319,96 +372,128 @@ let push_slot conn =
   s
 
 let bad_request conn msg =
+  Stats.incr "server.bad_requests";
   let slot = push_slot conn in
   respond_entry conn slot
     (error_entry ~name:"<request>" ~elapsed:0.0
        (Diag.errorf ~code:"bad-request" "%s" msg))
 
+(* Stop parsing this connection's input but let already-claimed slots be
+   answered and the output drain; the sweep in the main loop closes the
+   socket once both are empty.  Reads continue (and are discarded) so a
+   client hangup is still noticed immediately. *)
+let begin_close conn =
+  conn.closing <- true;
+  Buffer.clear conn.inbuf
+
 let handle_compile st conn j =
   let module J = Manifest.Json in
   let name = J.str_mem "name" j ~default:"<request>" in
-  match J.mem "source" j with
-  | Some (J.Str source) ->
-      let options =
-        match J.mem "options" j with
-        | Some (J.Obj _ as o) -> Manifest.options_of_json o
-        | _ -> st.cfg.options
-      in
-      let strict = J.bool_mem "strict" j ~default:false in
-      let verify = J.bool_mem "verify" j ~default:false in
-      let deadline_s =
-        match J.mem "deadline_s" j with
-        | Some (J.Num f) when f > 0.0 -> Some f
-        | _ -> st.cfg.default_deadline_s
-      in
-      let digest = request_digest ~options ~strict ~verify ~source in
-      let slot = push_slot conn in
-      let t0 = Unix.gettimeofday () in
-      let serve_cached c =
-        respond_result ~cached:true conn slot ~name
-          ~elapsed:(Unix.gettimeofday () -. t0)
-          c
-      in
-      (match lru_find st digest with
-      | Some c ->
-          Stats.incr "server.result_cache_hits";
-          serve_cached c
-      | None -> (
-          Stats.incr "server.result_cache_misses";
-          match
-            (Store.read_versioned ~version:protocol_version ~kind:store_kind
-               ~key:digest
-              : cached option)
-          with
-          | Some c ->
-              Stats.incr "server.result_store_hits";
-              lru_add st digest c;
-              serve_cached c
-          | None -> (
-              let waiter =
-                {
-                  w_conn = conn;
-                  w_slot = slot;
-                  w_name = name;
-                  w_t0 = t0;
-                  w_coalesced = Hashtbl.mem st.inflight digest;
-                }
-              in
-              match Hashtbl.find_opt st.inflight digest with
-              | Some job ->
-                  (* identical program+options already compiling (or queued):
-                     join it — one compile, every waiter answered from it *)
-                  Stats.incr "server.dedup_coalesced";
-                  job.j_waiters <- waiter :: job.j_waiters
-              | None ->
-                  let job =
-                    {
-                      j_digest = digest;
-                      j_payload =
+  (* per-connection pipelining cap: [slots] holds every request not yet
+     answered-and-flushed, so its length is this client's outstanding debt *)
+  if Queue.length conn.slots >= st.cfg.max_pipeline then
+    respond_busy conn (push_slot conn) ~name
+      (Printf.sprintf
+         "per-connection pipelining limit (%d outstanding requests) reached"
+         st.cfg.max_pipeline)
+  else
+    match J.mem "source" j with
+    | Some (J.Str source) ->
+        let options =
+          match J.mem "options" j with
+          | Some (J.Obj _ as o) -> Manifest.options_of_json o
+          | _ -> st.cfg.options
+        in
+        let strict = J.bool_mem "strict" j ~default:false in
+        let verify = J.bool_mem "verify" j ~default:false in
+        let deadline_s =
+          match J.mem "deadline_s" j with
+          | Some (J.Num f) when f > 0.0 -> Some f
+          | _ -> st.cfg.default_deadline_s
+        in
+        let digest = request_digest ~options ~strict ~verify ~source in
+        let slot = push_slot conn in
+        let t0 = Unix.gettimeofday () in
+        let serve_cached c =
+          respond_result ~cached:true conn slot ~name
+            ~elapsed:(Unix.gettimeofday () -. t0)
+            c
+        in
+        (match lru_find st digest with
+        | Some c ->
+            Stats.incr "server.result_cache_hits";
+            serve_cached c
+        | None -> (
+            Stats.incr "server.result_cache_misses";
+            match
+              (Store.read_versioned ~version:protocol_version ~kind:store_kind
+                 ~key:digest
+                : cached option)
+            with
+            | Some c ->
+                Stats.incr "server.result_store_hits";
+                lru_add st digest c;
+                serve_cached c
+            | None -> (
+                let waiter =
+                  {
+                    w_conn = conn;
+                    w_slot = slot;
+                    w_name = name;
+                    w_t0 = t0;
+                    w_coalesced = Hashtbl.mem st.inflight digest;
+                  }
+                in
+                match Hashtbl.find_opt st.inflight digest with
+                | Some job ->
+                    (* identical program+options already compiling (or
+                       queued): join it — one compile, every waiter answered
+                       from it *)
+                    Stats.incr "server.dedup_coalesced";
+                    job.j_waiters <- waiter :: job.j_waiters
+                | None ->
+                    (* global admission cap: joining an in-flight compile is
+                       free, but a *new* job needs queue room *)
+                    if Queue.length st.queue >= st.cfg.max_queue then
+                      respond_busy conn slot ~name
+                        (Printf.sprintf
+                           "compile queue full (%d jobs queued); retry or \
+                            compile locally"
+                           st.cfg.max_queue)
+                    else begin
+                      let job =
                         {
-                          q_name = name;
-                          q_source = source;
-                          q_options = options;
-                          q_strict = strict;
-                          q_verify = verify;
-                        };
-                      j_waiters = [ waiter ];
-                      j_handle = None;
-                      j_deadline =
-                        Option.map (fun s -> t0 +. s) deadline_s;
-                    }
-                  in
-                  Hashtbl.add st.inflight digest job;
-                  st.queue <- job :: st.queue)))
-  | _ -> bad_request conn "compile request lacks a \"source\" string"
+                          j_digest = digest;
+                          j_payload =
+                            {
+                              q_name = name;
+                              q_source = source;
+                              q_options = options;
+                              q_strict = strict;
+                              q_verify = verify;
+                            };
+                          j_waiters = [ waiter ];
+                          j_handle = None;
+                          j_deadline =
+                            Option.map (fun s -> t0 +. s) deadline_s;
+                        }
+                      in
+                      Hashtbl.add st.inflight digest job;
+                      Queue.push job st.queue
+                    end)))
+    | _ -> bad_request conn "compile request lacks a \"source\" string"
 
 let stats_json st =
   Printf.sprintf
     "{\"op\": \"stats\", \"protocol\": %s, \"uptime_s\": %.3f, \"inflight\": \
-     %d, \"result_cache_entries\": %d, \"stats\": %s}"
+     %d, \"queued\": %d, \"connections\": %d, \"result_cache_entries\": %d, \
+     \"solver_cache_entries\": %d, \"stats\": %s}"
     (Manifest.json_string protocol_version)
     (Unix.gettimeofday () -. st.t_start)
-    (Hashtbl.length st.inflight) (Hashtbl.length st.lru) (Stats.to_json ())
+    (Hashtbl.length st.inflight) (Queue.length st.queue)
+    (Hashtbl.length st.conns) (Hashtbl.length st.lru)
+    (Milp.cache_entry_count () + Polyhedra.cache_entry_count ())
+    (Stats.to_json ())
 
 let handle_line st conn line =
   Stats.incr "server.requests";
@@ -433,7 +518,7 @@ let close_conn st conn =
   if conn.alive then begin
     conn.alive <- false;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-    st.conns <- List.filter (fun c -> c != conn) st.conns
+    Hashtbl.remove st.conns conn.fd
   end
 
 let read_chunk = Bytes.create 65536
@@ -443,56 +528,119 @@ let conn_readable st conn =
     Fault.unix_error "server.read" Unix.EIO "read";
     Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk)
   with
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+    ->
+      ()
   | exception Unix.Unix_error _ -> close_conn st conn
   | 0 -> close_conn st conn
   | n ->
-      Buffer.add_subbytes conn.inbuf read_chunk 0 n;
-      (* split complete lines off the front of the buffer *)
-      let data = Buffer.contents conn.inbuf in
-      let rec go start =
-        match String.index_from_opt data start '\n' with
-        | Some nl ->
-            let line = String.sub data start (nl - start) in
-            if String.trim line <> "" then handle_line st conn line;
-            go (nl + 1)
-        | None ->
-            Buffer.clear conn.inbuf;
-            Buffer.add_substring conn.inbuf data start
-              (String.length data - start)
-      in
-      go 0
+      if conn.closing then
+        (* input after a protocol error is discarded; reading on just
+           detects the client hanging up *)
+        ()
+      else begin
+        Buffer.add_subbytes conn.inbuf read_chunk 0 n;
+        (* split complete lines off the front of the buffer; a handled line
+           may close or start closing the connection mid-loop (bad request,
+           shutdown), after which the rest of the bytes are dead *)
+        let data = Buffer.contents conn.inbuf in
+        let dlen = String.length data in
+        let start = ref 0 in
+        let scanning = ref true in
+        while !scanning && conn.alive && not conn.closing do
+          match String.index_from_opt data !start '\n' with
+          | Some nl ->
+              let line = String.sub data !start (nl - !start) in
+              start := nl + 1;
+              if String.trim line <> "" then handle_line st conn line
+          | None -> scanning := false
+        done;
+        if conn.alive && not conn.closing then begin
+          Buffer.clear conn.inbuf;
+          if !start < dlen then
+            Buffer.add_substring conn.inbuf data !start (dlen - !start);
+          (* bound [inbuf]: a newline-free request longer than the cap can
+             never complete, so reject it instead of buffering forever *)
+          if Buffer.length conn.inbuf > st.cfg.max_request_bytes then begin
+            bad_request conn
+              (Printf.sprintf
+                 "request line exceeds the %d-byte limit (--max-request-bytes)"
+                 st.cfg.max_request_bytes);
+            begin_close conn
+          end
+        end
+      end
 
 let conn_writable st conn =
-  let data = Buffer.contents conn.out in
-  if data <> "" then
+  if conn.out_pos >= String.length conn.out_data then begin
+    (* flatten the staged Buffer exactly once per drained chunk *)
+    conn.out_data <- Buffer.contents conn.out;
+    conn.out_pos <- 0;
+    Buffer.clear conn.out
+  end;
+  let len = String.length conn.out_data - conn.out_pos in
+  if len > 0 then
     match
       Fault.unix_error "server.write" Unix.EIO "write";
-      Unix.write_substring conn.fd data 0 (String.length data)
+      Unix.write_substring conn.fd conn.out_data conn.out_pos len
     with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+        ()
     | exception Unix.Unix_error _ -> close_conn st conn
     | n ->
-        Buffer.clear conn.out;
-        Buffer.add_substring conn.out data n (String.length data - n)
+        (* partial writes only advance the offset — no O(n²) re-copying *)
+        conn.out_pos <- conn.out_pos + n;
+        if conn.out_pos >= String.length conn.out_data then begin
+          conn.out_data <- "";
+          conn.out_pos <- 0
+        end
 
+(* Accept one pending connection; [true] when something was accepted (the
+   caller loops until the nonblocking listener runs dry). *)
 let accept_conn st listener =
   match
     Fault.unix_error "server.accept" Unix.EMFILE "accept";
     Unix.accept listener
   with
-  | exception Unix.Unix_error _ -> ()
+  | exception Unix.Unix_error _ -> false
   | fd, _ ->
-      Stats.incr "server.connections";
-      st.conns <-
-        {
-          fd;
-          inbuf = Buffer.create 4096;
-          out = Buffer.create 4096;
-          slots = Queue.create ();
-          alive = true;
-        }
-        :: st.conns
+      if Hashtbl.length st.conns >= st.cfg.max_connections then begin
+        (* over the connection cap: still answer with a structured busy
+           line (best-effort — the socket buffer is empty, one line fits)
+           so the client knows to back off instead of seeing a bare RST *)
+        Stats.incr "server.busy_rejections";
+        let line =
+          busy_line ~name:"<connect>"
+            (Printf.sprintf "connection limit (%d) reached"
+               st.cfg.max_connections)
+          ^ "\n"
+        in
+        (try ignore (Unix.write_substring fd line 0 (String.length line))
+         with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        true
+      end
+      else begin
+        Stats.incr "server.connections";
+        (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+        Hashtbl.replace st.conns fd
+          {
+            fd;
+            inbuf = Buffer.create 4096;
+            out = Buffer.create 4096;
+            out_data = "";
+            out_pos = 0;
+            slots = Queue.create ();
+            alive = true;
+            closing = false;
+            stalled = false;
+          };
+        true
+      end
+
+let rec accept_all st listener =
+  if accept_conn st listener then accept_all st listener
 
 (* ------------------------------- listeners -------------------------------- *)
 
@@ -513,14 +661,14 @@ let bind_unix path =
   end;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind fd (Unix.ADDR_UNIX path);
-  Unix.listen fd 64;
+  Unix.listen fd 1024;
   fd
 
 let bind_tcp port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  Unix.listen fd 64;
+  Unix.listen fd 1024;
   fd
 
 (* -------------------------------- main loop ------------------------------- *)
@@ -528,18 +676,29 @@ let bind_tcp port =
 let run cfg =
   (* a client gone mid-write must be an EPIPE error on our write, not death *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (match cfg.solver_cache_entries with
+  | Some n ->
+      (* forked workers inherit the budget, so their tables stay bounded
+         too; the journals they ship back are deltas, re-trimmed on absorb *)
+      Milp.set_cache_budget n;
+      Polyhedra.set_cache_budget n
+  | None -> ());
   let listeners =
     bind_unix cfg.socket_path
     :: (match cfg.tcp_port with Some p -> [ bind_tcp p ] | None -> [])
   in
+  List.iter
+    (fun fd -> try Unix.set_nonblock fd with Unix.Unix_error _ -> ())
+    listeners;
   let st =
     {
       cfg;
       t_start = Unix.gettimeofday ();
-      conns = [];
+      conns = Hashtbl.create 64;
       inflight = Hashtbl.create 16;
-      queue = [];
+      queue = Queue.create ();
       running = [];
+      n_running = 0;
       lru = Hashtbl.create 64;
       lru_tick = 0;
       draining = ref false;
@@ -561,36 +720,87 @@ let run cfg =
   in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  (* last-resort guard: one request must never take the daemon (and every
+     other client) down.  Anything that escapes a dispatch is counted and
+     the offending connection closed; ["server.crashes"] staying 0 under
+     the load suite is the proof the guard is dead code in practice. *)
+  let guard ?conn st f =
+    try f ()
+    with
+    | Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exn ->
+        Stats.incr "server.crashes";
+        prerr_endline
+          (Printf.sprintf "plutod: dispatch error: %s"
+             (Printexc.to_string exn));
+        (match conn with Some c -> close_conn st c | None -> ())
+  in
   Fun.protect
     ~finally:(fun () ->
       List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
         listeners;
-      List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
-        st.conns;
+      iter_conns st (fun c ->
+          try Unix.close c.fd with Unix.Unix_error _ -> ());
       remove_socket ();
       Pool.Cleanup.release cleanup_id)
     (fun () ->
       let finished () =
         !(st.draining)
-        && st.queue = []
+        && Queue.is_empty st.queue
         && st.running = []
-        && List.for_all (fun c -> Buffer.length c.out = 0) st.conns
+        && Hashtbl.fold (fun _ c acc -> acc && pending_out c = 0) st.conns
+             true
       in
       while not (finished ()) do
         spawn_ready st;
         kill_expired st;
+        (* sweep: closing connections whose every claimed slot has been
+           answered and whose output has drained can finally close *)
+        let done_closing =
+          Hashtbl.fold
+            (fun _ c acc ->
+              if c.closing && Queue.is_empty c.slots && pending_out c = 0
+              then c :: acc
+              else acc)
+            st.conns []
+        in
+        List.iter (fun c -> close_conn st c) done_closing;
         let now = Unix.gettimeofday () in
+        let conn_reads =
+          Hashtbl.fold
+            (fun fd c acc ->
+              (* backpressure: a connection whose unread output exceeds the
+                 budget stops being read from — its requests (and its
+                 bytes) wait in the kernel until it drains what it asked
+                 for.  Closing connections are still read (and discarded)
+                 to notice hangups. *)
+              if
+                (not c.closing)
+                && pending_out c > st.cfg.max_output_bytes
+              then begin
+                if not c.stalled then begin
+                  c.stalled <- true;
+                  Stats.incr "server.slow_reader_stalls"
+                end;
+                acc
+              end
+              else begin
+                c.stalled <- false;
+                fd :: acc
+              end)
+            st.conns []
+        in
         let reads =
           (if !(st.draining) then [] else listeners)
-          @ List.map (fun c -> c.fd) st.conns
+          @ conn_reads
           @ List.filter_map
               (fun j -> Option.bind j.j_handle Pool.handle_fd)
               st.running
         in
         let writes =
-          List.filter_map
-            (fun c -> if Buffer.length c.out > 0 then Some c.fd else None)
-            st.conns
+          Hashtbl.fold
+            (fun fd c acc -> if pending_out c > 0 then fd :: acc else acc)
+            st.conns []
         in
         let timeout =
           (* wake for the next deadline, and periodically to notice the
@@ -604,13 +814,22 @@ let run cfg =
         in
         match Unix.select reads writes [] timeout with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+            (* a connection closed by a mid-iteration dispatch can leave a
+               dead fd in this iteration's sets; the next loop rebuilds
+               them from live state *)
+            ()
         | ready_r, ready_w, _ ->
             List.iter
               (fun fd ->
-                if List.memq fd listeners then accept_conn st fd
+                if List.memq fd listeners then
+                  (* accept everything ready, not one per wakeup: the
+                     nonblocking listener raises EAGAIN when drained *)
+                  guard st (fun () -> accept_all st fd)
                 else
-                  match List.find_opt (fun c -> c.fd = fd) st.conns with
-                  | Some conn -> conn_readable st conn
+                  match Hashtbl.find_opt st.conns fd with
+                  | Some conn ->
+                      guard ~conn st (fun () -> conn_readable st conn)
                   | None -> (
                       match
                         List.find_opt
@@ -619,16 +838,18 @@ let run cfg =
                             = Some fd)
                           st.running
                       with
-                      | Some job -> (
-                          match Pool.pump (Option.get job.j_handle) with
-                          | `Pending -> ()
-                          | `Done o -> finish_job st job o)
+                      | Some job ->
+                          guard st (fun () ->
+                              match Pool.pump (Option.get job.j_handle) with
+                              | `Pending -> ()
+                              | `Done o -> finish_job st job o)
                       | None -> ()))
               ready_r;
             List.iter
               (fun fd ->
-                match List.find_opt (fun c -> c.fd = fd) st.conns with
-                | Some conn -> conn_writable st conn
+                match Hashtbl.find_opt st.conns fd with
+                | Some conn ->
+                    guard ~conn st (fun () -> conn_writable st conn)
                 | None -> ())
               ready_w
       done)

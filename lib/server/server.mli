@@ -45,6 +45,31 @@
     socket).  Fault sites ["server.accept"], ["server.read"],
     ["server.write"] let the chaos harness hit every socket boundary.
 
+    {2 Bounded resources (DESIGN.md §15)}
+
+    Every per-client and global resource has a configured cap, and
+    overflow is answered, never absorbed:
+
+    - [max_connections]: connections over the cap are accepted, answered
+      with one structured [server-busy] entry, and closed.
+    - [max_pipeline]: a connection with that many unanswered requests gets
+      [server-busy] for further ones until responses drain.
+    - [max_queue]: a compile that would queue a {e new} job (cache hits
+      and coalesced joins are exempt) gets [server-busy] when the queue is
+      full.
+    - [max_request_bytes]: a newline-free request longer than this gets a
+      [bad-request] entry and the connection enters a draining close.
+    - [max_output_bytes]: a connection whose unread output exceeds this is
+      excluded from the read set until it drains — real backpressure; the
+      daemon's memory per slow reader stays bounded.
+    - [solver_cache_entries]: entry budget for the absorbed [Milp] and
+      [Polyhedra] hot caches ({!Milp.set_cache_budget}); LRU eviction,
+      counted by ["server.cache_evicted"].
+
+    A [server-busy]/[bad-request] rejection is a normal Failed manifest
+    entry whose diagnostic carries that code, so clients can fall back
+    locally ({!Client.is_busy}).
+
     Counters: the ["server.*"] family documented in {!Stats}. *)
 
 (** Version stamp of the wire protocol and of stored results.  Bump when
@@ -62,6 +87,20 @@ type config = {
           exceeding it kills the worker and answers with the structured
           ["pool-timeout"] diagnostic *)
   result_cache_entries : int;  (** in-memory result LRU capacity *)
+  max_connections : int;
+      (** connection cap (default 768 — [Unix.select] tops out at 1024
+          descriptors); overflow gets one [server-busy] line and a close *)
+  max_pipeline : int;  (** outstanding requests per connection *)
+  max_queue : int;  (** queued (not yet running) compile jobs, globally *)
+  max_request_bytes : int;
+      (** upper bound on one request line (and thus on a connection's
+          input buffer); longer is [bad-request] + close *)
+  max_output_bytes : int;
+      (** per-connection unread-output budget before the daemon stops
+          reading from that connection (backpressure) *)
+  solver_cache_entries : int option;
+      (** entry budget for each absorbed solver-cache table; [None] keeps
+          the library default (100k per table) *)
 }
 
 val default_config : socket_path:string -> config

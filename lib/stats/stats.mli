@@ -20,8 +20,12 @@
       integer-feasibility probes;
     - ["milp.lp_cache_hits"] / ["milp.lp_cache_misses"] — memoized rational
       LP calls;
+    - ["milp.cache_evictions"] — entries LRU-evicted from the in-memory
+      LP/feasibility caches past the {!Milp.set_cache_budget} entry budget;
     - ["poly.empty_cache_hits"] / ["poly.empty_cache_misses"] — memoized
       emptiness tests on canonicalized systems;
+    - ["poly.cache_evictions"] — the same eviction counter for the
+      emptiness cache ({!Polyhedra.set_cache_budget});
     - ["fm.eliminations"], ["fm.rows_eliminated"] — Fourier–Motzkin steps and
       the rows they removed;
     - ["machine.simulations"], ["machine.l1_misses"], ["machine.l2_misses"],
@@ -76,6 +80,29 @@
     - ["server.failures"] — compile requests answered with status
       ["error"] (including ["server.deadline_expired"], requests whose
       worker was killed at the per-request deadline);
+    - ["server.busy_rejections"] — requests (or whole connections, over
+      [--max-connections]) answered with the structured ["server-busy"]
+      entry at admission: pipeline window full ([--max-pipeline]) or
+      job queue full ([--max-queue]); clients fall back to local
+      compilation ({!Client.is_busy});
+    - ["server.bad_requests"] — protocol lines answered with the
+      structured ["bad-request"] entry (unparseable JSON, unknown op,
+      missing source, or a request line over [--max-request-bytes] —
+      the last also closes the connection);
+    - ["server.slow_reader_stalls"] — connections taken out of the read
+      set because their unread responses exceeded [--max-output-bytes]
+      (re-admitted once the client drains; counts stall transitions,
+      not polls);
+    - ["server.cache_evicted"] — solver-cache entries evicted while
+      absorbing worker journals under [--solver-cache-entries] (the
+      absorption-side aggregate of ["milp.cache_evictions"] +
+      ["poly.cache_evictions"]);
+    - ["server.jobs_abandoned"] — queued compile jobs dropped unstarted
+      because every waiting client had already disconnected;
+    - ["server.crashes"] — unexpected event-loop exceptions caught by
+      the daemon's last-resort guard (the offending connection is
+      closed, the daemon survives; 0 in every healthy run — the load
+      suite enforces it);
     - timers ["pass.deps"], ["pass.transform"], ["pass.codegen"]. *)
 
 (** Forget all counters and timers (tests and the tuner's workers use this to

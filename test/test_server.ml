@@ -18,19 +18,21 @@ let status_str = function
 
 (* ------------------------------ daemon harness ---------------------------- *)
 
-let start_daemon ?(jobs = 2) ?default_deadline_s ?cache_dir ~socket () =
+let start_daemon ?(jobs = 2) ?default_deadline_s ?cache_dir ?fault
+    ?(tweak = fun c -> c) ~socket () =
   let pid = Unix.fork () in
   if pid = 0 then begin
     (try
        Stats.reset ();
-       Fault.install None;
+       Fault.install fault;
        Store.set_dir cache_dir;
        Server.run
-         {
-           (Server.default_config ~socket_path:socket) with
-           Server.jobs;
-           default_deadline_s;
-         }
+         (tweak
+            {
+              (Server.default_config ~socket_path:socket) with
+              Server.jobs;
+              default_deadline_s;
+            })
      with
     | Failure _ -> Unix._exit 3
     | _ -> Unix._exit 4);
@@ -67,8 +69,10 @@ let reap_or_kill pid =
   | _ -> ()
   | exception Unix.Unix_error _ -> ()
 
-let with_daemon ?jobs ?default_deadline_s ?cache_dir ~socket f =
-  let pid = start_daemon ?jobs ?default_deadline_s ?cache_dir ~socket () in
+let with_daemon ?jobs ?default_deadline_s ?cache_dir ?fault ?tweak ~socket f =
+  let pid =
+    start_daemon ?jobs ?default_deadline_s ?cache_dir ?fault ?tweak ~socket ()
+  in
   Fun.protect ~finally:(fun () -> reap_or_kill pid) (fun () -> f pid)
 
 let wait_exit pid =
@@ -92,19 +96,62 @@ let local_code source =
   | Ok (r, _) ->
       Format.asprintf "%a" (fun fmt c -> Codegen.print_c fmt c) r.Driver.code
 
+let counter_in_line line name =
+  match Manifest.Json.parse line with
+  | Error msg -> Alcotest.failf "unparseable stats response: %s" msg
+  | Ok j -> (
+      match Option.bind (Manifest.Json.mem "stats" j)
+              (Manifest.Json.mem "counters")
+      with
+      | Some c -> int_of_float (Manifest.Json.num_mem name c ~default:0.0)
+      | None -> 0)
+
 let daemon_counter ~socket name =
+  match Client.stats ~socket with
+  | Error msg -> Alcotest.failf "stats request failed: %s" msg
+  | Ok line -> counter_in_line line name
+
+(* top-level numeric field of the stats response (outside the counters) *)
+let daemon_stat_field ~socket name =
   match Client.stats ~socket with
   | Error msg -> Alcotest.failf "stats request failed: %s" msg
   | Ok line -> (
       match Manifest.Json.parse line with
       | Error msg -> Alcotest.failf "unparseable stats response: %s" msg
-      | Ok j -> (
-          match Option.bind (Manifest.Json.mem "stats" j)
-                  (Manifest.Json.mem "counters")
-          with
-          | Some c ->
-              int_of_float (Manifest.Json.num_mem name c ~default:0.0)
-          | None -> 0))
+      | Ok j -> int_of_float (Manifest.Json.num_mem name j ~default:(-1.0)))
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write_substring fd s !off (n - !off) with
+    | w -> off := !off + w
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* Read exactly [n] newline-terminated response lines from a blocking fd. *)
+let read_lines fd n =
+  let buf = Buffer.create 65536 in
+  let chunk = Bytes.create 65536 in
+  let complete s = List.length (String.split_on_char '\n' s) - 1 in
+  let rec go () =
+    let s = Buffer.contents buf in
+    if complete s >= n then
+      List.filteri (fun i _ -> i < n) (String.split_on_char '\n' s)
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | 0 -> Alcotest.failf "EOF after %d of %d responses" (complete s) n
+      | k ->
+          Buffer.add_subbytes buf chunk 0 k;
+          go ()
+  in
+  go ()
+
+let parse_ok what line =
+  match Client.parse_response line with
+  | Error msg -> Alcotest.failf "%s: undecodable response: %s" what msg
+  | Ok r -> r
 
 (* ------------------------------- pure tests -------------------------------- *)
 
@@ -480,6 +527,342 @@ let test_sigterm_drains () =
                 (e.Manifest.e_status = Manifest.Success
                 && e.Manifest.e_code <> None)))
 
+(* --------------------------- bounded resources ----------------------------- *)
+
+(* A newline-free blob over --max-request-bytes can never complete as a
+   request line: the daemon must answer one structured bad-request, hang
+   up, and keep serving everyone else. *)
+let test_oversize_request () =
+  Pool.with_temp_dir ~prefix:"server" (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      with_daemon ~socket
+        ~tweak:(fun c -> { c with Server.max_request_bytes = 4096 })
+        (fun pid ->
+          (match Client.connect socket with
+          | None -> Alcotest.fail "daemon not listening"
+          | Some fd ->
+              Fun.protect
+                ~finally:(fun () -> Client.close fd)
+                (fun () ->
+                  (try write_all fd (String.make 16384 'x')
+                   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _)
+                   ->
+                     ());
+                  (match read_lines fd 1 with
+                  | [ line ] ->
+                      let r = parse_ok "oversize" line in
+                      Alcotest.(check bool)
+                        "oversize line answered with bad-request" true
+                        (r.Client.r_entry.Manifest.e_status = Manifest.Failed
+                        && Diag.has_code r.Client.r_entry.Manifest.e_diags
+                             "bad-request")
+                  | _ -> Alcotest.fail "expected exactly one response line");
+                  (* ...and then the daemon hangs up *)
+                  let chunk = Bytes.create 16 in
+                  let rec eof () =
+                    match Unix.read fd chunk 0 16 with
+                    | exception Unix.Unix_error (Unix.EINTR, _, _) -> eof ()
+                    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
+                    | k -> k
+                  in
+                  Alcotest.(check int) "connection closed after bad-request" 0
+                    (eof ())));
+          Alcotest.(check int) "counted as server.bad_requests" 1
+            (daemon_counter ~socket "server.bad_requests");
+          let r = compile_ok ~socket ~name:"after.c" matmul_src in
+          Alcotest.(check bool) "daemon still compiles afterwards" true
+            (r.Client.r_entry.Manifest.e_status = Manifest.Success);
+          Alcotest.(check bool) "shutdown" true (Client.shutdown ~socket);
+          Alcotest.(check bool) "exit 0" true (wait_exit pid = Unix.WEXITED 0)))
+
+(* Pipelining past --max-pipeline: the window-sized prefix is served, the
+   overflow gets structured server-busy responses on the same connection,
+   in order. *)
+let test_pipeline_cap_busy () =
+  Pool.with_temp_dir ~prefix:"server" (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      with_daemon ~jobs:1 ~socket
+        ~tweak:(fun c -> { c with Server.max_pipeline = 2 })
+        (fun pid ->
+          let reference = local_code jacobi_src in
+          (match Client.connect socket with
+          | None -> Alcotest.fail "daemon not listening"
+          | Some fd ->
+              Fun.protect
+                ~finally:(fun () -> Client.close fd)
+                (fun () ->
+                  let req =
+                    Client.compile_request ~options ~name:"k.c"
+                      ~source:jacobi_src ()
+                    ^ "\n"
+                  in
+                  write_all fd (String.concat "" [ req; req; req; req; req ]);
+                  let resps =
+                    List.map (parse_ok "pipelined") (read_lines fd 5)
+                  in
+                  let busy, served = List.partition Client.is_busy resps in
+                  Alcotest.(check int)
+                    "requests over the pipeline window rejected" 3
+                    (List.length busy);
+                  Alcotest.(check int) "window-sized prefix served" 2
+                    (List.length served);
+                  List.iter
+                    (fun r ->
+                      Alcotest.(check (option string))
+                        "served answers bit-identical to the local compile"
+                        (Some reference) r.Client.r_entry.Manifest.e_code)
+                    served));
+          Alcotest.(check int) "busy rejections counted" 3
+            (daemon_counter ~socket "server.busy_rejections");
+          Alcotest.(check bool) "shutdown" true (Client.shutdown ~socket);
+          Alcotest.(check bool) "exit 0" true (wait_exit pid = Unix.WEXITED 0)))
+
+(* Distinct sources past --max-queue on a one-worker daemon: the queue
+   admits one new job, the rest get server-busy (cache hits and coalesced
+   joins stay exempt — only NEW work is capped). *)
+let test_queue_cap_busy () =
+  Pool.with_temp_dir ~prefix:"server" (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      with_daemon ~jobs:1 ~socket
+        ~tweak:(fun c -> { c with Server.max_queue = 1 })
+        (fun pid ->
+          (match Client.connect socket with
+          | None -> Alcotest.fail "daemon not listening"
+          | Some fd ->
+              Fun.protect
+                ~finally:(fun () -> Client.close fd)
+                (fun () ->
+                  (* whitespace suffixes: distinct digests, same program *)
+                  let req i =
+                    Client.compile_request ~options
+                      ~name:(Printf.sprintf "q%d.c" i)
+                      ~source:(jacobi_src ^ String.make i ' ')
+                      ()
+                    ^ "\n"
+                  in
+                  write_all fd (req 0 ^ req 1 ^ req 2);
+                  let resps =
+                    List.map (parse_ok "queued") (read_lines fd 3)
+                  in
+                  let busy, served = List.partition Client.is_busy resps in
+                  Alcotest.(check int) "overflow beyond the queue rejected" 2
+                    (List.length busy);
+                  Alcotest.(check int) "one new job admitted" 1
+                    (List.length served);
+                  List.iter
+                    (fun r ->
+                      Alcotest.(check bool) "admitted job compiled" true
+                        (r.Client.r_entry.Manifest.e_status = Manifest.Success))
+                    served));
+          Alcotest.(check int) "busy rejections counted" 2
+            (daemon_counter ~socket "server.busy_rejections");
+          Alcotest.(check bool) "shutdown" true (Client.shutdown ~socket);
+          Alcotest.(check bool) "exit 0" true (wait_exit pid = Unix.WEXITED 0)))
+
+(* --solver-cache-entries: distinct kernels overflow a tiny budget, the
+   daemon evicts (server.cache_evicted), the tables stay bounded, and the
+   answers remain bit-identical to local compiles throughout. *)
+let test_solver_cache_eviction () =
+  Pool.with_temp_dir ~prefix:"server" (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      with_daemon ~jobs:1 ~socket
+        ~tweak:(fun c -> { c with Server.solver_cache_entries = Some 16 })
+        (fun pid ->
+          List.iter
+            (fun (name, src) ->
+              let r = compile_ok ~socket ~name src in
+              Alcotest.(check bool)
+                (name ^ " compiles under a tiny solver budget") true
+                (r.Client.r_entry.Manifest.e_status = Manifest.Success);
+              Alcotest.(check (option string))
+                (name ^ " bit-identical to the local compile")
+                (Some (local_code src))
+                r.Client.r_entry.Manifest.e_code)
+            [
+              ("matmul.c", matmul_src);
+              ("jacobi.c", jacobi_src);
+              ("mvt.c", Kernels.mvt.Kernels.source);
+            ];
+          Alcotest.(check bool) "evictions happened and were counted" true
+            (daemon_counter ~socket "server.cache_evicted" > 0);
+          (* 16 per table: LP + integer feasibility + emptiness *)
+          let entries = daemon_stat_field ~socket "solver_cache_entries" in
+          Alcotest.(check bool)
+            (Printf.sprintf "solver caches bounded (%d entries)" entries)
+            true
+            (entries >= 0 && entries <= 48);
+          Alcotest.(check bool) "shutdown" true (Client.shutdown ~socket);
+          Alcotest.(check bool) "exit 0" true (wait_exit pid = Unix.WEXITED 0)))
+
+(* A client that pipelines hundreds of cache-hit requests without reading:
+   once its unread responses exceed --max-output-bytes the daemon must stop
+   READING from it (server.slow_reader_stalls) instead of buffering without
+   bound — and still answer every request once the client finally drains. *)
+let test_slow_reader_backpressure () =
+  Pool.with_temp_dir ~prefix:"server" (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      with_daemon ~socket
+        ~tweak:(fun c ->
+          { c with Server.max_output_bytes = 1024; max_pipeline = 10_000 })
+        (fun pid ->
+          let reference = local_code matmul_src in
+          let r0 = compile_ok ~socket ~name:"m.c" matmul_src in
+          Alcotest.(check bool) "priming compile succeeds" true
+            (r0.Client.r_entry.Manifest.e_status = Manifest.Success);
+          let n = 300 in
+          (match Client.connect socket with
+          | None -> Alcotest.fail "daemon not listening"
+          | Some fd ->
+              Fun.protect
+                ~finally:(fun () -> Client.close fd)
+                (fun () ->
+                  Unix.set_nonblock fd;
+                  let req =
+                    Client.compile_request ~options ~name:"m.c"
+                      ~source:matmul_src ()
+                    ^ "\n"
+                  in
+                  let all = String.concat "" (List.init n (fun _ -> req)) in
+                  let total = String.length all in
+                  let sent = ref 0 in
+                  let push () =
+                    try
+                      while !sent < total do
+                        sent :=
+                          !sent
+                          + Unix.write_substring fd all !sent (total - !sent)
+                      done
+                    with
+                    | Unix.Unix_error
+                        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+                    ->
+                      ()
+                  in
+                  (* phase 1: write without reading a single byte *)
+                  push ();
+                  let deadline = Unix.gettimeofday () +. 15.0 in
+                  while
+                    daemon_counter ~socket "server.slow_reader_stalls" < 1
+                    && Unix.gettimeofday () < deadline
+                  do
+                    push ();
+                    Unix.sleepf 0.05
+                  done;
+                  Alcotest.(check bool) "daemon stalled the slow reader" true
+                    (daemon_counter ~socket "server.slow_reader_stalls" >= 1);
+                  (* phase 2: drain — every request still gets its answer *)
+                  let buf = Buffer.create (1 lsl 20) in
+                  let chunk = Bytes.create 65536 in
+                  let complete () =
+                    List.length
+                      (String.split_on_char '\n' (Buffer.contents buf))
+                    - 1
+                  in
+                  let deadline = Unix.gettimeofday () +. 60.0 in
+                  while complete () < n && Unix.gettimeofday () < deadline do
+                    push ();
+                    match Unix.read fd chunk 0 (Bytes.length chunk) with
+                    | exception
+                        Unix.Unix_error
+                          ( (Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR),
+                            _,
+                            _ )
+                    ->
+                        Unix.sleepf 0.002
+                    | 0 -> Alcotest.fail "daemon closed a stalled connection"
+                    | k -> Buffer.add_subbytes buf chunk 0 k
+                  done;
+                  let got =
+                    List.filter
+                      (fun l -> String.trim l <> "")
+                      (String.split_on_char '\n' (Buffer.contents buf))
+                  in
+                  Alcotest.(check int) "every pipelined request answered" n
+                    (List.length got);
+                  List.iter
+                    (fun l ->
+                      let r = parse_ok "drained" l in
+                      Alcotest.(check bool)
+                        "drained response valid and bit-identical" true
+                        (r.Client.r_entry.Manifest.e_code = Some reference))
+                    got));
+          Alcotest.(check bool) "shutdown" true (Client.shutdown ~socket);
+          Alcotest.(check bool) "exit 0" true (wait_exit pid = Unix.WEXITED 0)))
+
+(* Seeded fault injection on the daemon's own syscall sites (accept, read,
+   write): every round trip either completes with a bit-identical answer or
+   fails as a dropped connection — and the daemon survives it all with
+   server.crashes = 0. *)
+let test_chaos_fault_sites () =
+  Pool.with_temp_dir ~prefix:"server" (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      let fault =
+        Some
+          {
+            Fault.seed = 20080613;
+            rate = 0.05;
+            only = [ "server." ];
+            (* pin one injection per site so coverage never depends on the
+               dice *)
+            fail_at =
+              [
+                ("server.accept", [ 2 ]);
+                ("server.read", [ 3 ]);
+                ("server.write", [ 4 ]);
+              ];
+          }
+      in
+      with_daemon ~socket ?fault (fun pid ->
+          let reference = local_code jacobi_src in
+          let served = ref 0 in
+          for i = 1 to 40 do
+            match
+              Client.compile ~socket ~options
+                ~name:(Printf.sprintf "c%d.c" i)
+                ~source:jacobi_src ()
+            with
+            | `No_daemon -> ()
+            | `Daemon (Error _) -> ()
+            | `Daemon (Ok r) ->
+                if not (Client.is_busy r) then begin
+                  incr served;
+                  Alcotest.(check (option string))
+                    "chaos-served answer bit-identical" (Some reference)
+                    r.Client.r_entry.Manifest.e_code
+                end
+          done;
+          Alcotest.(check bool) "round trips survived injection" true
+            (!served > 0);
+          (* stats itself can be hit by injection: retry the round trip *)
+          let rec stats_line k =
+            match Client.stats ~socket with
+            | Ok line -> line
+            | Error _ when k > 0 ->
+                Unix.sleepf 0.05;
+                stats_line (k - 1)
+            | Error msg ->
+                Alcotest.failf "stats never answered under chaos: %s" msg
+          in
+          let line = stats_line 20 in
+          List.iter
+            (fun site ->
+              Alcotest.(check bool) (site ^ " actually injected") true
+                (counter_in_line line ("fault." ^ site) >= 1))
+            [ "server.accept"; "server.read"; "server.write" ];
+          Alcotest.(check int) "no event-loop crashes under chaos" 0
+            (counter_in_line line "server.crashes");
+          let rec shutdown_retry k =
+            Client.shutdown ~socket
+            || k > 0
+               && begin
+                    Unix.sleepf 0.05;
+                    shutdown_retry (k - 1)
+                  end
+          in
+          ignore (shutdown_retry 20 : bool);
+          Alcotest.(check bool) "daemon drained and exited 0" true
+            (wait_exit pid = Unix.WEXITED 0)))
+
 (* --------------------------- signal-exit cleanup --------------------------- *)
 
 (* Pool.with_temp_dir must remove its directory when the process dies to
@@ -548,6 +931,18 @@ let suite =
         test_deadline_expiry;
       Fixtures.stats_case "SIGTERM drains in-flight work" `Quick
         test_sigterm_drains;
+      Fixtures.stats_case "oversize request gets bad-request + close" `Quick
+        test_oversize_request;
+      Fixtures.stats_case "pipeline cap overflows to server-busy" `Quick
+        test_pipeline_cap_busy;
+      Fixtures.stats_case "queue cap overflows to server-busy" `Quick
+        test_queue_cap_busy;
+      Fixtures.stats_case "solver caches evict under --solver-cache-entries"
+        `Quick test_solver_cache_eviction;
+      Fixtures.stats_case "slow reader hits output backpressure" `Quick
+        test_slow_reader_backpressure;
+      Fixtures.stats_case "chaos on server fault sites" `Quick
+        test_chaos_fault_sites;
       Alcotest.test_case "with_temp_dir cleans up on SIGTERM" `Quick
         test_temp_dir_cleanup_on_sigterm;
     ] )

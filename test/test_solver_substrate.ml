@@ -171,6 +171,61 @@ let test_compile_identical_and_cheaper () =
   Alcotest.(check bool) "warm run used warm starts" true (warm_hits > 0);
   Alcotest.(check int) "cold run never warm-starts" 0 cold_run_hits
 
+(* LRU budgets: the in-memory solver caches stay under their entry budget
+   through a stream of distinct probes, entries that were evicted recompute
+   to the same answers, and journal absorption reports how much it evicted. *)
+let test_cache_budgets () =
+  Milp.clear_caches ();
+  Polyhedra.clear_caches ();
+  Fun.protect
+    ~finally:(fun () ->
+      Milp.set_cache_budget 100_000;
+      Polyhedra.set_cache_budget 100_000;
+      Milp.set_cache_journal false;
+      Milp.clear_caches ();
+      Polyhedra.clear_caches ())
+    (fun () ->
+      Milp.set_cache_budget 16;
+      Polyhedra.set_cache_budget 16;
+      let rng = Gen.state_of_seed (Gen.seed_of_env ()) in
+      let systems = List.init 120 (fun _ -> rand_system rng) in
+      (* feasibility + emptiness are deterministic semantics; witnesses can
+         legitimately differ between warm and cold runs, so compare only
+         the answers *)
+      let probe sys =
+        (Milp.feasible_cached sys <> None, Polyhedra.is_empty_cached sys)
+      in
+      let first = List.map probe systems in
+      Alcotest.(check bool)
+        (Printf.sprintf "milp caches bounded by the budget (%d entries)"
+           (Milp.cache_entry_count ()))
+        true
+        (Milp.cache_entry_count () <= 32 (* 16 per table, two tables *));
+      Alcotest.(check bool)
+        (Printf.sprintf "emptiness cache bounded by the budget (%d entries)"
+           (Polyhedra.cache_entry_count ()))
+        true
+        (Polyhedra.cache_entry_count () <= 16);
+      Alcotest.(check bool) "evictions were counted" true
+        (Stats.counter "milp.cache_evictions" > 0
+        && Stats.counter "poly.cache_evictions" > 0);
+      let second = List.map probe systems in
+      Alcotest.(check bool)
+        "evicted entries recompute to the same answers" true (first = second);
+      (* a journal bigger than the budget is absorbed, trimmed, and the
+         eviction count reported to the caller *)
+      Milp.set_cache_journal true;
+      Milp.clear_caches ();
+      List.iter (fun sys -> ignore (Milp.feasible_cached sys)) systems;
+      let journal = Milp.take_cache_journal () in
+      Milp.set_cache_journal false;
+      Milp.clear_caches ();
+      let evicted = Milp.absorb_cache_journal journal in
+      Alcotest.(check bool) "oversized journal reports evictions" true
+        (evicted > 0);
+      Alcotest.(check bool) "absorbed tables stay under budget" true
+        (Milp.cache_entry_count () <= 32))
+
 let suite =
   ( "solver-substrate",
     [
@@ -183,4 +238,6 @@ let suite =
         test_warm_lexmin_matches_cold;
       Alcotest.test_case "compile identical, fewer cold builds" `Quick
         test_compile_identical_and_cheaper;
+      Alcotest.test_case "cache budgets bound and evict" `Quick
+        test_cache_budgets;
     ] )
