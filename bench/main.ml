@@ -701,6 +701,69 @@ let fast_scheduling () =
   record_metric ~figure:"fastpath" ~series:"total" ~metric:"compile_s_ilp"
     !ilp_time
 
+(* --------------------------- reduction-aware ------------------------------ *)
+
+(* --reductions A/B over the kernels with markable accumulations: simulated
+   performance, parallel-loop counts and the emitted OpenMP clauses, flag
+   on vs off.  The flag-off runs double as the no-regression reference —
+   with nothing marked the pipeline must behave exactly as before. *)
+let reductions () =
+  section "Reduction-aware scheduling: --reductions on vs off";
+  let on_opts = { Driver.default_options with Driver.reductions = true } in
+  let rec par_levels = function
+    | Codegen.For { level; parallel; body; _ } ->
+        (if parallel then [ level ] else [])
+        @ List.concat_map par_levels body
+    | Codegen.Leaf _ -> []
+  in
+  let outer_parallel (r : Driver.result) =
+    List.mem 0
+      (List.concat_map par_levels r.Driver.code.Codegen.body)
+  in
+  let clauses (r : Driver.result) =
+    String.concat ","
+      (List.sort_uniq compare
+         (List.concat_map
+            (fun cs -> List.map (fun (o, v) -> o ^ ":" ^ v) cs)
+            (Array.to_list r.Driver.code.Codegen.reductions)))
+  in
+  Printf.printf "%-12s | %9s %9s | %7s %7s | %s\n" "kernel" "GFLOPS-off"
+    "GFLOPS-on" "out-off" "out-on" "clauses";
+  List.iter
+    (fun (k : Kernels.t) ->
+      let p = Kernels.program k in
+      let compile options =
+        match Driver.compile_robust ~options p with
+        | Ok (r, _) -> r
+        | Error _ -> failwith "compile_robust failed on a corpus kernel"
+      in
+      let off = compile Driver.default_options in
+      let on = compile on_opts in
+      let params = Kernels.params_vector p k.Kernels.bench_params in
+      let g series r =
+        let sim =
+          Machine.simulate Machine.default_machine r.Driver.code ~params
+        in
+        record ~figure:"Reductions" ~series ~x_label:k.Kernels.name ~x:0 sim;
+        sim.Machine.gflops
+      in
+      let goff = g "reductions-off" off and gon = g "reductions-on" on in
+      List.iter
+        (fun (metric, v) ->
+          record_metric ~figure:"Reductions" ~series:k.Kernels.name ~metric v)
+        [
+          ("outer_parallel_off", if outer_parallel off then 1.0 else 0.0);
+          ("outer_parallel_on", if outer_parallel on then 1.0 else 0.0);
+          ("marked_edges",
+           float
+             (List.length
+                (List.filter (fun d -> d.Deps.reduction) on.Driver.deps)));
+        ];
+      Printf.printf "%-12s | %9.3f %9.3f | %7b %7b | %s\n%!" k.Kernels.name
+        goff gon (outer_parallel off) (outer_parallel on)
+        (match clauses on with "" -> "-" | c -> c))
+    [ Kernels.dot; Kernels.histogram; Kernels.mvt; Kernels.lu ]
+
 (* ------------------------ compilation service ----------------------------- *)
 
 (* The plutod daemon (lib/server): the kernel corpus requested over the
@@ -916,6 +979,7 @@ let () =
   batch_throughput ();
   store_resilience ();
   fast_scheduling ();
+  reductions ();
   daemon_service ();
   statistics ();
   bechamel_compile_times ();

@@ -195,7 +195,7 @@ let run files output show_deps show_transform no_tile tile_size no_parallel
     wavefront no_intra_reorder no_input_deps unroll_jam check params_spec
     simulate cores native strict verify break_schedule tune tune_report jobs
     tune_budget stats stats_json cold_solver batch batch_manifest batch_timeout
-    cache_dir cache_size fast_schedule break_fastpath connect =
+    cache_dir cache_size fast_schedule break_fastpath reductions connect =
   if cold_solver then begin
     Milp.set_warm false;
     Polyhedra.set_empty_cache false
@@ -217,6 +217,7 @@ let run files output show_deps show_transform no_tile tile_size no_parallel
         };
       fast_schedule;
       break_fastpath;
+      reductions;
     }
   in
   let code =
@@ -440,7 +441,21 @@ let run files output show_deps show_transform no_tile tile_size no_parallel
                       program.Ir.params
                   in
                   let params = Array.of_list (List.map snd assoc) in
-                  let ok = Machine.equivalent program r.Driver.code ~params in
+                  (* Marked-reduction programs are checked modulo FP
+                     reassociation; everything else stays bit-exact. *)
+                  let tolerance =
+                    if
+                      reductions
+                      && List.exists
+                           (fun d -> d.Deps.reduction)
+                           r.Driver.deps
+                    then Some Machine.reduction_tolerance
+                    else None
+                  in
+                  let ok =
+                    Machine.equivalent ?tolerance program r.Driver.code
+                      ~params
+                  in
                   Format.eprintf "equivalence check (%s): %s@."
                     (String.concat ", "
                        (List.map
@@ -801,6 +816,21 @@ let break_fastpath_arg =
     value & flag
     & info [ "break-fastpath" ] ~doc:"" ~docs:Cmdliner.Manpage.s_none)
 
+let reductions_arg =
+  Arg.(
+    value & flag
+    & info [ "reductions" ]
+        ~doc:
+          "Reduction-aware compilation: detect associative/commutative \
+           self-updates (sums, products, histograms), relax their \
+           self-dependences during scheduling so the surrounding loops can \
+           be parallelized, and emit OpenMP reduction(op:array) clauses on \
+           parallel loops that carry them.  Execution then matches the \
+           original order up to floating-point reassociation rather than \
+           bit-exactly ($(b,--check) compares with a small relative \
+           tolerance for such programs).  Off by default; without this flag \
+           output is bit-identical to previous releases.")
+
 let cmd =
   let doc = "automatic polyhedral parallelizer and locality optimizer" in
   let info = Cmd.info "plutocc" ~version:"1.0" ~doc in
@@ -814,6 +844,6 @@ let cmd =
       $ jobs_arg $ tune_budget_arg $ stats_arg $ stats_json_arg
       $ cold_solver_arg $ batch_arg $ batch_manifest_arg $ batch_timeout_arg
       $ cache_dir_arg $ cache_size_arg $ fast_schedule_arg
-      $ break_fastpath_arg $ connect_arg)
+      $ break_fastpath_arg $ reductions_arg $ connect_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,116 @@
+#!/bin/sh
+# Reduction-aware scheduling smoke test (--reductions).
+#
+# Three halves:
+#
+#   1. The unit/differential half: runs the `reductions` alcotest suite
+#      (detection, marking, alias analysis, clause precision, the
+#      reduction-aware validator, tolerance equivalence).
+#
+#   2. The gain half: compiles dot/histogram/mvt with and without
+#      --reductions and fails unless the flag turns their serialized
+#      outermost loop into a parallel one, carrying exactly the OpenMP
+#      reduction clauses recorded in ci/reduction-smoke-ceiling.json.
+#      Every flag-on compile runs under --check (semantic equivalence,
+#      tolerance compare for marked-reduction programs) and --verify
+#      (legality modulo reassociation), so plutocc's exit code vouches
+#      for soundness, not just shape.
+#
+#   3. The no-op half: kernels the relaxation cannot help (lu, whose
+#      cross-statement flow dependences serialize the outer loop anyway)
+#      and kernels with nothing to mark (jacobi-1d) must compile
+#      bit-identically with the flag on and off — and the flag-off
+#      output of every kernel here must be bit-identical across runs.
+#
+# Run from anywhere; uses `dune exec` so it works in CI and locally.
+set -eu
+
+cd "$(dirname "$0")/.."
+ceiling_file=ci/reduction-smoke-ceiling.json
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "reduction-smoke: unit + differential suite"
+dune exec test/test_main.exe -- test reductions -e
+
+# histogram lives in lib/kernels; materialize it as a .c input
+cat > "$tmpdir/histogram.c" <<'EOF'
+double data[N][M], h[M];
+for (i = 0; i < N; i++)
+  for (j = 0; j < M; j++)
+    h[j] = h[j] + data[i][j];
+EOF
+
+field() {
+  sed -n 's/.*"'"$1"'": "\([^"]*\)".*/\1/p' "$ceiling_file" | head -n 1
+}
+
+# Is the outermost loop of the emitted nest parallel?  True iff an
+# `omp parallel for` pragma appears before the first `for (` line.
+outer_parallel() {
+  pragma=$(grep -n 'omp parallel for' "$1" | head -n 1 | cut -d: -f1)
+  loop=$(grep -n 'for (' "$1" | head -n 1 | cut -d: -f1)
+  [ -n "$pragma" ] && [ -n "$loop" ] && [ "$pragma" -lt "$loop" ]
+}
+
+clauses_of() {
+  grep -o 'reduction([^)]*)' "$1" | sort -u | paste -sd, - || true
+}
+
+status=0
+for kernel in dot histogram mvt lu jacobi-1d; do
+  case "$kernel" in
+  histogram) src="$tmpdir/histogram.c" ;;
+  *) src="examples/$kernel.c" ;;
+  esac
+
+  off="$tmpdir/$kernel.off.c"
+  off2="$tmpdir/$kernel.off2.c"
+  on="$tmpdir/$kernel.on.c"
+  dune exec bin/plutocc.exe -- "$src" -o "$off"
+  dune exec bin/plutocc.exe -- "$src" -o "$off2"
+  # --check and --verify make a wrong relaxation a hard (exit-code) failure
+  dune exec bin/plutocc.exe -- "$src" --reductions --check --verify -o "$on"
+
+  if ! cmp -s "$off" "$off2"; then
+    echo "reduction-smoke: FAIL: $kernel flag-off output not deterministic" >&2
+    status=1
+  fi
+
+  gains=$(field "$kernel.gains_outer_parallel")
+  case "$gains" in
+  yes)
+    if outer_parallel "$off"; then
+      echo "reduction-smoke: FAIL: $kernel outer loop already parallel without --reductions" >&2
+      status=1
+    elif ! outer_parallel "$on"; then
+      echo "reduction-smoke: FAIL: $kernel outer loop still serial under --reductions" >&2
+      status=1
+    else
+      echo "reduction-smoke: ok: $kernel gains a parallel outer loop"
+    fi
+    want=$(field "$kernel.clauses")
+    got=$(clauses_of "$on")
+    if [ "$got" = "$want" ]; then
+      echo "reduction-smoke: ok: $kernel clauses = $want"
+    else
+      echo "reduction-smoke: FAIL: $kernel clauses '$got' != expected '$want'" >&2
+      status=1
+    fi
+    ;;
+  no)
+    if [ "$(field "$kernel.flag_noop")" = "yes" ] && ! cmp -s "$off" "$on"; then
+      echo "reduction-smoke: FAIL: $kernel output changed under --reductions (expected bit-identical)" >&2
+      status=1
+    else
+      echo "reduction-smoke: ok: $kernel bit-identical with the flag on (nothing to gain)"
+    fi
+    ;;
+  *)
+    echo "reduction-smoke: FAIL: no expectation for $kernel in $ceiling_file" >&2
+    status=1
+    ;;
+  esac
+done
+
+exit $status

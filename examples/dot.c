@@ -1,0 +1,9 @@
+/* Dot product: a single-cell accumulator s[0] carries a flow dependence
+   from every iteration to the next, so the classic model serializes the
+   loop completely.  With reduction-aware scheduling the self-update is
+   recognized as an associative sum and the loop parallelizes with an
+   OpenMP reduction clause.
+   Try:  plutocc examples/dot.c --reductions --check */
+double a[N], b[N], s[2];
+for (i = 0; i < N; i++)
+  s[0] = s[0] + a[i] * b[i];

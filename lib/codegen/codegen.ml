@@ -29,6 +29,7 @@ type t = {
   nparams : int;
   body : ast list;
   unroll : int array;
+  reductions : (string * string) list array;
 }
 
 exception Codegen_error of string
@@ -478,7 +479,14 @@ let generate ?(context_min = 1) (tgt : target) =
     end
   in
   let body = gen 0 (List.map (fun si -> (si, context_rows)) infos) in
-  { target = tgt; nlevels; nparams = np; body; unroll = Array.make nlevels 1 }
+  {
+    target = tgt;
+    nlevels;
+    nparams = np;
+    body;
+    unroll = Array.make nlevels 1;
+    reductions = Array.make nlevels [];
+  }
 
 let rec ast_size = function
   | For { body; _ } -> 1 + Putil.sum_by ast_size body
@@ -522,6 +530,13 @@ let with_unroll_innermost t ~factor =
 let unrolled_levels t =
   List.filter (fun l -> t.unroll.(l) > 1) (Putil.range (Array.length t.unroll))
 
+(* --------------------------- reduction clauses --------------------------- *)
+
+let with_reductions t clauses =
+  if Array.length clauses <> t.nlevels then
+    invalid_arg "Codegen.with_reductions: clause array length";
+  { t with reductions = clauses }
+
 (* ------------------------------- C printer ------------------------------- *)
 
 let var_names t =
@@ -559,11 +574,20 @@ let rec pp_ast t names fmt node =
         let privates =
           List.init (t.nlevels - level - 1) (fun j -> names.(level + 1 + j))
         in
-        match privates with
-        | [] -> Format.fprintf fmt "@,#pragma omp parallel for"
-        | _ ->
-            Format.fprintf fmt "@,#pragma omp parallel for private(%s)"
-              (String.concat "," privates)
+        (* whole-array OpenMP reductions (4.5 C array reductions): each
+           thread privatizes the array zero-initialized and the combiner
+           folds the per-thread contributions into the live-in values, which
+           is exactly what an [x op= e] accumulation computes *)
+        let reds =
+          List.map
+            (fun (op, var) -> Printf.sprintf " reduction(%s:%s)" op var)
+            t.reductions.(level)
+        in
+        Format.fprintf fmt "@,#pragma omp parallel for%s%s"
+          (match privates with
+          | [] -> ""
+          | _ -> Printf.sprintf " private(%s)" (String.concat "," privates))
+          (String.concat "" reds)
       end;
       (match (lb, ub) with
       | Affine a, Affine b when a = b ->

@@ -60,6 +60,14 @@ type t = {
           [#pragma unroll(f)] and the {!Machine} simulator amortizes loop
           control overhead over [f] (and charges a remainder-loop cost per
           entry), pricing the classic unroll-jam trade-off. *)
+  reductions : (string * string) list array;
+      (** per-level [reduction(op:array)] clauses (all empty from
+          {!generate}; the driver attaches them under [--reductions]): a
+          parallel loop at that level carries a marked reduction whose
+          accumulator lives in [array], so the C printer appends whole-array
+          OpenMP reduction clauses to the loop's pragma.  Like [unroll] this
+          is annotation only — the sequential interpreter and the validator
+          see the same iteration order either way. *)
 }
 
 exception Codegen_error of string
@@ -78,6 +86,11 @@ val with_unroll_innermost : t -> factor:int -> t
 
 (** The levels currently carrying an unroll factor > 1. *)
 val unrolled_levels : t -> int list
+
+(** [with_reductions t clauses] — attach per-level [(op, array)] reduction
+    clauses ([clauses] must have length [nlevels]).
+    @raise Invalid_argument on a length mismatch. *)
+val with_reductions : t -> (string * string) list array -> t
 
 (** [print_c fmt t] emits compilable C with OpenMP pragmas, [floord]/[ceild]/
     [min]/[max] macros, array declarations and a [main] driver.  With

@@ -128,31 +128,35 @@ let bound_form lay (d : Deps.t) ~sign ~which : Farkas.symbolic_form =
   form
 
 let dep_state lay (d : Deps.t) =
+  (* Marked reduction edges are dropped from the legality system — the order
+     in which an associative/commutative update's instances combine is
+     immaterial up to floating-point reassociation — but stay in the bounding
+     objective so their communication/reuse volume is still priced. *)
   let legality =
-    if Deps.is_legality d then
+    if Deps.is_hard d then
       Some (Farkas.constraints ~nilp:lay.nilp ~form:(delta_form lay d) ~poly:d.Deps.poly)
     else None
   in
+  let bound which sign =
+    Farkas.constraints ~nilp:lay.nilp
+      ~form:(bound_form lay d ~sign ~which)
+      ~poly:d.Deps.poly
+  in
   let bounding =
-    if Deps.is_legality d then
-      Farkas.constraints ~nilp:lay.nilp
-        ~form:(bound_form lay d ~sign:(-1) ~which:`Primary)
-        ~poly:d.Deps.poly
-    else begin
+    if Deps.is_hard d then bound `Primary (-1)
+    else if Deps.is_legality d then
+      (* a relaxed reduction edge no longer has a guaranteed δ sign, so it is
+         bounded from both sides by the shared primary bound *)
+      Polyhedra.meet (bound `Primary (-1)) (bound `Primary 1)
+    else
       (* Input dependences are bounded from both sides (§4.1) by the shared
          bound (u, w) exactly as in the paper, and additionally by the
          secondary bound (u', w'), which is minimized after (u, w) and breaks
          ties in favour of smaller reuse distances (the refinement that makes
          the MVT fusion of §7 deterministic; see DESIGN.md). *)
-      let bound which sign =
-        Farkas.constraints ~nilp:lay.nilp
-          ~form:(bound_form lay d ~sign ~which)
-          ~poly:d.Deps.poly
-      in
       Polyhedra.meet
         (Polyhedra.meet (bound `Primary (-1)) (bound `Primary 1))
         (Polyhedra.meet (bound `Secondary (-1)) (bound `Secondary 1))
-    end
   in
   { dep = d; legality; bounding; satisfied = None; dismissed = false }
 
@@ -365,14 +369,14 @@ let transform ?(config = default_config) (p : Ir.program) (deps : Deps.t list) =
   in
   let live_legality () =
     List.filter
-      (fun st -> Deps.is_legality st.dep && st.satisfied = None)
+      (fun st -> Deps.is_hard st.dep && st.satisfied = None)
       states
   in
   let mark_satisfaction rows =
     (* concrete δ per dependence; record first level at which min δ >= 1 *)
     List.iter
       (fun st ->
-        if Deps.is_legality st.dep && st.satisfied = None then begin
+        if Deps.is_hard st.dep && st.satisfied = None then begin
           let d = st.dep in
           let row_s = rows.(d.Deps.src.Ir.id) in
           let row_t = rows.(d.Deps.dst.Ir.id) in
@@ -385,11 +389,11 @@ let transform ?(config = default_config) (p : Ir.program) (deps : Deps.t list) =
       states
   in
   let level_parallel rows =
-    (* the level is parallel iff no live legality dependence has a non-zero
-       component along it *)
+    (* the level is parallel iff no live hard dependence has a non-zero
+       component along it (marked reduction edges never serialize a loop) *)
     List.for_all
       (fun st ->
-        (not (Deps.is_legality st.dep))
+        (not (Deps.is_hard st.dep))
         || st.dismissed
         || (match st.satisfied with Some l when l < !level -> true | _ -> false)
         ||
@@ -411,7 +415,7 @@ let transform ?(config = default_config) (p : Ir.program) (deps : Deps.t list) =
     (* mark cross-component dependences satisfied *)
     List.iter
       (fun st ->
-        if Deps.is_legality st.dep && st.satisfied = None then begin
+        if Deps.is_hard st.dep && st.satisfied = None then begin
           let cs = comp.(st.dep.Deps.src.Ir.id)
           and cd = comp.(st.dep.Deps.dst.Ir.id) in
           if cd > cs then begin
@@ -527,7 +531,7 @@ let transform ?(config = default_config) (p : Ir.program) (deps : Deps.t list) =
               (fun st ->
                 if
                   (not st.dismissed) && st.satisfied = None
-                  && Deps.is_legality st.dep
+                  && Deps.is_hard st.dep
                   && not (weakly_unordered st)
                 then begin
                   st.dismissed <- true;
@@ -617,7 +621,7 @@ let annotate ?(config = default_config) (p : Ir.program) (deps : Deps.t list)
     ~(rows : int array array array) ~(scalar : bool array) : transform =
   let nlevels = Array.length scalar in
   let np = Ir.nparams p and ctx = config.ctx in
-  let legality = List.filter Deps.is_legality deps in
+  let legality = List.filter Deps.is_hard deps in
   let satisfied_at = Hashtbl.create 16 in
   let live = Hashtbl.create 16 in
   List.iter (fun d -> Hashtbl.replace live d.Deps.id d) legality;

@@ -34,7 +34,7 @@ exception No_fast_schedule of string
 (* Bump when the matcher's search or acceptance rules change: the store
    layer stamps cached fast-path results with this so stale entries from an
    older matcher are version-skew misses, not wrong answers. *)
-let version = "fastmatch-v1"
+let version = "fastmatch-v2"
 
 (* Backtracking-node allowance for the whole search.  The matcher is meant
    to be decisively cheaper than one ILP solve; a search that needs more
@@ -101,10 +101,13 @@ let schedule ?(config = Auto.default_config) (p : Ir.program)
     p.Ir.stmts;
   let depth = Array.of_list (List.map Ir.depth p.Ir.stmts) in
   let maxd = Array.fold_left max 0 depth in
+  (* Only hard edges constrain the matcher: marked reduction edges (like
+     input dependences) still cast dimension-matching votes below but never
+     veto a permutation or serialize a level. *)
   let states =
     List.filter_map
       (fun d ->
-        if Deps.is_legality d then
+        if Deps.is_hard d then
           Some { dep = d; satisfied = None; dismissed = false }
         else None)
       deps

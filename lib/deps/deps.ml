@@ -9,9 +9,11 @@ type t = {
   poly : Polyhedra.t;
   src_acc : Ir.access;
   dst_acc : Ir.access;
+  reduction : bool;
 }
 
 let is_legality d = d.kind <> Input
+let is_hard d = is_legality d && not d.reduction
 
 let kind_name = function
   | Flow -> "flow"
@@ -23,12 +25,18 @@ let nvars d = d.poly.Polyhedra.nvars
 
 (* Index of the single iterator with a nonzero coefficient in an access row
    (width m + np + 1), or None when the subscript mixes several iterators or
-   none at all. *)
-let unit_iter_dim m (row : int array) =
+   none at all.  Rows with a nonzero coefficient on any of the [np] parameter
+   columns are rejected too: [A[i+n]] vs [A[i]] is a parametrically long
+   distance, not a matched dimension, and letting it vote used to feed the
+   fast matcher alignments that ended in avoidable ILP fallbacks. *)
+let unit_iter_dim ~m ~np (row : int array) =
   let found = ref None and ok = ref true in
   for j = 0 to m - 1 do
     if row.(j) <> 0 then
       match !found with None -> found := Some j | Some _ -> ok := false
+  done;
+  for j = m to m + np - 1 do
+    if row.(j) <> 0 then ok := false
   done;
   if !ok then !found else None
 
@@ -39,7 +47,8 @@ let matched_dims d =
   if Array.length d.dst_acc.Ir.map = n then
     for k = n - 1 downto 0 do
       let rs = d.src_acc.Ir.map.(k) and rt = d.dst_acc.Ir.map.(k) in
-      match (unit_iter_dim ms rs, unit_iter_dim mt rt) with
+      let np = Array.length rs - ms - 1 in
+      match (unit_iter_dim ~m:ms ~np rs, unit_iter_dim ~m:mt ~np rt) with
       | Some a, Some b when rs.(a) = rt.(b) -> pairs := (a, b) :: !pairs
       | _ -> ()
     done;
@@ -155,10 +164,60 @@ let nonempty ~ctx ~np (poly : Polyhedra.t) =
     else match Milp.feasible_cached sys with Some _ -> true | None -> false
   with Diag.Budget_exceeded _ -> true
 
-let compute ?(input_deps = true) ?(ctx = 100) (p : Ir.program) =
+(* Semantic completion of {!Ir.reduction_of_stmt}: the statement is a genuine
+   reduction only if no {e other} read of the accumulator's array can touch
+   the accumulator cell anywhere in the iteration domain — e.g. LU's
+   [a[i][j] -= a[i][k] * a[k][j]] qualifies because its domain has [j > k]
+   and [i > k], making both alias systems integer-empty.  A read with a
+   syntactically identical map was already rejected by the Ir half;
+   everything else gets a polyhedral emptiness test (parameters fixed to
+   [ctx], the same context the dependence tester itself uses). *)
+let reduction_of_stmt ~ctx ~np (s : Ir.stmt) =
+  match Ir.reduction_of_stmt s with
+  | None -> None
+  | Some r ->
+      let nv = s.Ir.domain.Polyhedra.nvars in
+      let may_alias other =
+        let eqs =
+          List.map
+            (fun k ->
+              Polyhedra.eq
+                (Vec.sub
+                   (Ir.row_to_vec other.Ir.map.(k))
+                   (Ir.row_to_vec s.Ir.lhs.map.(k))))
+            (Putil.range (Array.length other.Ir.map))
+        in
+        let sys =
+          Polyhedra.meet s.Ir.domain (Polyhedra.of_constrs nv eqs)
+        in
+        nonempty ~ctx ~np sys
+      in
+      let others =
+        List.filter
+          (fun a ->
+            String.equal a.Ir.arr s.Ir.lhs.arr
+            && not (Ir.same_access a s.Ir.lhs))
+          (Ir.reads_of_expr s.Ir.rhs)
+      in
+      if List.exists may_alias others then None else Some r
+
+let compute ?(input_deps = true) ?(reductions = false) ?(ctx = 100)
+    (p : Ir.program) =
   let np = Ir.nparams p in
   let deps = ref [] in
   let next = ref 0 in
+  (* per-statement reduction verdict, memoized (the alias check solves ILPs) *)
+  let red_cache = Hashtbl.create 7 in
+  let reduction_acc (s : Ir.stmt) =
+    if not reductions then None
+    else
+      match Hashtbl.find_opt red_cache s.Ir.id with
+      | Some r -> r
+      | None ->
+          let r = reduction_of_stmt ~ctx ~np s in
+          Hashtbl.add red_cache s.Ir.id r;
+          r
+  in
   let consider src dst kind src_acc dst_acc =
     if String.equal src_acc.Ir.arr dst_acc.Ir.arr then begin
       let common = Ir.common_loops src dst in
@@ -171,12 +230,34 @@ let compute ?(input_deps = true) ?(ctx = 100) (p : Ir.program) =
         in
         carried @ independent
       in
+      (* a self flow/anti/output edge both of whose endpoints are the
+         accumulator access of a verified reduction statement is relaxable *)
+      let reduction =
+        kind <> Input
+        && src.Ir.id = dst.Ir.id
+        &&
+        match reduction_acc src with
+        | Some r ->
+            Ir.same_access src_acc r.Ir.red_acc
+            && Ir.same_access dst_acc r.Ir.red_acc
+        | None -> false
+      in
       List.iter
         (fun level ->
           let poly = build_poly p src dst ~level src_acc dst_acc in
           if nonempty ~ctx ~np poly then begin
             let d =
-              { id = !next; src; dst; kind; level; poly; src_acc; dst_acc }
+              {
+                id = !next;
+                src;
+                dst;
+                kind;
+                level;
+                poly;
+                src_acc;
+                dst_acc;
+                reduction;
+              }
             in
             incr next;
             deps := d :: !deps
@@ -219,5 +300,7 @@ let pp fmt d =
     | Some l -> Printf.sprintf "loop %d" (l + 1)
     | None -> "loop-independent"
   in
-  Format.fprintf fmt "dep %d: %s %s(%s) -> %s(%s) [%s]" d.id (kind_name d.kind)
-    d.src.Ir.name d.src_acc.Ir.arr d.dst.Ir.name d.dst_acc.Ir.arr level
+  Format.fprintf fmt "dep %d: %s %s(%s) -> %s(%s) [%s]%s" d.id
+    (kind_name d.kind) d.src.Ir.name d.src_acc.Ir.arr d.dst.Ir.name
+    d.dst_acc.Ir.arr level
+    (if d.reduction then " [reduction]" else "")

@@ -30,17 +30,35 @@ type t = {
   poly : Polyhedra.t;  (** over [src.iters @ dst.iters @ params] *)
   src_acc : Ir.access;
   dst_acc : Ir.access;
+  reduction : bool;
+      (** a self flow/anti/output edge between two instances of a verified
+          associative/commutative self-update's accumulator access: legal to
+          relax during scheduling (order of combination is immaterial up to
+          floating-point reassociation), still real for locality bounding.
+          Only ever true when [compute] ran with [reductions:true]. *)
 }
 
 (** [is_legality d] — input dependences do not constrain legality (§4.1). *)
 val is_legality : t -> bool
 
+(** [is_hard d] — must the schedule preserve this edge's order?  Legality
+    edges minus marked reduction edges: the predicate every legality /
+    satisfaction / parallelism constraint in the scheduler and validator is
+    built from when reductions are enabled (with them off no edge is marked,
+    so [is_hard] = [is_legality]). *)
+val is_hard : t -> bool
+
 val kind_name : kind -> string
 
-(** [compute ?input_deps ?ctx program] builds the DDG edge list.
+(** [compute ?input_deps ?reductions ?ctx program] builds the DDG edge list.
     [ctx] (default 100) is the parameter value used for the integer emptiness
-    test of each candidate polyhedron. *)
-val compute : ?input_deps:bool -> ?ctx:int -> Ir.program -> t list
+    test of each candidate polyhedron.  With [reductions:true] (default
+    false), self-dependences of associative/commutative self-update
+    statements whose accumulator cell is provably not aliased by any other
+    read of the same array ({!Ir.reduction_of_stmt} plus a per-read
+    polyhedral emptiness test) are marked [reduction]. *)
+val compute :
+  ?input_deps:bool -> ?reductions:bool -> ?ctx:int -> Ir.program -> t list
 
 (** [nvars d] is the variable count of [d.poly]. *)
 val nvars : t -> int

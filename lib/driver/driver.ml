@@ -11,6 +11,7 @@ type options = {
   context_min : int;
   fast_schedule : bool;
   break_fastpath : bool;
+  reductions : bool;
 }
 
 let default_options =
@@ -27,6 +28,7 @@ let default_options =
     context_min = 1;
     fast_schedule = true;
     break_fastpath = false;
+    reductions = false;
   }
 
 let paper_options = default_options
@@ -145,6 +147,125 @@ let build_target options (tr : Pluto.Types.transform) =
   in
   tgt
 
+(* ------------------------ OpenMP reduction clauses ------------------------ *)
+
+(* Per target level, the [reduction(op:array)] clauses the C printer must
+   attach to a parallel loop at that level.  A parallel level [l] needs a
+   clause for reduction statement [S] exactly when it {e carries} S's marked
+   self-dependence under the final schedule: two instances of S with equal
+   scattering prefix 0..l-1, a strictly positive difference at [l], and the
+   same accumulator cell.  That is one integer-emptiness test per (level,
+   statement) pair over two copies of S's extended (post-tiling) domain —
+   e.g. MVT's outer-parallel [x1[i] += ...] is empty here (different [i] ⇒
+   different cell ⇒ no clause) while its inner [j]-parallel variant is not.
+   The clause privatizes the whole array (OpenMP 4.5 C array reductions),
+   which is correct for cell accumulators too: private copies start at the
+   op's identity and the combiner folds per-thread contributions into the
+   live-in values.  A solver-budget blowup conservatively attaches the
+   clause — a superfluous clause is semantically harmless, a missing one is
+   a race. *)
+let reduction_clauses ~ctx (tgt : Pluto.Types.target) (deps : Deps.t list) =
+  let nlevels = tgt.Pluto.Types.tnlevels in
+  let clauses = Array.make nlevels [] in
+  let np = List.length tgt.Pluto.Types.tprogram.Ir.params in
+  let red_stmts =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (d : Deps.t) ->
+           if d.Deps.reduction then Some d.Deps.src.Ir.id else None)
+         deps)
+  in
+  List.iter
+    (fun sid ->
+      let ts = List.nth tgt.Pluto.Types.tstmts sid in
+      match Ir.reduction_of_stmt ts.Pluto.Types.stmt with
+      | None -> ()
+      | Some r ->
+          let s = ts.Pluto.Types.stmt in
+          let next = Array.length ts.Pluto.Types.ext_iters in
+          let m = Ir.depth s in
+          let nv = (2 * next) + np in
+          let width = nv + 1 in
+          (* variables: [ext_iters copy 1 @ ext_iters copy 2 @ params] *)
+          let embed offset (c : Polyhedra.constr) =
+            let coefs = Vec.zero width in
+            for j = 0 to next - 1 do
+              coefs.(offset + j) <- c.Polyhedra.coefs.(j)
+            done;
+            for j = 0 to np - 1 do
+              coefs.((2 * next) + j) <- c.Polyhedra.coefs.(next + j)
+            done;
+            coefs.(width - 1) <- c.Polyhedra.coefs.(next + np);
+            { c with Polyhedra.coefs }
+          in
+          let base_cs =
+            List.map (embed 0) ts.Pluto.Types.ext_domain.Polyhedra.cs
+            @ List.map (embed next) ts.Pluto.Types.ext_domain.Polyhedra.cs
+          in
+          (* same accumulator cell in both copies (the original iterators are
+             the trailing [m] extended iterators) *)
+          let acc_eqs =
+            List.map
+              (fun k ->
+                let row = r.Ir.red_acc.Ir.map.(k) in
+                let coefs = Vec.zero width in
+                for j = 0 to m - 1 do
+                  coefs.(next - m + j) <- Bigint.of_int (-row.(j));
+                  coefs.(next + (next - m) + j) <- Bigint.of_int row.(j)
+                done;
+                Polyhedra.eq coefs)
+              (Putil.range (Array.length r.Ir.red_acc.Ir.map))
+          in
+          let fix =
+            List.map
+              (fun j ->
+                let c = Vec.zero width in
+                c.((2 * next) + j) <- Bigint.one;
+                c.(width - 1) <- Bigint.of_int (-ctx);
+                Polyhedra.eq c)
+              (Putil.range np)
+          in
+          let trow_delta l =
+            let row = ts.Pluto.Types.trows.(l) in
+            let coefs = Vec.zero width in
+            for j = 0 to next - 1 do
+              coefs.(j) <- Bigint.of_int (-row.(j));
+              coefs.(next + j) <- Bigint.of_int row.(j)
+            done;
+            coefs
+          in
+          for l = 0 to nlevels - 1 do
+            if tgt.Pluto.Types.tpar.(l) = Pluto.Types.Par then begin
+              let prefix_eqs =
+                List.map (fun k -> Polyhedra.eq (trow_delta k)) (Putil.range l)
+              in
+              let ge1 =
+                let c = trow_delta l in
+                c.(width - 1) <- Bigint.minus_one;
+                Polyhedra.ge c
+              in
+              let sys =
+                Polyhedra.of_constrs nv
+                  (base_cs @ acc_eqs @ fix @ prefix_eqs @ [ ge1 ])
+              in
+              let carries =
+                try
+                  if Polyhedra.is_empty_cached ~integer:true sys then false
+                  else Option.is_some (Milp.feasible_cached sys)
+                with Diag.Budget_exceeded _ -> true
+              in
+              if carries then begin
+                let clause =
+                  (Ir.binop_symbol r.Ir.red_op, s.Ir.lhs.Ir.arr)
+                in
+                if not (List.mem clause clauses.(l)) then
+                  clauses.(l) <- clauses.(l) @ [ clause ]
+              end
+            end
+          done)
+    red_stmts;
+  clauses
+
 let compile_with_transform ?(options = default_options) program deps transform =
   let target = build_target options transform in
   let code =
@@ -156,12 +277,20 @@ let compile_with_transform ?(options = default_options) program deps transform =
       Codegen.with_unroll_innermost code ~factor:options.unroll_jam
     else code
   in
+  let code =
+    if options.reductions then
+      Codegen.with_reductions code
+        (Stats.time "pass.reduction_clauses" (fun () ->
+             reduction_clauses ~ctx:options.auto.Pluto.Auto.ctx target deps))
+    else code
+  in
   { program; deps; transform; target; code }
 
 let compile ?(options = default_options) program =
   let deps =
     Stats.time "pass.deps" (fun () ->
-        Deps.compute ~input_deps:options.auto.Pluto.Auto.input_deps program)
+        Deps.compute ~input_deps:options.auto.Pluto.Auto.input_deps
+          ~reductions:options.reductions program)
   in
   let transform =
     Stats.time "pass.transform" (fun () ->
@@ -173,7 +302,7 @@ let compile_source ?options ?name src =
   compile ?options (Frontend.parse_program ?name src)
 
 let compile_original ?(options = default_options) program =
-  let deps = Deps.compute program in
+  let deps = Deps.compute ~reductions:options.reductions program in
   let transform = Pluto.Auto.identity_transform ~config:options.auto program deps in
   let target = Pluto.Tiling.untiled_target transform in
   (* original code: no OpenMP marks (icc's auto-parallelizer fails on these) *)
@@ -310,7 +439,8 @@ let break_transform (t : Pluto.Types.transform) =
 let try_fast ~options ~revalidate program =
   let deps =
     Stats.time "pass.deps" (fun () ->
-        Deps.compute ~input_deps:options.auto.Pluto.Auto.input_deps program)
+        Deps.compute ~input_deps:options.auto.Pluto.Auto.input_deps
+          ~reductions:options.reductions program)
   in
   let key = if options.break_fastpath then None else fast_key program options in
   let cache_read () =
@@ -404,7 +534,9 @@ let compile_robust ?(options = default_options) ?(strict = false)
   in
   let rung_auto () = compile ~options program in
   let rung_feautrier () =
-    let deps = Deps.compute ~input_deps:false program in
+    let deps =
+      Deps.compute ~input_deps:false ~reductions:options.reductions program
+    in
     let fcfg =
       { Feautrier_core.config with
         Pluto.Auto.budget = options.auto.Pluto.Auto.budget;

@@ -37,6 +37,17 @@ type options = {
       (** testing hook ([--break-fastpath]): deliberately corrupt any
           accepted fast schedule before validation, proving the rejection
           path end to end.  Poisoned results are never cached. *)
+  reductions : bool;
+      (** reduction-aware compilation ([--reductions], default off):
+          associative/commutative self-updates are detected and their
+          self-dependences marked ({!Deps.compute}), the schedulers relax
+          marked edges (parallelizing dot products, histograms and the
+          accumulation dimensions of lu/mvt), parallel loops that carry a
+          marked reduction get OpenMP [reduction(op:array)] clauses, and the
+          translation validator switches to legality modulo reassociation
+          for the marked edges only.  Execution of such programs matches the
+          original order up to floating-point reassociation
+          ({!Machine.equivalent} [~tolerance]), not bit-exactly. *)
 }
 
 val default_options : options

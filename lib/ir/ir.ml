@@ -58,6 +58,38 @@ let rec flops_of_expr = function
 let accesses s =
   (Write, s.lhs) :: List.map (fun a -> (Read, a)) (reads_of_expr s.rhs)
 
+(* ------------------------- reduction detection -------------------------- *)
+
+type reduction = { red_op : binop; red_acc : access }
+
+let same_access a b = String.equal a.arr b.arr && a.map = b.map
+
+let binop_symbol = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let reduction_of_stmt s =
+  let is_acc a = same_access a s.lhs in
+  let rec touches_acc = function
+    | Const _ | Iter _ -> false
+    | Load a -> is_acc a
+    | Unop (_, e) -> touches_acc e
+    | Binop (_, a, b) -> touches_acc a || touches_acc b
+  in
+  let mk op acc rest =
+    (* the combined value must not feed back into the update other than
+       through the single top-level accumulator load *)
+    if touches_acc rest then None else Some { red_op = op; red_acc = acc }
+  in
+  match s.rhs with
+  (* x = x op e: Add/Sub/Mul with the accumulator on the left.  Repeated
+     [x -= e_k] applications commute just like sums (each contributes an
+     independent negated term), so Sub qualifies in this position; Div is
+     excluded because OpenMP has no division reduction to lower it to. *)
+  | Binop (((Add | Sub | Mul) as op), Load a, rest) when is_acc a ->
+      mk op a rest
+  (* x = e op x: only for the commutative combines *)
+  | Binop (((Add | Mul) as op), rest, Load a) when is_acc a -> mk op a rest
+  | _ -> None
+
 let common_loops a b =
   let da = depth a and db = depth b in
   let lim = min da db in

@@ -111,6 +111,27 @@ val mk_stmt :
 (** [reads_of_expr e] collects all loads in evaluation order. *)
 val reads_of_expr : expr -> access list
 
+(** {1 Reduction detection (syntactic half)} *)
+
+(** A statement of the shape [x = x op e] (with [op] associative/commutative
+    up to floating-point reassociation): the accumulator access and the
+    combine operator. *)
+type reduction = { red_op : binop; red_acc : access }
+
+(** [same_access a b] — same array, structurally equal affine maps. *)
+val same_access : access -> access -> bool
+
+(** The C/OpenMP spelling of a combine operator. *)
+val binop_symbol : binop -> string
+
+(** [reduction_of_stmt s] — [Some r] when [s] is a self-update [x = x op e]
+    with [op] in [{+, -, *}] ([-] only with the accumulator on the left) and
+    the combined expression [e] never syntactically reloads the accumulator
+    cell.  This is only the syntactic half: whether other same-array reads can
+    {e alias} the accumulator cell is a polyhedral question answered in
+    [Deps] (which also requires the [--reductions] opt-in). *)
+val reduction_of_stmt : stmt -> reduction option
+
 (** [flops_of_expr e] counts arithmetic operations. *)
 val flops_of_expr : expr -> int
 

@@ -277,6 +277,41 @@ for (p = 0; p < N; p++)
     bench_params = [ ("N", 400) ];
   }
 
+let dot =
+  {
+    name = "dot";
+    description =
+      "dot product: a single-cell accumulator that serializes every loop \
+       unless reductions are enabled (--reductions)";
+    paper = "-";
+    source =
+      {|
+double a[N], b[N], s[2];
+for (i = 0; i < N; i++)
+  s[0] = s[0] + a[i] * b[i];
+|};
+    check_params = [ ("N", 40) ];
+    bench_params = [ ("N", 40000) ];
+  }
+
+let histogram =
+  {
+    name = "histogram";
+    description =
+      "column-sum histogram: per-bin accumulators updated across an outer \
+       scan; the scan loop parallelizes only with --reductions";
+    paper = "-";
+    source =
+      {|
+double data[N][M], h[M];
+for (i = 0; i < N; i++)
+  for (j = 0; j < M; j++)
+    h[j] = h[j] + data[i][j];
+|};
+    check_params = [ ("N", 24); ("M", 10) ];
+    bench_params = [ ("N", 2000); ("M", 64) ];
+  }
+
 let all =
   [
     jacobi_1d;
@@ -292,6 +327,8 @@ let all =
     syrk;
     doitgen;
     gesummv;
+    dot;
+    histogram;
   ]
 
 let find name =

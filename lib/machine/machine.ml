@@ -264,7 +264,15 @@ let run_original (p : Ir.program) ~params ~mem =
     sorted;
   List.length sorted
 
-let equivalent ?par_reverse (p : Ir.program) (cg : Codegen.t) ~params =
+(* The tolerance every reduction-aware caller (plutocc --check, the
+   differential suite, the CI smoke job) uses: wide enough for any realistic
+   reassociation of the test-size accumulations, still tight enough that a
+   genuinely wrong schedule — which reorders non-associative dataflow, not
+   just summation — blows through it. *)
+let reduction_tolerance = 1e-8
+
+let equivalent ?par_reverse ?tolerance (p : Ir.program) (cg : Codegen.t)
+    ~params =
   let mem1 = alloc_memory p ~params in
   let mem2 = alloc_memory p ~params in
   init_memory mem1;
@@ -285,7 +293,32 @@ let equivalent ?par_reverse (p : Ir.program) (cg : Codegen.t) ~params =
           a;
         !ok)
   in
-  n1 = n2 && same_bits mem1.data mem2.data
+  (* Tolerance mode, for programs whose schedule reassociates marked
+     reductions: values must agree up to a mixed relative/absolute error,
+     with NaN/infinity bit patterns still required to match exactly (a
+     reassociation never turns a finite sum into a NaN of different origin
+     without also blowing the tolerance on the way there). *)
+  let same_tol tol a b =
+    Array.length a = Array.length b
+    && (let ok = ref true in
+        Array.iteri
+          (fun i v ->
+            let w = b.(i) in
+            let close =
+              if Float.is_finite v && Float.is_finite w then
+                Float.abs (v -. w)
+                <= tol *. Float.max 1.0 (Float.max (Float.abs v) (Float.abs w))
+              else Int64.bits_of_float v = Int64.bits_of_float w
+            in
+            if not close then ok := false)
+          a;
+        !ok)
+  in
+  n1 = n2
+  &&
+  match tolerance with
+  | None -> same_bits mem1.data mem2.data
+  | Some tol -> same_tol tol mem1.data mem2.data
 
 (* --------------------------- performance model --------------------------- *)
 

@@ -39,8 +39,23 @@ val run_original : Ir.program -> params:int array -> mem:memory -> int
 
 (** [equivalent program cg ~params] allocates two memories with identical
     contents, runs the original program on one and the generated code on the
-    other, and compares bitwise. *)
-val equivalent : ?par_reverse:bool -> Ir.program -> Codegen.t -> params:int array -> bool
+    other, and compares bitwise.  With [tolerance:tol] finite values instead
+    compare up to [|a - b| <= tol * max(1, |a|, |b|)] (non-finite values
+    still bitwise) — only for programs containing marked reductions, whose
+    schedules legitimately reassociate floating-point accumulation; every
+    other caller keeps the bit-exact default. *)
+val equivalent :
+  ?par_reverse:bool ->
+  ?tolerance:float ->
+  Ir.program ->
+  Codegen.t ->
+  params:int array ->
+  bool
+
+(** The shared tolerance for reduction-aware equivalence checks (1e-8):
+    [equivalent ~tolerance:reduction_tolerance] is what every caller uses for
+    programs with marked reductions. *)
+val reduction_tolerance : float
 
 (** {1 Performance simulation} *)
 

@@ -496,6 +496,12 @@ let std_bound_row ~nonneg ~nv ~nv0 j ~ge (bound : Q.t) =
   if not nonneg then a.(nv0 + j) <- Q.neg s;
   (a, if ge then Q.neg bound else bound)
 
+(* The clock time budgets are measured on.  Wall time, as milp.mli promises —
+   not Sys.time, whose CPU accounting stands still while the process sleeps
+   or waits on I/O, letting a stalled solver blow far past its advertised
+   allowance. *)
+let now = Unix.gettimeofday
+
 type bb_ctl = {
   bud : budget;
   nodes : int ref;
@@ -528,8 +534,10 @@ let rec bb_node ctl (sys : Polyhedra.t) start =
          (Printf.sprintf
             "Milp.ilp: branch-and-bound exceeded the %d-node budget"
             ctl.bud.max_nodes));
+  (* [>=]: a zero allowance means the deadline has passed the moment it is
+     armed, even when the clock has not ticked between arming and checking. *)
   (match ctl.deadline with
-  | Some dl when Sys.time () > dl ->
+  | Some dl when now () >= dl ->
       raise
         (Diag.Budget_exceeded
            (Printf.sprintf
@@ -614,7 +622,7 @@ let make_ctl ~nonneg ~warm ~budget (sys : Polyhedra.t) (objective : Vec.t) =
     deadline =
       (match budget.time_limit_s with
       | None -> None
-      | Some dt -> Some (Sys.time () +. dt));
+      | Some dt -> Some (now () +. dt));
     warm;
     nonneg;
     nv;

@@ -59,6 +59,11 @@ type budget = { max_nodes : int; time_limit_s : float option }
 (** 200_000 nodes, no time limit. *)
 val default_budget : budget
 
+(** The clock [time_limit_s] is measured on: wall time ([Unix.gettimeofday]),
+    so a solver that sleeps or blocks still trips its allowance — not CPU
+    time, which stands still in an idle process. *)
+val now : unit -> float
+
 (** [set_warm false] disables warm starts globally (every node re-solves
     cold and {!feasible_cached} stops caching); [true] restores the default.
     Benchmarks use it to measure the cold path. *)

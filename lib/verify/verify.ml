@@ -234,7 +234,7 @@ let check_parallel_claims ~count ~failures ~ctx (p : Ir.program)
   if parallel_levels <> [] then
     List.iter
       (fun (d : Deps.t) ->
-        if Deps.is_legality d then begin
+        if Deps.is_hard d then begin
           let nv = Deps.nvars d in
           let np = Ir.nparams p in
           let deltas = delta_rows p t d in
@@ -278,19 +278,114 @@ let check_parallel_claims ~count ~failures ~ctx (p : Ir.program)
         end)
       deps
 
+(* ------------------------- reduction-mark soundness ----------------------- *)
+
+(* A marked reduction edge is exempt from every order obligation above, so
+   the marking itself becomes a proof obligation: the validator re-derives —
+   without trusting the dependence analyzer that set the flag — that the edge
+   is a self-dependence of a syntactic associative/commutative self-update
+   ({!Ir.reduction_of_stmt}, shared syntax only: the polyhedral work below is
+   independent), that both endpoints are the accumulator access, and that no
+   other read of the accumulator's array can alias the accumulator cell
+   anywhere in the iteration domain with parameters bounded in [lo, hi]. *)
+let check_reduction_marks ~count ~failures ~lo ~hi (p : Ir.program)
+    (deps : Deps.t list) =
+  let np = Ir.nparams p in
+  let alias_checked = Hashtbl.create 4 in
+  let check_aliases (s : Ir.stmt) =
+    if not (Hashtbl.mem alias_checked s.Ir.id) then begin
+      Hashtbl.add alias_checked s.Ir.id ();
+      let nv = s.Ir.domain.Polyhedra.nvars in
+      List.iteri
+        (fun i other ->
+          if
+            String.equal other.Ir.arr s.Ir.lhs.Ir.arr
+            && not (Ir.same_access other s.Ir.lhs)
+          then
+            obligation ~count ~failures
+              ~what:
+                (Printf.sprintf "%s reduction alias (read %d)" s.Ir.name i)
+              (fun () ->
+                let eqs =
+                  List.map
+                    (fun k ->
+                      Polyhedra.eq
+                        (Vec.sub
+                           (Ir.row_to_vec other.Ir.map.(k))
+                           (Ir.row_to_vec s.Ir.lhs.Ir.map.(k))))
+                    (Putil.range (Array.length other.Ir.map))
+                in
+                let sys =
+                  Polyhedra.meet s.Ir.domain
+                    (Polyhedra.of_constrs nv
+                       (eqs @ param_box ~nv ~np ~lo ~hi))
+                in
+                match witness sys with
+                | None -> None
+                | Some w ->
+                    Some
+                      (failf "reduction"
+                         "%s: read #%d of %s can alias the reduction \
+                          accumulator cell at %s — the marked self-update \
+                          is not a pure reduction"
+                         s.Ir.name i other.Ir.arr
+                         (Format.asprintf "%a"
+                            (fun fmt () -> pp_point fmt w 0 nv)
+                            ()))))
+        (Ir.reads_of_expr s.Ir.rhs)
+    end
+  in
+  List.iter
+    (fun (d : Deps.t) ->
+      if d.Deps.reduction then begin
+        obligation ~count ~failures
+          ~what:(describe_dep d ^ " (reduction shape)")
+          (fun () ->
+            if d.Deps.src.Ir.id <> d.Deps.dst.Ir.id then
+              Some
+                (failf "reduction"
+                   "%s: marked reduction edge is not a self-dependence"
+                   (describe_dep d))
+            else
+              match Ir.reduction_of_stmt d.Deps.src with
+              | None ->
+                  Some
+                    (failf "reduction"
+                       "%s: marked reduction edge on a statement that is \
+                        not an associative/commutative self-update"
+                       (describe_dep d))
+              | Some r ->
+                  if
+                    Ir.same_access d.Deps.src_acc r.Ir.red_acc
+                    && Ir.same_access d.Deps.dst_acc r.Ir.red_acc
+                  then None
+                  else
+                    Some
+                      (failf "reduction"
+                         "%s: marked reduction edge does not connect two \
+                          accumulator accesses"
+                         (describe_dep d)));
+        check_aliases d.Deps.src
+      end)
+    deps
+
 let validate_transform ?(param_lo = 1) ?(param_hi = 10) ?(claim_ctx = 100)
     (p : Ir.program) (deps : Deps.t list) (t : Pluto.Types.transform) =
   let legality_count = ref 0 and claim_count = ref 0 in
   let failures = ref [] in
   List.iter
     (fun d ->
-      if Deps.is_legality d then begin
+      if Deps.is_hard d then begin
         check_dep_legality ~count:legality_count ~failures ~lo:param_lo
           ~hi:param_hi p t d;
         check_dep_claims ~count:claim_count ~failures ~ctx:claim_ctx p t d
       end)
     deps;
   check_parallel_claims ~count:claim_count ~failures ~ctx:claim_ctx p t deps;
+  (* legality modulo reassociation: every edge exempted above must itself be
+     proven a reduction edge *)
+  check_reduction_marks ~count:legality_count ~failures ~lo:param_lo
+    ~hi:param_hi p deps;
   {
     empty_report with
     legality_obligations = !legality_count;

@@ -29,6 +29,18 @@
     parallel must carry no dependence — [P_e ∧ Z_l ∧ (δ_l ≥ 1 ∨ δ_l ≤ −1)]
     empty for every dependence not yet satisfied before [l].
 
+    {b Legality modulo reassociation (reductions).}  Dependence edges marked
+    [reduction] are exempt from the order obligations above — reassociating
+    an associative/commutative accumulation is exactly the freedom the
+    [--reductions] pipeline exploits — so the {e marking} becomes the proof
+    obligation instead: each marked edge must be a self-dependence of a
+    syntactic self-update whose endpoints are the accumulator access, and no
+    other read of the accumulator's array may alias the accumulator cell
+    anywhere in the domain (an integer-emptiness test per read, parameters
+    bounded in [[param_lo, param_hi]]; failures carry code ["reduction"]).
+    With reductions off no edge is marked and validation is exactly the
+    bit-strict check above.
+
     {b Domain coverage (code generation).}  The generated AST must scan
     exactly the original iteration domain of every statement: walking the AST
     (bounds, guards and statement arguments evaluated through
@@ -44,7 +56,8 @@
 type failure = {
   f_code : string;
       (** stable code: ["legality"], ["unordered"], ["satisfaction"],
-          ["parallelism"], ["coverage"], ["budget"], ["internal"] *)
+          ["parallelism"], ["reduction"], ["coverage"], ["budget"],
+          ["internal"] *)
   f_message : string;
 }
 

@@ -12,6 +12,19 @@ let program_and_deps (k : Kernels.t) =
       Hashtbl.replace dep_cache k.Kernels.name (p, ds);
       (p, ds)
 
+(* Same, but with reduction detection enabled (the --reductions pipeline). *)
+let red_dep_cache : (string, Ir.program * Deps.t list) Hashtbl.t =
+  Hashtbl.create 8
+
+let program_and_deps_reductions (k : Kernels.t) =
+  match Hashtbl.find_opt red_dep_cache k.Kernels.name with
+  | Some r -> r
+  | None ->
+      let p = Kernels.program k in
+      let ds = Deps.compute ~reductions:true p in
+      Hashtbl.replace red_dep_cache k.Kernels.name (p, ds);
+      (p, ds)
+
 let tr_cache : (string, Pluto.Types.transform) Hashtbl.t = Hashtbl.create 8
 
 let transform (k : Kernels.t) =

@@ -162,6 +162,36 @@ let test_parity_no_spurious_dep () =
   Alcotest.(check int) "no ILP solves needed" 0 (Stats.counter "milp.solves");
   Alcotest.(check int) "no B&B nodes" 0 (Stats.counter "milp.bb_nodes")
 
+let test_param_subscript_casts_no_vote () =
+  (* a[i] vs a[i + N]: the anti dependence (read a[s+N] at s, write a[t] at
+     t = s + N) relates iterations a parameter apart.  A matched-dims vote
+     (s_dim, t_dim) asserts the subscript pins s = t — false here.  The old
+     unit_iter_dim looked only at iterator columns, saw a lone unit
+     coefficient on each side, and voted anyway; rows with nonzero parameter
+     coefficients must cast no vote. *)
+  let p =
+    Frontend.parse_program ~name:"<shift>"
+      "double a[K];\nfor (i = 0; i < 2 * N; i++)\n  a[i] = a[i + N] * 2.0;\n"
+  in
+  let ds = Deps.compute p in
+  let anti = List.filter (fun d -> d.Deps.kind = Deps.Anti) ds in
+  Alcotest.(check bool) "the shifted anti dependence exists" true (anti <> []);
+  List.iter
+    (fun d ->
+      Alcotest.(check (list (pair int int)))
+        "no vote from a parameter-shifted subscript" [] (Deps.matched_dims d))
+    anti;
+  (* positive control: a parameter-free unit subscript still votes *)
+  let _, ds = Fixtures.program_and_deps Kernels.matmul in
+  let self_c =
+    List.find
+      (fun d ->
+        d.Deps.kind = Deps.Flow && String.equal d.Deps.src_acc.Ir.arr "C")
+      ds
+  in
+  Alcotest.(check bool) "C[i][j] self dependence still votes" true
+    (Deps.matched_dims self_c <> [])
+
 let suite =
   ( "deps",
     [
@@ -175,4 +205,6 @@ let suite =
       Alcotest.test_case "satisfaction row" `Quick test_satisfaction_row;
       Alcotest.test_case "parity access needs no ILP" `Quick
         test_parity_no_spurious_dep;
+      Alcotest.test_case "parameter subscripts cast no vote" `Quick
+        test_param_subscript_casts_no_vote;
     ] )

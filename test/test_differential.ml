@@ -71,6 +71,11 @@ let variants =
         Driver.fast_schedule = false;
         auto = { base.Driver.auto with Pluto.Auto.budget = force_budget };
       } );
+    (* reduction-aware scheduling: programs whose self-updates get marked are
+       compared with the reduction tolerance (their schedules legitimately
+       reassociate); programs with nothing to mark must stay bit-exact, so
+       the flag is differentially a no-op on them *)
+    ("reductions", { base with Driver.reductions = true });
   ]
 
 let params =
@@ -95,14 +100,25 @@ let check_one (g : Gen.t) ~config options =
       fail_with_reproducer g ~config "robust compilation failed: %s"
         (Format.asprintf "%a" (Diag.pp_all ?src:None) ds)
   | Ok (r, _warns) ->
-      if not (Machine.equivalent r.Driver.program r.Driver.code ~params) then
+      (* marked-reduction programs are owed equivalence only up to
+         floating-point reassociation; everything else stays bit-exact *)
+      let tolerance =
+        if
+          options.Driver.reductions
+          && List.exists (fun d -> d.Deps.reduction) r.Driver.deps
+        then Some Machine.reduction_tolerance
+        else None
+      in
+      if
+        not (Machine.equivalent ?tolerance r.Driver.program r.Driver.code ~params)
+      then
         fail_with_reproducer g ~config
           "transformed code disagrees with original order";
       (* adversarial parallelism check: running every parallel-marked loop
          backwards must not change the result (no-op when nothing is marked) *)
       if
         not
-          (Machine.equivalent ~par_reverse:true r.Driver.program
+          (Machine.equivalent ~par_reverse:true ?tolerance r.Driver.program
              r.Driver.code ~params)
       then
         fail_with_reproducer g ~config

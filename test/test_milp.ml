@@ -264,6 +264,41 @@ let test_budget_exhaustion_raises () =
   | exception Diag.Budget_exceeded _ -> ()
   | Some _ | None -> Alcotest.fail "expired time budget ignored"
 
+(* The time budget is documented as a wall-clock allowance, and the deadline
+   clock (Milp.now, used to arm and check every deadline) must measure wall
+   time.  The historical bug used Sys.time — CPU time — which stands still
+   while the process sleeps, so a blocked-but-idle solve could never trip its
+   limit.  Sleeping is exactly the discriminating workload: wall time
+   advances, CPU time does not. *)
+let test_time_budget_is_wall_clock () =
+  let w0 = Milp.now () and c0 = Sys.time () in
+  Unix.sleepf 0.05;
+  let w1 = Milp.now () and c1 = Sys.time () in
+  Alcotest.(check bool)
+    "deadline clock advances across a sleep (wall time)" true
+    (w1 -. w0 >= 0.04);
+  Alcotest.(check bool) "the sleep consumed (almost) no CPU time" true
+    (c1 -. c0 < 0.04);
+  (* end to end: a deadline armed before a sleep-length wait has expired by
+     solve time even though the process was idle the whole while *)
+  let easy =
+    Polyhedra.of_constrs 1
+      [ Polyhedra.ge_ints [ 1; -3 ]; Polyhedra.ge_ints [ -1; 9 ] ]
+  in
+  let tiny = { Milp.max_nodes = max_int; Milp.time_limit_s = Some 1e-4 } in
+  Unix.sleepf 0.01;
+  match Milp.lexmin ~budget:tiny easy with
+  | exception Diag.Budget_exceeded _ -> ()
+  | Some _ | None ->
+      (* the deadline is armed inside the call, so an instant solve may
+         legitimately finish; what must never happen is the solver taking
+         longer than the allowance without tripping.  Force the issue with a
+         zero-allowance solve (deadline already past once armed). *)
+      let zero = { Milp.max_nodes = max_int; Milp.time_limit_s = Some 0.0 } in
+      (match Milp.lexmin ~budget:zero easy with
+      | exception Diag.Budget_exceeded _ -> ()
+      | Some _ | None -> Alcotest.fail "wall-clock deadline never tripped")
+
 let suite =
   ( "milp",
     [
@@ -279,6 +314,8 @@ let suite =
       Alcotest.test_case "lexmin tie-breaking" `Quick test_lexmin_tie_breaking;
       Alcotest.test_case "budget exhaustion raises" `Quick
         test_budget_exhaustion_raises;
+      Alcotest.test_case "time budget is wall clock" `Quick
+        test_time_budget_is_wall_clock;
       QCheck_alcotest.to_alcotest prop_ilp_vs_brute;
       QCheck_alcotest.to_alcotest prop_lexmin_is_lex_minimal;
     ] )
